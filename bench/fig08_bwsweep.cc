@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 8: I/O and GC performance improvement (normalized to Baseline)
+ * as total on-chip bandwidth scales x1.25..x4, for the low- and
+ * high-bandwidth flash scenarios, comparing Baseline-with-more-bus
+ * (BW) against dSSD_f with the same total bandwidth.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace dssd;
+using namespace dssd::bench;
+
+namespace
+{
+
+void
+sweep(const char *label, std::uint64_t req_bytes, bool full,
+      std::uint64_t seed)
+{
+    ExpParams base;
+    base.channels = 8;
+    base.ways = full ? 8 : 4;
+    base.planes = 8;
+    base.blocksPerPlane = full ? 32 : 16;
+    base.pagesPerBlock = full ? 32 : 16;
+    base.requestBytes = req_bytes;
+    base.bufferMode = BufferMode::Real;
+    base.window = 25 * tickMs;
+    base.seed = seed;
+
+    ExpParams p0 = base;
+    p0.arch = ArchKind::Baseline;
+    ExpResult r0 = runExperiment(p0);
+
+    std::printf("\n[%s flash: %llu KB writes]\n", label,
+                static_cast<unsigned long long>(req_bytes / kKiB));
+    std::printf("%-8s  %-8s  %10s  %10s\n", "factor", "config",
+                "IO(norm)", "GC(norm)");
+    for (double f : {1.25, 1.5, 2.0, 3.0, 4.0}) {
+        for (ArchKind k : {ArchKind::BW, ArchKind::DSSDNoc}) {
+            ExpParams p = base;
+            p.arch = k;
+            p.onChipFactor = f;
+            ExpResult r = runExperiment(p);
+            std::printf("x%-7.2f  %-8s  %10.3f  %10.3f\n", f,
+                        archName(k), r.ioBytesPerSec / r0.ioBytesPerSec,
+                        r.gcPagesPerSec / r0.gcPagesPerSec);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+    banner("Fig 8", "performance vs amount of on-chip bandwidth");
+    sweep("low", 4 * kKiB, o.full, o.seed);
+    rule();
+    sweep("high", 128 * kKiB, o.full, o.seed);
+    return 0;
+}

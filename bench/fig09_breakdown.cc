@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig 9: latency breakdown for (a) I/O requests and (b) copyback as
+ * the number of planes grows, Baseline vs dSSD_f. Components: flash
+ * memory (array), flash bus, system bus, DRAM, ECC, fNoC.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace dssd;
+using namespace dssd::bench;
+
+namespace
+{
+
+void
+printRow(const char *config, unsigned planes, const LatencyBreakdown &bd)
+{
+    std::printf("%-8s  %6u  %9.1f  %9.1f  %9.1f  %8.1f  %7.1f  %7.1f\n",
+                config, planes, ticksToUs(bd.flashMem),
+                ticksToUs(bd.flashBus), ticksToUs(bd.systemBus),
+                ticksToUs(bd.dram), ticksToUs(bd.ecc),
+                ticksToUs(bd.noc));
+}
+
+void
+header()
+{
+    std::printf("%-8s  %6s  %9s  %9s  %9s  %8s  %7s  %7s\n", "config",
+                "planes", "flash(us)", "fbus(us)", "sbus(us)",
+                "dram(us)", "ecc(us)", "noc(us)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+    banner("Fig 9", "latency breakdown vs number of planes");
+
+    std::printf("\n(a) I/O request latency breakdown\n");
+    header();
+    for (unsigned planes : {1u, 2u, 4u, 8u}) {
+        for (ArchKind k : {ArchKind::Baseline, ArchKind::DSSDNoc}) {
+            ExpParams p;
+            p.arch = k;
+            p.channels = 8;
+            p.ways = 4;
+            p.planes = planes;
+            p.blocksPerPlane = 16;
+            p.pagesPerBlock = 16;
+            p.requestBytes = 4 * kKiB * planes;
+            p.bufferMode = BufferMode::AlwaysMiss;
+            p.window = 20 * tickMs;
+            p.seed = o.seed;
+            ExpResult r = runExperiment(p);
+            printRow(archName(k), planes, r.ioBreakdown);
+        }
+    }
+
+    std::printf("\n(b) copyback latency breakdown\n");
+    header();
+    for (unsigned planes : {1u, 2u, 4u, 8u}) {
+        for (ArchKind k : {ArchKind::Baseline, ArchKind::DSSDNoc}) {
+            ExpParams p;
+            p.arch = k;
+            p.channels = 8;
+            p.ways = 4;
+            p.planes = planes;
+            p.blocksPerPlane = 16;
+            p.pagesPerBlock = 16;
+            p.requestBytes = 4 * kKiB * planes;
+            p.bufferMode = BufferMode::AlwaysMiss;
+            p.window = 20 * tickMs;
+            p.seed = o.seed;
+            ExpResult r = runExperiment(p);
+            printRow(archName(k), planes, r.cbBreakdown);
+        }
+    }
+    return 0;
+}

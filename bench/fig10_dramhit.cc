@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig 10: (a) I/O bandwidth and tail latency with 100% DRAM-cached
+ * I/O while GC runs, for BW / dSSD / dSSD_f; (b) average I/O latency
+ * across workload traces for Baseline / BW / TinyTail / dSSD_f.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace dssd;
+using namespace dssd::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+
+    banner("Fig 10(a)",
+           "100% DRAM-cached I/O under GC: bandwidth and tail latency");
+    std::printf("%-10s  %12s  %12s  %12s\n", "config", "IO(GB/s)",
+                "p99(us)", "p99.9(us)");
+    for (ArchKind k :
+         {ArchKind::BW, ArchKind::DSSD, ArchKind::DSSDNoc}) {
+        ExpParams p;
+        p.arch = k;
+        p.channels = 8;
+        p.ways = 4;
+        p.planes = 8;
+        p.requestBytes = 4 * kKiB;
+        p.bufferMode = BufferMode::AlwaysHit;
+        p.window = 30 * tickMs;
+        p.seed = o.seed;
+        ExpResult r = runExperiment(p);
+        std::printf("%-10s  %12.3f  %12.1f  %12.1f\n", archName(k),
+                    r.ioBytesPerSec / 1e9, r.p99LatencyUs,
+                    r.p999LatencyUs);
+    }
+
+    rule();
+    banner("Fig 10(b)", "average I/O latency across traces (normalized "
+                        "to Baseline; lower is better)");
+    const char *traces[] = {"prn_0", "src1_2", "usr_2", "hm_1",
+                            "proj_0", "web_0"};
+    std::printf("%-8s  %10s  %10s  %10s  %10s\n", "trace", "Baseline",
+                "BW", "TinyTail", "dSSD_f");
+    double sums[4] = {0, 0, 0, 0};
+    for (const char *t : traces) {
+        double lat[4];
+        int i = 0;
+        struct Cfg
+        {
+            ArchKind arch;
+            GcPolicy pol;
+        };
+        for (Cfg c : {Cfg{ArchKind::Baseline, GcPolicy::Parallel},
+                      Cfg{ArchKind::BW, GcPolicy::Parallel},
+                      Cfg{ArchKind::BW, GcPolicy::TinyTail},
+                      Cfg{ArchKind::DSSDNoc, GcPolicy::Parallel}}) {
+            ExpParams p;
+            p.arch = c.arch;
+            p.gcPolicy = c.pol;
+            p.channels = 8;
+            p.ways = 4;
+            p.planes = 8;
+            p.traceName = t;
+            p.bufferMode = BufferMode::Real;
+            p.window = 25 * tickMs;
+            p.seed = o.seed;
+            ExpResult r = runExperiment(p);
+            lat[i++] = r.avgLatencyUs;
+        }
+        std::printf("%-8s  %10.3f  %10.3f  %10.3f  %10.3f\n", t, 1.0,
+                    lat[1] / lat[0], lat[2] / lat[0], lat[3] / lat[0]);
+        for (int j = 0; j < 4; ++j)
+            sums[j] += lat[j] / lat[0];
+    }
+    int n = static_cast<int>(std::size(traces));
+    std::printf("%-8s  %10.3f  %10.3f  %10.3f  %10.3f\n", "average",
+                sums[0] / n, sums[1] / n, sums[2] / n, sums[3] / n);
+    return 0;
+}

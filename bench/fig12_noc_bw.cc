@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig 12: GC performance as the fNoC router-channel bandwidth is
+ * varied (expressed as a ratio to the 1 GB/s flash-channel bandwidth),
+ * for (a) different channel counts and (b) different ways per channel.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace dssd;
+using namespace dssd::bench;
+
+namespace
+{
+
+double
+gcPerf(unsigned channels, unsigned ways, double ratio,
+       std::uint64_t seed)
+{
+    ExpParams p;
+    p.arch = ArchKind::DSSDNoc;
+    p.channels = channels;
+    p.ways = ways;
+    p.planes = 4;
+    p.blocksPerPlane = 16;
+    p.pagesPerBlock = 16;
+    p.queueDepth = 0; // pure GC traffic, as in the Fig 12 study
+    p.nocLinkGb = ratio * 1.0;
+    p.window = 40 * tickMs;
+    p.gcVictims = 4;
+    p.seed = seed;
+    ExpResult r = runExperiment(p);
+    return r.gcPagesPerSec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+    const double ratios[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+
+    banner("Fig 12(a)",
+           "GC performance vs router-channel bandwidth, by #channels");
+    std::printf("%-10s", "ratio");
+    for (unsigned ch : {4u, 8u, 16u})
+        std::printf("  %8uch", ch);
+    std::printf("   (GC pages/s)\n");
+    for (double ratio : ratios) {
+        std::printf("x%-9.2f", ratio);
+        for (unsigned ch : {4u, 8u, 16u})
+            std::printf("  %10.0f", gcPerf(ch, 1, ratio, o.seed));
+        std::printf("\n");
+    }
+
+    rule();
+    banner("Fig 12(b)",
+           "GC performance vs router-channel bandwidth, by ways "
+           "(8 channels)");
+    std::printf("%-10s", "ratio");
+    for (unsigned w : {1u, 2u, 4u, 8u})
+        std::printf("  %7uway", w);
+    std::printf("   (GC pages/s)\n");
+    for (double ratio : ratios) {
+        std::printf("x%-9.2f", ratio);
+        for (unsigned w : {1u, 2u, 4u, 8u})
+            std::printf("  %10.0f", gcPerf(8, w, ratio, o.seed));
+        std::printf("\n");
+    }
+    std::printf("\nExpected shape: saturation near x2 for 8 channels "
+                "(bisection = N/2 x flash-channel bandwidth).\n");
+    return 0;
+}

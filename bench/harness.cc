@@ -1,0 +1,219 @@
+#include "bench/harness.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+namespace bench
+{
+
+BenchOpts
+BenchOpts::parse(int argc, char **argv)
+{
+    BenchOpts o;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            o.full = true;
+        else if (std::strncmp(argv[i], "--seed=", 7) == 0)
+            o.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        else
+            fatal("unknown option '%s' (supported: --full --seed=N)",
+                  argv[i]);
+    }
+    return o;
+}
+
+void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("==============================================================\n");
+}
+
+void
+rule()
+{
+    std::printf("--------------------------------------------------------------\n");
+}
+
+SsdConfig
+makeExpConfig(const ExpParams &p)
+{
+    SsdConfig c = makeConfig(p.arch);
+    c.geom.channels = p.channels;
+    c.geom.ways = p.ways;
+    c.geom.diesPerWay = 1;
+    c.geom.planesPerDie = p.planes;
+    c.geom.blocksPerPlane = p.blocksPerPlane;
+    c.geom.pagesPerBlock = p.pagesPerBlock;
+    if (p.tlc) {
+        c.timing = tlcTiming();
+        c.geom.pageBytes = 16 * kKiB;
+    }
+    c.systemBusBandwidth = gbPerSec(p.systemBusGb);
+    c.onChipBandwidthFactor =
+        p.arch == ArchKind::Baseline ? 1.0 : p.onChipFactor;
+    c.writeBuffer.mode = p.bufferMode;
+    c.writeBuffer.capacityPages = 4096;
+    c.flushInFlight = 64;
+    c.gc.policy = p.gcPolicy;
+    c.gc.copiesInFlightPerUnit = p.gcCopiesInFlight;
+    c.nocTopology = p.nocTopology;
+    if (p.nocLinkGb > 0.0) {
+        c.nocExplicitBandwidth = true;
+        c.noc.linkBandwidth = gbPerSec(p.nocLinkGb);
+    }
+    c.noc.bufferPackets = p.nocBuffers;
+    c.decoupled.srtEntries = p.srtCapacity;
+    c.seed = p.seed;
+    return c;
+}
+
+namespace
+{
+
+/** Install @p count random in-channel remaps into every SRT. */
+void
+populateSrt(Ssd &ssd, unsigned count, Rng &rng)
+{
+    const FlashGeometry &g = ssd.config().geom;
+    std::uint32_t blocks_per_channel =
+        g.ways * g.diesPerWay * g.planesPerDie * g.blocksPerPlane;
+    for (unsigned ch = 0; ch < g.channels; ++ch) {
+        DecoupledController *dc = ssd.decoupledController(ch);
+        if (!dc)
+            return;
+        for (unsigned i = 0; i < count; ++i) {
+            ChannelBlockId from = static_cast<ChannelBlockId>(
+                rng.uniformInt(0, blocks_per_channel - 1));
+            ChannelBlockId to = static_cast<ChannelBlockId>(
+                rng.uniformInt(0, blocks_per_channel - 1));
+            dc->srt().insert(from, to);
+        }
+    }
+}
+
+} // namespace
+
+ExpResult
+runExperiment(const ExpParams &p)
+{
+    SsdConfig cfg = makeExpConfig(p);
+    Engine engine;
+    Ssd ssd(engine, cfg);
+    ssd.prefill(p.prefillFill, p.prefillInvalid);
+
+    Rng rng(p.seed + 7);
+    if (p.srtRemapsPerChannel > 0)
+        populateSrt(ssd, p.srtRemapsPerChannel, rng);
+
+    std::unique_ptr<Generator> gen;
+    if (p.traceName) {
+        std::uint64_t footprint = std::min<std::uint64_t>(
+            ssd.mapping().lpnCount() * cfg.geom.pageBytes / 2,
+            512 * kMiB);
+        footprint = std::max<std::uint64_t>(footprint, 2 * kMiB);
+        gen = std::make_unique<TraceSynthesizer>(
+            traceProfile(p.traceName), footprint, 0, p.seed,
+            p.traceIops);
+    } else {
+        SyntheticParams sp;
+        sp.readRatio = p.readRatio;
+        sp.sequential = p.sequential;
+        sp.requestBytes = p.requestBytes;
+        sp.footprintBytes = std::max<std::uint64_t>(
+            ssd.mapping().lpnCount() * cfg.geom.pageBytes / 2,
+            4 * p.requestBytes);
+        sp.count = 0; // unbounded; the window bounds the run
+        sp.seed = p.seed;
+        gen = std::make_unique<SyntheticGenerator>(sp);
+    }
+
+    std::unique_ptr<QueueDriver> drv;
+    if (p.queueDepth > 0) {
+        drv = std::make_unique<QueueDriver>(
+            engine, *gen,
+            [&ssd](const IoRequest &r, Engine::Callback cb) {
+                ssd.submit(r, std::move(cb));
+            },
+            p.queueDepth);
+        drv->start();
+    }
+
+    // GC load: forced rounds, re-armed until the window closes so GC
+    // pressure persists for the whole measurement (the paper assumes
+    // GC triggered throughout).
+    struct GcLoop
+    {
+        Ssd &ssd;
+        Engine &engine;
+        const ExpParams &p;
+        bool stopped = false;
+
+        void
+        arm()
+        {
+            ssd.gc().forceAll(p.gcVictims, [this] {
+                if (!stopped && p.continuousGc &&
+                    engine.now() < p.window) {
+                    engine.schedule(1, [this] { arm(); });
+                }
+            });
+        }
+    };
+    std::unique_ptr<GcLoop> gc_loop;
+    if (p.runGc && p.gcForced) {
+        gc_loop = std::make_unique<GcLoop>(GcLoop{ssd, engine, p});
+        if (p.gcDelay > 0)
+            engine.schedule(p.gcDelay, [&gl = *gc_loop] { gl.arm(); });
+        else
+            gc_loop->arm();
+    }
+
+    engine.runUntil(p.window);
+    if (gc_loop)
+        gc_loop->stopped = true;
+    if (drv)
+        drv->stop();
+    engine.run();
+
+    ExpResult r;
+    if (drv) {
+        r.ioBytesPerSec = drv->ioBytes().averageRate(0, p.window);
+        r.avgLatencyUs = drv->allLatency().mean() / tickUs;
+        r.p99LatencyUs = drv->allLatency().percentile(99) / tickUs;
+        r.p999LatencyUs = drv->allLatency().percentile(99.9) / tickUs;
+        r.readAvgLatencyUs = drv->readLatency().mean() / tickUs;
+        r.readP99LatencyUs = drv->readLatency().percentile(99) / tickUs;
+        r.ioCompleted = drv->completed();
+        auto series = drv->ioBytes().ratePerSec();
+        for (double v : series)
+            r.ioBwSeries.push_back(v / 1e9);
+    }
+    r.gcPagesMoved = ssd.gc().pagesMoved();
+    Tick gc_start =
+        ssd.gc().firstGcStart() == maxTick ? 0 : ssd.gc().firstGcStart();
+    Tick gc_end = std::max(ssd.gc().lastGcEnd(), gc_start + 1);
+    r.gcStart = gc_start;
+    r.gcEnd = gc_end;
+    if (r.gcPagesMoved > 0) {
+        r.gcPagesPerSec = static_cast<double>(r.gcPagesMoved) /
+                          ticksToSec(gc_end - gc_start);
+    }
+    r.busIoUtil = ssd.busRecorder().busyFraction(tagIo, 0, p.window);
+    r.busGcUtil = ssd.busRecorder().busyFraction(tagGc, 0, p.window);
+    r.busIoSeries = ssd.busRecorder().series(tagIo);
+    r.busGcSeries = ssd.busRecorder().series(tagGc);
+    r.ioBreakdown = ssd.ioBreakdown().mean();
+    r.cbBreakdown = ssd.copybackBreakdown().mean();
+    return r;
+}
+
+} // namespace bench
+} // namespace dssd

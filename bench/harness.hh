@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared harness for the per-figure/table bench binaries.
+ *
+ * Every bench prints the same rows/series the corresponding paper
+ * figure or table reports (normalized where the paper normalizes).
+ * Absolute numbers come from our simulator, so EXPERIMENTS.md records
+ * shape-vs-paper, not value-vs-paper.
+ *
+ * All benches run a reduced geometry by default (identical ratios,
+ * smaller capacity) and accept --full for the Table 1 geometry.
+ */
+
+#ifndef DSSD_BENCH_HARNESS_HH
+#define DSSD_BENCH_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/gc.hh"
+#include "core/ssd.hh"
+#include "hil/driver.hh"
+
+namespace dssd
+{
+namespace bench
+{
+
+/** Command-line options shared by all benches. */
+struct BenchOpts
+{
+    bool full = false;   ///< use the paper's full geometry
+    std::uint64_t seed = 1;
+
+    static BenchOpts parse(int argc, char **argv);
+};
+
+/** Print a bench banner naming the figure/table being regenerated. */
+void banner(const std::string &id, const std::string &what);
+
+/** Parameters of one interference experiment. */
+struct ExpParams
+{
+    ArchKind arch = ArchKind::Baseline;
+
+    // Geometry knobs (ratios follow Table 1 unless overridden).
+    unsigned channels = 8;
+    unsigned ways = 4;
+    unsigned planes = 8;
+    std::uint32_t blocksPerPlane = 16;
+    std::uint32_t pagesPerBlock = 16;
+    bool tlc = false;
+
+    // Workload.
+    double readRatio = 0.0;
+    bool sequential = true;
+    std::uint64_t requestBytes = 4 * kKiB;
+    BufferMode bufferMode = BufferMode::AlwaysMiss;
+    unsigned queueDepth = 64;
+    const char *traceName = nullptr; ///< overrides synthetic workload
+    /// Trace arrival rate (0 = closed-loop). Open-loop replay keeps
+    /// the device below saturation so GC interference is what shapes
+    /// the tail, as in the paper's timestamped trace runs.
+    double traceIops = 0.0;
+
+    // GC.
+    bool runGc = true;
+    /// true: forced victim rounds re-armed over the window (GC load
+    /// held constant). false: GC triggers by the free-block threshold
+    /// only, so scheduling policies (PreemptiveGC) can postpone it.
+    bool gcForced = true;
+    bool continuousGc = true; ///< keep re-forcing GC over the window
+    unsigned gcVictims = 2;
+    unsigned gcCopiesInFlight = 2;
+    Tick gcDelay = 0;         ///< hold GC off for this long (Fig 2)
+    GcPolicy gcPolicy = GcPolicy::Parallel;
+
+    // On-chip bandwidth.
+    double onChipFactor = 1.25;
+    double systemBusGb = 8.0;
+
+    // fNoC overrides (DSSDNoc only). linkGb 0 = derive from factor.
+    std::string nocTopology = "mesh";
+    double nocLinkGb = 0.0;
+    unsigned nocBuffers = 4;
+
+    // SRT pre-population (Fig 15): remaps installed per channel.
+    unsigned srtRemapsPerChannel = 0;
+    std::size_t srtCapacity = 2048;
+
+    // Device preconditioning.
+    double prefillFill = 0.8;
+    double prefillInvalid = 0.3;
+
+    Tick window = 30 * tickMs;
+    std::uint64_t seed = 1;
+};
+
+/** Measurements from one interference experiment. */
+struct ExpResult
+{
+    double ioBytesPerSec = 0;      ///< I/O bandwidth over the window
+    double gcPagesPerSec = 0;      ///< GC throughput while GC active
+    double avgLatencyUs = 0;
+    double p99LatencyUs = 0;
+    double p999LatencyUs = 0;
+    double readAvgLatencyUs = 0;
+    double readP99LatencyUs = 0;
+    double busIoUtil = 0;          ///< system-bus utilization by I/O
+    double busGcUtil = 0;          ///< system-bus utilization by GC
+    LatencyBreakdown ioBreakdown;  ///< mean per-component (ticks)
+    LatencyBreakdown cbBreakdown;
+    std::uint64_t gcPagesMoved = 0;
+    std::uint64_t ioCompleted = 0;
+    std::vector<double> ioBwSeries;    ///< GB/s per ms window
+    std::vector<double> busIoSeries;   ///< utilization per ms window
+    std::vector<double> busGcSeries;
+    Tick gcStart = 0;
+    Tick gcEnd = 0;
+};
+
+/** Build an SsdConfig from experiment parameters. */
+SsdConfig makeExpConfig(const ExpParams &p);
+
+/** Run one interference experiment to completion. */
+ExpResult runExperiment(const ExpParams &p);
+
+/** Pretty horizontal rule. */
+void rule();
+
+} // namespace bench
+} // namespace dssd
+
+#endif // DSSD_BENCH_HARNESS_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the simulator's hot paths:
+ * the event queue, the bandwidth-resource reservation, NoC packet
+ * routing, FTL allocation/GC bookkeeping, and the endurance fast path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/gc.hh"
+#include "core/ssd.hh"
+#include "noc/network.hh"
+#include "reliability/endurance.hh"
+
+namespace dssd
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            e.schedule(static_cast<Tick>(i * 7 % 97), [&] { ++sink; });
+        e.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_BandwidthReserve(benchmark::State &state)
+{
+    Engine e;
+    BandwidthResource bus(e, "bus", 8.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bus.reserve(4096, tagIo));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BandwidthReserve);
+
+void
+BM_NocPacket(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        NocParams np;
+        np.linkBandwidth = 2.0;
+        NocNetwork net(e, std::make_unique<Mesh1D>(8), np);
+        unsigned done = 0;
+        for (unsigned i = 0; i < 256; ++i)
+            net.send(i % 8, (i * 3 + 1) % 8, 4096, tagGc,
+                     [&] { ++done; });
+        e.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_NocPacket);
+
+void
+BM_FtlAllocate(benchmark::State &state)
+{
+    MappingParams p;
+    p.geom.channels = 8;
+    p.geom.ways = 4;
+    p.geom.planesPerDie = 2;
+    p.geom.blocksPerPlane = 64;
+    p.geom.pagesPerBlock = 64;
+    p.overProvision = 0.5;
+    PageMapping m(p);
+    Lpn l = 0;
+    Lpn range = m.lpnCount() / 4;
+    for (auto _ : state) {
+        m.allocate(l % range);
+        ++l;
+        if (l % 512 == 0) {
+            // Keep space available with inline GC.
+            for (std::uint32_t u = 0; u < m.unitCount(); ++u) {
+                while (m.gcNeeded(u)) {
+                    auto v = m.pickVictim(u);
+                    if (!v)
+                        break;
+                    for (Lpn lp : m.validLpns(u, *v)) {
+                        PhysAddr dst = m.allocateInUnit(lp, u);
+                        m.commitRelocation(lp, dst);
+                    }
+                    if (m.validLpns(u, *v).empty())
+                        m.eraseBlock(u, *v);
+                    else
+                        break;
+                }
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FtlAllocate);
+
+void
+BM_SsdWritePage(benchmark::State &state)
+{
+    Engine e;
+    SsdConfig c = makeConfig(ArchKind::DSSDNoc);
+    c.geom.blocksPerPlane = 32;
+    c.geom.pagesPerBlock = 32;
+    c.writeBuffer.capacityPages = 1u << 20; // never flush
+    auto ssd = std::make_unique<Ssd>(e, c);
+    Lpn l = 0;
+    for (auto _ : state) {
+        ssd->writePage(l++ % ssd->mapping().lpnCount(), [] {});
+        if (l % 256 == 0)
+            e.run();
+    }
+    e.run();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdWritePage);
+
+void
+BM_EnduranceSim(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EnduranceParams p;
+        p.superblocks = 256;
+        p.wear.peMean = 200;
+        p.wear.peSigma = 30;
+        p.scheme = SuperblockScheme::Recycled;
+        EnduranceResult r = EnduranceSim(p).run();
+        benchmark::DoNotOptimize(r.badSuperblocks);
+    }
+}
+BENCHMARK(BM_EnduranceSim);
+
+void
+BM_GlobalCopyback(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        SsdConfig c = makeConfig(ArchKind::DSSDNoc);
+        c.geom.blocksPerPlane = 16;
+        c.geom.pagesPerBlock = 16;
+        Ssd ssd(e, c);
+        ssd.prefill(0.5, 0.0);
+        unsigned done = 0;
+        for (unsigned i = 0; i < 64; ++i) {
+            Lpn l = i;
+            auto ppn = ssd.mapping().translate(l);
+            if (!ppn)
+                continue;
+            PhysAddr src = ssd.mapping().geometry().pageAddr(*ppn);
+            std::uint32_t dst_unit =
+                (ssd.mapping().unitOf(src) + 17) %
+                ssd.mapping().unitCount();
+            PhysAddr dst = ssd.mapping().allocateInUnit(l, dst_unit);
+            ssd.gcCopyPage(src, dst, [&, l, dst] {
+                ssd.mapping().commitRelocation(l, dst);
+                ++done;
+            });
+        }
+        e.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_GlobalCopyback);
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Endurance study: compares the four superblock-management schemes
+ * (BASELINE / RECYCLED / RESERV / WAS) under the block-wear variation
+ * model and prints the lifetime curves and summary gains.
+ */
+
+#include <cstdio>
+
+#include "reliability/endurance.hh"
+
+using namespace dssd;
+
+int
+main()
+{
+    EnduranceParams base;
+    base.channels = 8;
+    base.superblocks = 1024;
+    base.pagesPerBlock = 32;
+    base.pageBytes = 16 * kKiB;
+    base.wear.peMean = 1000.0;  // scaled; sigma/mean matches Table 1
+    base.wear.peSigma = 148.0;
+    base.reservedFraction = 0.07;
+    base.stopBadFraction = 0.5;
+
+    std::printf("Dynamic superblock endurance study\n");
+    std::printf("%u superblocks x %u channels, P/E ~ N(%.0f, %.0f)\n\n",
+                base.superblocks, base.channels, base.wear.peMean,
+                base.wear.peSigma);
+
+    double baseline_first = 0, baseline_l10 = 0;
+    std::printf("%-10s  %14s  %16s  %12s  %10s\n", "scheme",
+                "first bad (TB)", "10%%-bad life (TB)", "remaps",
+                "SRT peak");
+    for (SuperblockScheme s :
+         {SuperblockScheme::Baseline, SuperblockScheme::Recycled,
+          SuperblockScheme::Reserv, SuperblockScheme::Was}) {
+        EnduranceParams p = base;
+        p.scheme = s;
+        EnduranceResult r = EnduranceSim(p).run();
+        double first = r.dataUntilFirstBad() / 1e12;
+        double l10 =
+            r.dataUntilBadFraction(0.10, p.superblocks) / 1e12;
+        if (s == SuperblockScheme::Baseline) {
+            baseline_first = first;
+            baseline_l10 = l10;
+        }
+        std::printf("%-10s  %14.3f  %16.3f  %12llu  %10zu\n",
+                    schemeName(s), first, l10,
+                    static_cast<unsigned long long>(r.remapEvents),
+                    r.srtHighWater);
+    }
+
+    std::printf("\ninterpretation:\n");
+    EnduranceParams p = base;
+    p.scheme = SuperblockScheme::Recycled;
+    EnduranceResult rec = EnduranceSim(p).run();
+    p.scheme = SuperblockScheme::Reserv;
+    EnduranceResult res = EnduranceSim(p).run();
+    std::printf("  RECYCLED extends 10%%-bad lifetime by %.1f%% over "
+                "BASELINE\n",
+                100 * (rec.dataUntilBadFraction(0.10, base.superblocks) /
+                           1e12 / baseline_l10 -
+                       1));
+    std::printf("  RESERV delays the first bad superblock by %.1f%%\n",
+                100 * (res.dataUntilFirstBad() / 1e12 / baseline_first -
+                       1));
+    std::printf("  (paper: ~19%%/35%% endurance, ~65%% first-bad delay; "
+                "WAS is the software upper bound)\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Trace replay: runs a named workload synthesizer (or a user-supplied
+ * trace file in "<ts_us> <R|W> <offset> <bytes>" format) through any
+ * architecture and prints the latency profile.
+ *
+ * Usage:
+ *   trace_replay [trace-name|path/to/trace.txt] [arch]
+ *     trace-name: prn_0, src1_2, usr_2, hm_1, ... (default prn_0)
+ *     arch      : baseline | bw | dssd | dssd_b | dssd_f (default)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "core/gc.hh"
+#include "core/ssd.hh"
+#include "hil/driver.hh"
+
+using namespace dssd;
+
+namespace
+{
+
+ArchKind
+parseArch(const char *s)
+{
+    if (!std::strcmp(s, "baseline"))
+        return ArchKind::Baseline;
+    if (!std::strcmp(s, "bw"))
+        return ArchKind::BW;
+    if (!std::strcmp(s, "dssd"))
+        return ArchKind::DSSD;
+    if (!std::strcmp(s, "dssd_b"))
+        return ArchKind::DSSDBus;
+    if (!std::strcmp(s, "dssd_f"))
+        return ArchKind::DSSDNoc;
+    fatal("unknown arch '%s'", s);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *trace = argc > 1 ? argv[1] : "prn_0";
+    ArchKind arch = argc > 2 ? parseArch(argv[2]) : ArchKind::DSSDNoc;
+
+    SsdConfig config = makeConfig(arch);
+    config.geom.ways = 4;
+    config.geom.blocksPerPlane = 16;
+    config.geom.pagesPerBlock = 16;
+    Engine engine;
+    Ssd ssd(engine, config);
+    ssd.prefill(0.8, 0.3);
+
+    std::unique_ptr<Generator> gen;
+    if (std::strchr(trace, '/') || std::strstr(trace, ".txt")) {
+        gen = std::make_unique<TraceFileLoader>(trace);
+        std::printf("replaying trace file %s on %s\n", trace,
+                    archName(arch));
+    } else {
+        TraceProfile prof = traceProfile(trace);
+        std::uint64_t footprint =
+            ssd.mapping().lpnCount() * config.geom.pageBytes / 2;
+        gen = std::make_unique<TraceSynthesizer>(prof, footprint, 4000);
+        std::printf("synthesizing %s (%.0f%% reads, ~%llu KB writes) "
+                    "on %s\n",
+                    trace, 100 * prof.readRatio,
+                    static_cast<unsigned long long>(prof.writeBytes /
+                                                    kKiB),
+                    archName(arch));
+    }
+
+    QueueDriver driver(
+        engine, *gen,
+        [&ssd](const IoRequest &req, Engine::Callback done) {
+            ssd.submit(req, std::move(done));
+        },
+        64);
+    driver.start();
+    // Background GC pressure, as in the paper's trace runs.
+    ssd.gc().forceAll(1, [] {});
+    engine.run();
+
+    std::printf("\nrequests completed : %llu\n",
+                static_cast<unsigned long long>(driver.completed()));
+    std::printf("reads / writes     : %llu / %llu\n",
+                static_cast<unsigned long long>(
+                    driver.readLatency().count()),
+                static_cast<unsigned long long>(
+                    driver.writeLatency().count()));
+    std::printf("avg latency        : %s\n",
+                formatLatency(driver.allLatency().mean()).c_str());
+    std::printf("p50 / p99 / p99.9  : %s / %s / %s\n",
+                formatLatency(driver.allLatency().percentile(50)).c_str(),
+                formatLatency(driver.allLatency().percentile(99)).c_str(),
+                formatLatency(
+                    driver.allLatency().percentile(99.9)).c_str());
+    std::printf("I/O bandwidth      : %s\n",
+                formatBandwidth(
+                    driver.ioBytes().averageRate(0, engine.now()))
+                    .c_str());
+    std::printf("GC pages moved     : %llu, WAF %.2f\n",
+                static_cast<unsigned long long>(ssd.gc().pagesMoved()),
+                ssd.mapping().waf());
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Abstract flash-to-flash interconnect interface.
+ *
+ * The GC/copyback datapath asks an Interconnect to move a page between
+ * two flash controllers. The five architecture configurations of
+ * Table 2 differ exactly in which implementation is plugged in:
+ *
+ *  - Baseline/BW: no flash-to-flash path (pages bounce through the
+ *    system bus and DRAM; handled by the GC engine itself).
+ *  - dSSD: controller-to-controller transfer over the shared system bus.
+ *  - dSSD_b: a dedicated, single shared bus between controllers.
+ *  - dSSD_f: the fNoC (see src/noc).
+ */
+
+#ifndef DSSD_BUS_INTERCONNECT_HH
+#define DSSD_BUS_INTERCONNECT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace dssd
+{
+
+/** Moves bytes between two flash controllers identified by index. */
+class Interconnect
+{
+  public:
+    using Callback = std::function<void()>;
+
+    virtual ~Interconnect() = default;
+
+    /**
+     * Transfer @p bytes from controller @p src to controller @p dst;
+     * invoke @p done when the last byte arrives.
+     */
+    virtual void send(unsigned src, unsigned dst, std::uint64_t bytes,
+                      int tag, Callback done) = 0;
+
+    /** Aggregate busy ticks of the interconnect's channels. */
+    virtual Tick totalBusyTicks() const = 0;
+
+    /** Total bytes delivered. */
+    virtual std::uint64_t bytesDelivered() const = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_BUS_INTERCONNECT_HH

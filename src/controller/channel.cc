@@ -1,0 +1,138 @@
+#include "controller/channel.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+FlashChannel::FlashChannel(Engine &engine, const FlashGeometry &geom,
+                           const NandTiming &timing, unsigned channel_id,
+                           const ChannelParams &params)
+    : _engine(engine), _geom(geom), _timing(timing), _channelId(channel_id),
+      _bus(engine, strformat("flash-bus-ch%u", channel_id),
+           params.busBandwidth),
+      _pageBuffer(engine, strformat("page-buffer-ch%u", channel_id),
+                  params.pageBufferSlots)
+{
+    for (std::uint32_t i = 0; i < _geom.diesPerChannel(); ++i)
+        _dies.push_back(std::make_unique<FlashDie>(engine, geom, timing));
+}
+
+FlashDie &
+FlashChannel::die(std::uint32_t way, std::uint32_t die_idx)
+{
+    std::uint32_t flat = way * _geom.diesPerWay + die_idx;
+    if (flat >= _dies.size())
+        panic("die (%u, %u) out of range on channel %u", way, die_idx,
+              _channelId);
+    return *_dies[flat];
+}
+
+FlashDie &
+FlashChannel::dieAt(const PhysAddr &addr)
+{
+    return die(addr.way, addr.die);
+}
+
+std::uint32_t
+FlashChannel::planeMask(const PhysAddr &addr, unsigned planes) const
+{
+    if (planes == 0 || addr.plane + planes > _geom.planesPerDie)
+        panic("plane range [%u, %u) out of range", addr.plane,
+              addr.plane + planes);
+    return ((1u << planes) - 1u) << addr.plane;
+}
+
+void
+FlashChannel::read(const PhysAddr &addr, unsigned planes, int tag,
+                   Callback data_ready, LatencyBreakdown *bd)
+{
+    ++_reads;
+    FlashDie &d = dieAt(addr);
+    std::uint32_t mask = planeMask(addr, planes);
+    std::uint64_t data_bytes = _geom.multiPlaneBytes(planes);
+
+    Tick t0 = _engine.now();
+    Tick cmd_end = _bus.reserve(_timing.commandBytes, tag);
+    Tick die_end = d.reserve(NandOp::Read, mask, addr.page, cmd_end);
+    if (bd) {
+        bd->flashBus += cmd_end - t0;
+        bd->flashMem += die_end - cmd_end;
+    }
+    // Data-out can only be scheduled once the array read completes;
+    // reserve the bus at that point so queueing is ordered correctly.
+    _engine.scheduleAbs(die_end,
+                        [this, data_bytes, tag, bd,
+                         cb = std::move(data_ready)]() mutable {
+        Tick t1 = _engine.now();
+        Tick xfer_end = _bus.transfer(data_bytes, tag, std::move(cb));
+        if (bd)
+            bd->flashBus += xfer_end - t1;
+    });
+}
+
+void
+FlashChannel::program(const PhysAddr &addr, unsigned planes, int tag,
+                      Callback done, LatencyBreakdown *bd,
+                      Callback data_taken)
+{
+    ++_programs;
+    FlashDie &d = dieAt(addr);
+    std::uint32_t mask = planeMask(addr, planes);
+    std::uint64_t xfer_bytes =
+        _timing.commandBytes + _geom.multiPlaneBytes(planes);
+
+    Tick t0 = _engine.now();
+    Tick xfer_end = _bus.reserve(xfer_bytes, tag);
+    Tick die_end = d.reserve(NandOp::Program, mask, addr.page, xfer_end);
+    if (bd) {
+        bd->flashBus += xfer_end - t0;
+        bd->flashMem += die_end - xfer_end;
+    }
+    if (data_taken)
+        _engine.scheduleAbs(xfer_end, std::move(data_taken));
+    _engine.scheduleAbs(die_end, std::move(done));
+}
+
+void
+FlashChannel::erase(const PhysAddr &addr, int tag, Callback done,
+                    LatencyBreakdown *bd)
+{
+    ++_erases;
+    FlashDie &d = dieAt(addr);
+    std::uint32_t mask = planeMask(addr, 1);
+
+    Tick t0 = _engine.now();
+    Tick cmd_end = _bus.reserve(_timing.commandBytes, tag);
+    Tick die_end = d.reserve(NandOp::Erase, mask, 0, cmd_end);
+    if (bd) {
+        bd->flashBus += cmd_end - t0;
+        bd->flashMem += die_end - cmd_end;
+    }
+    _engine.scheduleAbs(die_end, std::move(done));
+}
+
+void
+FlashChannel::localCopyback(const PhysAddr &src, const PhysAddr &dst,
+                            int tag, Callback done, LatencyBreakdown *bd)
+{
+    if (src.way != dst.way || src.die != dst.die || src.plane != dst.plane)
+        panic("local copyback must stay within one plane");
+    ++_reads;
+    ++_programs;
+    FlashDie &d = dieAt(src);
+    std::uint32_t mask = planeMask(src, 1);
+
+    Tick t0 = _engine.now();
+    Tick cmd_end = _bus.reserve(2 * _timing.commandBytes, tag);
+    Tick die_end = d.reserve(NandOp::LocalCopyback, mask, src.page, cmd_end);
+    if (bd) {
+        bd->flashBus += cmd_end - t0;
+        bd->flashMem += die_end - cmd_end;
+    }
+    _engine.scheduleAbs(die_end, std::move(done));
+}
+
+} // namespace dssd

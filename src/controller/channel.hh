@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Flash channel controller: the conventional datapath of Fig 4.
+ *
+ * One FlashChannel owns a flash-bus channel (1 GB/s, Table 1), the
+ * dies behind it (ways x diesPerWay), and a page buffer. It sequences
+ * ONFI-style operations: command/address cycles and data transfers on
+ * the channel bus, array time on the die. Multi-plane operations scale
+ * the data transfer and occupy several planes.
+ */
+
+#ifndef DSSD_CONTROLLER_CHANNEL_HH
+#define DSSD_CONTROLLER_CHANNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "controller/latency.hh"
+#include "nand/die.hh"
+#include "nand/geometry.hh"
+#include "nand/timing.hh"
+#include "sim/resource.hh"
+
+namespace dssd
+{
+
+/** FlashChannel configuration. */
+struct ChannelParams
+{
+    BytesPerTick busBandwidth = gbPerSec(1.0);
+    /// Page-buffer entries (footnote 4: 16 pages to cover multi-plane
+    /// operations across 8 ways).
+    unsigned pageBufferSlots = 16;
+};
+
+/** One flash channel: bus + dies + page buffer. */
+class FlashChannel
+{
+  public:
+    using Callback = Engine::Callback;
+
+    FlashChannel(Engine &engine, const FlashGeometry &geom,
+                 const NandTiming &timing, unsigned channel_id,
+                 const ChannelParams &params);
+
+    /**
+     * Read @p planes pages starting at @p addr (multi-plane when >1).
+     * Sequence: cmd on bus -> tR on die -> data out on bus.
+     * @p data_ready fires when the data sits in the controller.
+     */
+    void read(const PhysAddr &addr, unsigned planes, int tag,
+              Callback data_ready, LatencyBreakdown *bd = nullptr);
+
+    /**
+     * Program @p planes pages at @p addr. Data is assumed present in
+     * the controller. Sequence: cmd+data on bus -> tPROG on die.
+     *
+     * @param data_taken Optional; fires when the channel-bus data
+     *        transfer completes and the controller-side buffer holding
+     *        the page may be recycled (the die programs from its own
+     *        page register).
+     */
+    void program(const PhysAddr &addr, unsigned planes, int tag,
+                 Callback done, LatencyBreakdown *bd = nullptr,
+                 Callback data_taken = nullptr);
+
+    /** Erase the block at @p addr (single plane). */
+    void erase(const PhysAddr &addr, int tag, Callback done,
+               LatencyBreakdown *bd = nullptr);
+
+    /**
+     * ONFI local copyback: read-for-copy + program inside one die,
+     * no data on the channel bus (cmd cycles only). Source and
+     * destination must share die and plane.
+     */
+    void localCopyback(const PhysAddr &src, const PhysAddr &dst, int tag,
+                       Callback done, LatencyBreakdown *bd = nullptr);
+
+    FlashDie &die(std::uint32_t way, std::uint32_t die_idx);
+    FlashDie &dieAt(const PhysAddr &addr);
+
+    BandwidthResource &bus() { return _bus; }
+    const BandwidthResource &bus() const { return _bus; }
+    SlotResource &pageBuffer() { return _pageBuffer; }
+
+    unsigned channelId() const { return _channelId; }
+    const FlashGeometry &geometry() const { return _geom; }
+    const NandTiming &timing() const { return _timing; }
+
+    std::uint64_t reads() const { return _reads; }
+    std::uint64_t programs() const { return _programs; }
+    std::uint64_t erases() const { return _erases; }
+
+  private:
+    std::uint32_t planeMask(const PhysAddr &addr, unsigned planes) const;
+
+    Engine &_engine;
+    FlashGeometry _geom;
+    NandTiming _timing;
+    unsigned _channelId;
+    BandwidthResource _bus;
+    SlotResource _pageBuffer;
+    std::vector<std::unique_ptr<FlashDie>> _dies;
+    std::uint64_t _reads = 0;
+    std::uint64_t _programs = 0;
+    std::uint64_t _erases = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_CONTROLLER_CHANNEL_HH

@@ -1,0 +1,160 @@
+#include "controller/decoupled.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+/** In-flight global copyback bookkeeping. */
+struct DecoupledController::Copyback
+{
+    PhysAddr src;
+    PhysAddr dst;
+    DecoupledController *dstCtrl = nullptr;
+    int tag = tagGc;
+    Tick start = 0;
+    LatencyBreakdown *bd = nullptr;
+    Callback done;
+};
+
+DecoupledController::DecoupledController(Engine &engine,
+                                         FlashChannel &channel,
+                                         const DecoupledParams &params)
+    : _engine(engine), _channel(channel),
+      _ecc(engine, strformat("ecc-ch%u", channel.channelId()), params.ecc),
+      _dbufOut(engine, strformat("dbuf-out-ch%u", channel.channelId()),
+               std::max(1u, params.dbufSlots / 2)),
+      _dbufIn(engine, strformat("dbuf-in-ch%u", channel.channelId()),
+              std::max(1u, params.dbufSlots - params.dbufSlots / 2)),
+      _srt(params.srtEntries)
+{
+}
+
+void
+DecoupledController::setInterconnect(Interconnect *ic, unsigned node_id)
+{
+    _interconnect = ic;
+    _nodeId = node_id;
+}
+
+void
+DecoupledController::stageReached(CopybackStage stage)
+{
+    ++_stageCounts[static_cast<std::size_t>(stage)];
+}
+
+std::uint64_t
+DecoupledController::stageCount(CopybackStage stage) const
+{
+    return _stageCounts[static_cast<std::size_t>(stage)];
+}
+
+PhysAddr
+DecoupledController::remap(const PhysAddr &addr) const
+{
+    const FlashGeometry &g = _channel.geometry();
+    ChannelBlockId id = channelBlockId(g, addr);
+    auto hit = _srt.lookup(id);
+    if (!hit)
+        return addr;
+    PhysAddr out = channelBlockAddr(g, addr.channel, *hit);
+    out.page = addr.page;
+    return out;
+}
+
+void
+DecoupledController::globalCopyback(const PhysAddr &src, const PhysAddr &dst,
+                                    DecoupledController *dst_ctrl, int tag,
+                                    Callback done, LatencyBreakdown *bd)
+{
+    if (src.channel != _channel.channelId())
+        panic("copyback source must live on this controller's channel");
+    bool cross_channel = dst.channel != src.channel;
+    if (cross_channel && (!dst_ctrl || !_interconnect))
+        panic("cross-channel copyback needs a destination controller and "
+              "an interconnect");
+
+    auto cb = std::make_shared<Copyback>();
+    cb->src = remap(src);
+    cb->dst = cross_channel ? dst_ctrl->remap(dst) : remap(dst);
+    cb->dstCtrl = dst_ctrl;
+    cb->tag = tag;
+    cb->start = _engine.now();
+    cb->bd = bd;
+    cb->done = std::move(done);
+    ++_inFlight;
+    stageReached(CopybackStage::Issued);
+
+    // Stage 1: claim an egress dBUF entry, then read the page out of
+    // the die.
+    _dbufOut.acquire([this, cb] {
+        _channel.read(cb->src, 1, cb->tag, [this, cb] {
+            stageReached(CopybackStage::R);
+            // Stage 2: error detection/correction in the local engine.
+            Tick t0 = _engine.now();
+            _ecc.process(_channel.geometry().pageBytes, cb->tag,
+                         [this, cb, t0] {
+                if (cb->bd)
+                    cb->bd->ecc += _engine.now() - t0;
+                stageReached(CopybackStage::RE);
+
+                auto finish = [this, cb] {
+                    stageReached(CopybackStage::W);
+                    ++_completed;
+                    --_inFlight;
+                    _latency.sample(
+                        static_cast<double>(_engine.now() - cb->start));
+                    cb->done();
+                };
+
+                if (cb->dst.channel == _channel.channelId()) {
+                    // Same-channel destination: write directly; the
+                    // page never leaves this controller. The dBUF
+                    // entry frees as soon as the page streams onto
+                    // the flash bus (the die programs from its own
+                    // page register).
+                    stageReached(CopybackStage::T);
+                    _channel.program(cb->dst, 1, cb->tag, finish,
+                                     cb->bd,
+                                     [this] { _dbufOut.release(); });
+                } else {
+                    // Cross-channel: claim an ingress dBUF entry at
+                    // the destination, then packetize and traverse
+                    // the interconnect. Ingress entries always drain
+                    // (the program below has no further dependency),
+                    // so egress-waits-for-ingress cannot cycle.
+                    DecoupledController *dc = cb->dstCtrl;
+                    dc->_dbufIn.acquire([this, cb, dc, finish] {
+                        Tick t1 = _engine.now();
+                        _interconnect->send(
+                            _nodeId, dc->nodeId(),
+                            _channel.geometry().pageBytes, cb->tag,
+                            [this, cb, dc, finish, t1] {
+                            if (cb->bd)
+                                cb->bd->noc += _engine.now() - t1;
+                            stageReached(CopybackStage::T);
+                            // Source dBUF drains once the transfer is
+                            // complete.
+                            _dbufOut.release();
+                            // The destination command queue issues the
+                            // write; no re-check of ECC is needed. The
+                            // ingress dBUF entry frees once the page
+                            // streams onto the destination flash bus.
+                            dc->channel().program(cb->dst, 1, cb->tag,
+                                                  finish, cb->bd,
+                                                  [dc] {
+                                dc->_dbufIn.release();
+                            });
+                        });
+                    });
+                }
+            });
+        }, cb->bd);
+    });
+}
+
+} // namespace dssd

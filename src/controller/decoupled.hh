@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The decoupled flash controller (C_D) of Fig 4 and its global
+ * copyback state machine (Sec 4.2).
+ *
+ * C_D augments a conventional FlashChannel with:
+ *  - an integrated ECC engine (error check at the source controller,
+ *    so copyback no longer propagates errors),
+ *  - a decoupled buffer (dBUF) for flash-to-flash data, separate from
+ *    the page buffer so copybacks do not interfere with general I/O,
+ *  - a network interface onto the fNoC (or dedicated bus / system bus
+ *    for the dSSD_b / dSSD variants),
+ *  - the SRT and RBT tables for dynamic superblock management (Sec 5).
+ *
+ * The command queue tracks each copyback's stage exactly as the paper
+ * describes: R (read done), RE (error check done), T (transferred over
+ * the interconnect), W (written).
+ */
+
+#ifndef DSSD_CONTROLLER_DECOUPLED_HH
+#define DSSD_CONTROLLER_DECOUPLED_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "bus/interconnect.hh"
+#include "controller/channel.hh"
+#include "controller/remap.hh"
+#include "ecc/ecc.hh"
+#include "sim/stats.hh"
+
+namespace dssd
+{
+
+/** Copyback command execution stage (command-queue "status" field). */
+enum class CopybackStage : int
+{
+    Issued = 0,   ///< command accepted into the queue
+    R = 1,        ///< page read out of the source die
+    RE = 2,       ///< error detection/correction done
+    T = 3,        ///< transferred to the destination controller
+    W = 4,        ///< write complete
+    numStages = 5,
+};
+
+/** Configuration of a decoupled controller. */
+struct DecoupledParams
+{
+    EccParams ecc;
+    /// Total dBUF entries, in pages. Sec 6.5: *two* 32 KB dBUFs per
+    /// controller (16 x 4 KB entries total). The two buffers are split
+    /// egress/ingress, which is also what makes cross-channel copyback
+    /// deadlock-free: an egress entry never waits on another egress
+    /// entry, and ingress entries always drain into the flash array.
+    unsigned dbufSlots = 16;
+    /// SRT capacity (active remap entries); 0 = unbounded.
+    std::size_t srtEntries = 1024;
+};
+
+/**
+ * A decoupled flash controller. Owns the added components; the
+ * conventional datapath stays in the wrapped FlashChannel.
+ */
+class DecoupledController
+{
+  public:
+    using Callback = Engine::Callback;
+
+    DecoupledController(Engine &engine, FlashChannel &channel,
+                        const DecoupledParams &params);
+
+    /**
+     * Attach the flash-to-flash interconnect and this controller's
+     * node id on it.
+     */
+    void setInterconnect(Interconnect *ic, unsigned node_id);
+
+    /**
+     * Execute a global copyback from @p src (on this channel) to
+     * @p dst (any channel). For cross-channel destinations @p dst_ctrl
+     * names the owning controller. Never uses the ONFI local copyback
+     * operation (footnote 6), so ECC always checks the page.
+     */
+    void globalCopyback(const PhysAddr &src, const PhysAddr &dst,
+                        DecoupledController *dst_ctrl, int tag,
+                        Callback done, LatencyBreakdown *bd = nullptr);
+
+    /**
+     * Filter a command address through the SRT: if the target
+     * sub-block was dynamically remapped, redirect to the recycled
+     * block. Transparent to the FTL.
+     */
+    PhysAddr remap(const PhysAddr &addr) const;
+
+    FlashChannel &channel() { return _channel; }
+    EccEngine &ecc() { return _ecc; }
+    /** Egress dBUF (local reads waiting to ship or program). */
+    SlotResource &dbufOut() { return _dbufOut; }
+    /** Ingress dBUF (pages arriving off the interconnect). */
+    SlotResource &dbufIn() { return _dbufIn; }
+    RecycleBlockTable &rbt() { return _rbt; }
+    SuperblockRemapTable &srt() { return _srt; }
+    const SuperblockRemapTable &srt() const { return _srt; }
+    unsigned nodeId() const { return _nodeId; }
+
+    std::uint64_t copybacksCompleted() const { return _completed; }
+    std::uint64_t copybacksInFlight() const { return _inFlight; }
+
+    /** Commands that have reached (at least) @p stage. */
+    std::uint64_t stageCount(CopybackStage stage) const;
+
+    /** Copyback end-to-end latency distribution (ticks). */
+    const SampleStat &copybackLatency() const { return _latency; }
+
+  private:
+    struct Copyback;
+    void stageReached(CopybackStage stage);
+
+    Engine &_engine;
+    FlashChannel &_channel;
+    EccEngine _ecc;
+    SlotResource _dbufOut;
+    SlotResource _dbufIn;
+    RecycleBlockTable _rbt;
+    SuperblockRemapTable _srt;
+    Interconnect *_interconnect = nullptr;
+    unsigned _nodeId = 0;
+
+    std::uint64_t _completed = 0;
+    std::uint64_t _inFlight = 0;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(CopybackStage::numStages)>
+        _stageCounts{};
+    SampleStat _latency{"copyback-latency"};
+};
+
+} // namespace dssd
+
+#endif // DSSD_CONTROLLER_DECOUPLED_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-request latency breakdown accumulator.
+ *
+ * Fig 9 of the paper decomposes I/O and copyback latency into flash
+ * memory (cell array), flash bus, system bus, and fNoC components.
+ * Datapath phases add their (queueing + service) time into one of
+ * these buckets as the request flows through the model.
+ */
+
+#ifndef DSSD_CONTROLLER_LATENCY_HH
+#define DSSD_CONTROLLER_LATENCY_HH
+
+#include "sim/types.hh"
+
+namespace dssd
+{
+
+/** Accumulated time per datapath component for one request. */
+struct LatencyBreakdown
+{
+    Tick flashMem = 0;   ///< cell-array time (tR / tPROG / tBERS + wait)
+    Tick flashBus = 0;   ///< flash channel bus (cmd + data, incl. queue)
+    Tick systemBus = 0;  ///< SSD-internal system bus
+    Tick dram = 0;       ///< DRAM port
+    Tick ecc = 0;        ///< ECC pipeline
+    Tick noc = 0;        ///< fNoC / dedicated interconnect
+    Tick other = 0;      ///< host interface, firmware, misc
+
+    Tick
+    total() const
+    {
+        return flashMem + flashBus + systemBus + dram + ecc + noc + other;
+    }
+
+    LatencyBreakdown &
+    operator+=(const LatencyBreakdown &o)
+    {
+        flashMem += o.flashMem;
+        flashBus += o.flashBus;
+        systemBus += o.systemBus;
+        dram += o.dram;
+        ecc += o.ecc;
+        noc += o.noc;
+        other += o.other;
+        return *this;
+    }
+};
+
+} // namespace dssd
+
+#endif // DSSD_CONTROLLER_LATENCY_HH

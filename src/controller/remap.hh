@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Hardware remapping tables for dynamic superblock management (Sec 5).
+ *
+ *  - RecycleBlockTable (RBT): the per-controller "recycling bin" of
+ *    still-good sub-blocks salvaged from dead superblocks (or reserved
+ *    up front in the RESERV scheme).
+ *  - SuperblockRemapTable (SRT): the capacity-limited remapping from a
+ *    dead sub-block's physical id to the recycled block that replaced
+ *    it. Every command address is filtered through the SRT, which is
+ *    what keeps the remapping invisible to the FTL.
+ *
+ * Sub-blocks are identified by their flat block index within the
+ * controller's channel (die/plane/block linearized).
+ */
+
+#ifndef DSSD_CONTROLLER_REMAP_HH
+#define DSSD_CONTROLLER_REMAP_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "nand/geometry.hh"
+
+namespace dssd
+{
+
+/** Flat block id within one channel. */
+using ChannelBlockId = std::uint32_t;
+
+/** Linearize (way, die, plane, block) within a channel. */
+inline ChannelBlockId
+channelBlockId(const FlashGeometry &g, const PhysAddr &a)
+{
+    return ((a.way * g.diesPerWay + a.die) * g.planesPerDie + a.plane) *
+               g.blocksPerPlane +
+           a.block;
+}
+
+/** Invert channelBlockId (channel field left as given). */
+inline PhysAddr
+channelBlockAddr(const FlashGeometry &g, std::uint32_t channel,
+                 ChannelBlockId id)
+{
+    PhysAddr a;
+    a.channel = channel;
+    a.block = id % g.blocksPerPlane;
+    std::uint32_t rest = id / g.blocksPerPlane;
+    a.plane = rest % g.planesPerDie;
+    rest /= g.planesPerDie;
+    a.die = rest % g.diesPerWay;
+    a.way = rest / g.diesPerWay;
+    return a;
+}
+
+/**
+ * The RBT: a FIFO of recycled (still good) blocks on this channel.
+ * Hardware cost is tiny (Sec 6.5: ~32 bits) because entries are only
+ * created when a superblock dies; the RESERV variant pre-fills it.
+ */
+class RecycleBlockTable
+{
+  public:
+    /** Add a salvaged (or reserved) block. */
+    void
+    add(ChannelBlockId block)
+    {
+        _blocks.push_back(block);
+        if (_blocks.size() > _highWater)
+            _highWater = _blocks.size();
+    }
+
+    bool empty() const { return _blocks.empty(); }
+    std::size_t size() const { return _blocks.size(); }
+
+    /** Take the oldest recycled block. @pre !empty() */
+    ChannelBlockId
+    take()
+    {
+        ChannelBlockId b = _blocks.front();
+        _blocks.pop_front();
+        ++_taken;
+        return b;
+    }
+
+    std::size_t highWater() const { return _highWater; }
+    std::uint64_t taken() const { return _taken; }
+
+  private:
+    std::deque<ChannelBlockId> _blocks;
+    std::size_t _highWater = 0;
+    std::uint64_t _taken = 0;
+};
+
+/**
+ * The SRT: source sub-block -> replacement block, with a hardware
+ * capacity limit. When full, no further dynamic superblocks can be
+ * created on this channel (the endurance/cost trade-off of Fig 15/16).
+ */
+class SuperblockRemapTable
+{
+  public:
+    /** @param capacity Max active entries; 0 means unbounded. */
+    explicit SuperblockRemapTable(std::size_t capacity = 0)
+        : _capacity(capacity)
+    {
+    }
+
+    bool
+    full() const
+    {
+        return _capacity != 0 && _map.size() >= _capacity;
+    }
+
+    /**
+     * Insert a remapping @p from -> @p to.
+     * @retval false if the table is full or @p from already remapped.
+     */
+    bool
+    insert(ChannelBlockId from, ChannelBlockId to)
+    {
+        if (full() || _map.count(from))
+            return false;
+        _map.emplace(from, to);
+        ++_inserts;
+        if (_map.size() > _highWater)
+            _highWater = _map.size();
+        return true;
+    }
+
+    /** Resolve @p from if remapped. */
+    std::optional<ChannelBlockId>
+    lookup(ChannelBlockId from) const
+    {
+        auto it = _map.find(from);
+        if (it == _map.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Drop a remapping (the dynamic superblock itself died). */
+    bool
+    erase(ChannelBlockId from)
+    {
+        return _map.erase(from) > 0;
+    }
+
+    std::size_t activeEntries() const { return _map.size(); }
+    std::size_t capacity() const { return _capacity; }
+    std::size_t highWater() const { return _highWater; }
+    std::uint64_t inserts() const { return _inserts; }
+
+  private:
+    std::size_t _capacity;
+    std::unordered_map<ChannelBlockId, ChannelBlockId> _map;
+    std::size_t _highWater = 0;
+    std::uint64_t _inserts = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_CONTROLLER_REMAP_HH

@@ -1,0 +1,261 @@
+#include "core/gc.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/ssd.hh"
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+GcEngine::GcEngine(Ssd &ssd, const GcParams &params)
+    : _ssd(ssd), _params(params),
+      _units(ssd.mapping().unitCount()), _firstStart(maxTick)
+{
+}
+
+void
+GcEngine::noteAllocation(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    if (u.active)
+        return;
+    if (!_ssd.mapping().gcNeeded(unit))
+        return;
+    startUnit(unit);
+}
+
+void
+GcEngine::forceAll(unsigned victims_per_unit, Callback done)
+{
+    if (_forcedPending != 0)
+        panic("forceAll while a forced GC round is still running");
+    _forceDone = std::move(done);
+    _forcedPending = static_cast<unsigned>(_units.size());
+    for (std::uint32_t unit = 0; unit < _units.size(); ++unit) {
+        UnitState &u = _units[unit];
+        u.forced = true;
+        u.forcedRemaining = victims_per_unit;
+        if (!u.active)
+            startUnit(unit);
+    }
+}
+
+void
+GcEngine::startUnit(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    u.active = true;
+    ++_activeUnits;
+    if (_firstStart == maxTick)
+        _firstStart = _ssd.engine().now();
+    collectNext(unit);
+}
+
+void
+GcEngine::collectNext(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    PageMapping &map = _ssd.mapping();
+
+    bool keep_going;
+    if (u.forced)
+        keep_going = u.forcedRemaining > 0;
+    else
+        keep_going = !map.gcSatisfied(unit);
+    if (!keep_going) {
+        finishUnit(unit);
+        return;
+    }
+
+    auto victim = map.pickVictim(unit);
+    if (!victim) {
+        finishUnit(unit);
+        return;
+    }
+    u.victim = *victim;
+    u.lpns = map.validLpns(unit, u.victim);
+    u.nextLpn = 0;
+    u.inFlight = 0;
+    u.sliceCopies = 0;
+    u.erasing = false;
+
+    if (u.lpns.empty())
+        victimDrained(unit);
+    else
+        pumpCopies(unit);
+}
+
+bool
+GcEngine::policyAllowsCopy(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    Engine &eng = _ssd.engine();
+
+    switch (_params.policy) {
+      case GcPolicy::Parallel:
+        return true;
+      case GcPolicy::Preemptive:
+        // Postpone GC while host I/O is pending, unless free blocks
+        // are critically low (the FTL "can no longer postpone GC").
+        if (_ssd.ioOutstanding() > 0 &&
+            _ssd.mapping().freeBlockCount(unit) >
+                _params.preemptiveForcedFreeBlocks) {
+            eng.schedule(_params.tinyTailYieldNs,
+                         [this, unit] { pumpCopies(unit); });
+            return false;
+        }
+        return true;
+      case GcPolicy::TinyTail:
+        // Yield to I/O after each small copy slice.
+        if (u.sliceCopies >= _params.tinyTailSlicePages &&
+            _ssd.ioOutstanding() > 0) {
+            u.sliceCopies = 0;
+            eng.schedule(_params.tinyTailYieldNs,
+                         [this, unit] { pumpCopies(unit); });
+            return false;
+        }
+        return true;
+    }
+    return true;
+}
+
+std::optional<std::uint32_t>
+GcEngine::chooseDestination(std::uint32_t src_unit)
+{
+    PageMapping &map = _ssd.mapping();
+    if (!_params.globalDestination) {
+        if (!map.canAllocate(src_unit))
+            return std::nullopt;
+        return src_unit;
+    }
+    std::uint32_t n = map.unitCount();
+    // Global free-block selection: round-robin over units comfortably
+    // above the GC threshold.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t unit = _dstCursor;
+        _dstCursor = (_dstCursor + 1) % n;
+        if (!map.canAllocate(unit))
+            continue;
+        if (map.freeBlockCount(unit) > map.params().gcFreeBlockThreshold)
+            return unit;
+    }
+    // Space crunch: fall back to the source unit's reserved block so
+    // this victim can drain locally and its erase restores space.
+    if (map.canAllocate(src_unit))
+        return src_unit;
+    // Last resort: anything with room.
+    for (std::uint32_t unit = 0; unit < n; ++unit) {
+        if (map.canAllocate(unit))
+            return unit;
+    }
+    return std::nullopt;
+}
+
+void
+GcEngine::pumpCopies(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    PageMapping &map = _ssd.mapping();
+
+    // Stale wakeups (policy rechecks, space-wait retries) may land
+    // after the victim drained or the unit finished; ignore them.
+    if (!u.active || u.erasing)
+        return;
+
+    while (u.inFlight < _params.copiesInFlightPerUnit &&
+           u.nextLpn < u.lpns.size()) {
+        if (!policyAllowsCopy(unit))
+            return;
+        // Skip pages the host rewrote while this victim was queued.
+        std::uint64_t lpn = u.lpns[u.nextLpn];
+        auto ppn = map.translate(lpn);
+        if (!ppn) {
+            ++u.nextLpn;
+            continue;
+        }
+        PhysAddr src = map.geometry().pageAddr(*ppn);
+        if (map.unitOf(src) != unit || src.block != u.victim) {
+            ++u.nextLpn;
+            continue;
+        }
+        auto dst_unit = chooseDestination(unit);
+        if (!dst_unit) {
+            // Nowhere to relocate right now; wait for an erase to
+            // restore space somewhere, then resume.
+            _ssd.engine().schedule(usToTicks(2),
+                                   [this, unit] { pumpCopies(unit); });
+            return;
+        }
+        ++u.nextLpn;
+        issueCopy(unit, lpn, *dst_unit);
+    }
+    if (u.nextLpn >= u.lpns.size() && u.inFlight == 0)
+        victimDrained(unit);
+}
+
+void
+GcEngine::issueCopy(std::uint32_t unit, std::uint64_t lpn,
+                    std::uint32_t dst_unit)
+{
+    UnitState &u = _units[unit];
+    PageMapping &map = _ssd.mapping();
+
+    PhysAddr src = map.geometry().pageAddr(*map.translate(lpn));
+    PhysAddr dst = map.allocateInUnit(lpn, dst_unit);
+
+    ++u.inFlight;
+    ++u.sliceCopies;
+    Tick t0 = _ssd.engine().now();
+    _ssd.gcCopyPage(src, dst, [this, unit, lpn, dst, t0] {
+        _ssd.mapping().commitRelocation(lpn, dst);
+        ++_pagesMoved;
+        _copyLatency.sample(
+            static_cast<double>(_ssd.engine().now() - t0));
+        UnitState &uu = _units[unit];
+        --uu.inFlight;
+        pumpCopies(unit);
+    });
+}
+
+void
+GcEngine::victimDrained(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    if (u.erasing)
+        return;
+    u.erasing = true;
+    std::uint32_t victim = u.victim;
+    _ssd.gcEraseBlock(unit, victim, [this, unit, victim] {
+        _ssd.mapping().eraseBlock(unit, victim);
+        ++_blocksErased;
+        UnitState &uu = _units[unit];
+        if (uu.forced && uu.forcedRemaining > 0)
+            --uu.forcedRemaining;
+        collectNext(unit);
+    });
+}
+
+void
+GcEngine::finishUnit(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    u.active = false;
+    --_activeUnits;
+    if (_activeUnits == 0)
+        _lastEnd = _ssd.engine().now();
+    if (u.forced) {
+        u.forced = false;
+        u.forcedRemaining = 0;
+        if (_forcedPending == 0)
+            panic("forced GC accounting underflow");
+        if (--_forcedPending == 0 && _forceDone) {
+            Callback cb = std::move(_forceDone);
+            _forceDone = nullptr;
+            cb();
+        }
+    }
+}
+
+} // namespace dssd

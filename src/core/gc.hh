@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The garbage-collection engine.
+ *
+ * Scheduling follows the configured GcParams policy (PaGC parallel
+ * baseline, PreemptiveGC, TinyTail); the copy datapath is delegated to
+ * Ssd::gcCopyPage, which routes through the front-end (Baseline/BW)
+ * or through global copyback (dSSD family).
+ *
+ * Two trigger modes:
+ *  - threshold-driven: noteAllocation() checks the per-unit free-block
+ *    threshold and starts collection until the target is restored;
+ *  - forced: forceAll(victims) collects a fixed number of victim
+ *    blocks per unit, used by benches that measure GC performance as
+ *    time-to-reclaim under concurrent I/O.
+ */
+
+#ifndef DSSD_CORE_GC_HH
+#define DSSD_CORE_GC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ftl/policy.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+
+namespace dssd
+{
+
+class Ssd;
+
+/** Per-architecture garbage-collection engine. */
+class GcEngine
+{
+  public:
+    using Callback = Engine::Callback;
+
+    GcEngine(Ssd &ssd, const GcParams &params);
+
+    /**
+     * Notify that a page allocation happened in @p unit; starts GC on
+     * that unit if the free-block threshold tripped.
+     */
+    void noteAllocation(std::uint32_t unit);
+
+    /**
+     * Force GC of @p victims_per_unit victim blocks on every unit;
+     * @p done fires when every unit finishes.
+     */
+    void forceAll(unsigned victims_per_unit, Callback done);
+
+    bool anyActive() const { return _activeUnits > 0; }
+    unsigned activeUnits() const { return _activeUnits; }
+
+    std::uint64_t pagesMoved() const { return _pagesMoved; }
+    std::uint64_t blocksErased() const { return _blocksErased; }
+
+    /** First tick GC became active (maxTick if never). */
+    Tick firstGcStart() const { return _firstStart; }
+    /** Last tick all GC drained (0 if never). */
+    Tick lastGcEnd() const { return _lastEnd; }
+
+    /** Per-copied-page end-to-end latency. */
+    const SampleStat &copyLatency() const { return _copyLatency; }
+
+    const GcParams &params() const { return _params; }
+
+  private:
+    struct UnitState
+    {
+        bool active = false;
+        bool erasing = false; ///< victim erase in flight
+        bool forced = false;
+        unsigned forcedRemaining = 0;
+        std::uint32_t victim = 0;
+        std::vector<std::uint64_t> lpns; ///< valid pages of the victim
+        std::size_t nextLpn = 0;
+        unsigned inFlight = 0;
+        unsigned sliceCopies = 0;
+    };
+
+    void startUnit(std::uint32_t unit);
+    void collectNext(std::uint32_t unit);
+    void pumpCopies(std::uint32_t unit);
+    void issueCopy(std::uint32_t unit, std::uint64_t lpn,
+                   std::uint32_t dst_unit);
+    void victimDrained(std::uint32_t unit);
+    void finishUnit(std::uint32_t unit);
+
+    /**
+     * Pick a destination unit (global free-block selection, falling
+     * back to the source unit's reserved block under space pressure).
+     * Empty when no unit currently has space: the caller retries.
+     */
+    std::optional<std::uint32_t>
+    chooseDestination(std::uint32_t src_unit);
+
+    /** Policy gate: may @p unit issue a copy right now? If not, a
+     *  recheck is scheduled and false is returned. */
+    bool policyAllowsCopy(std::uint32_t unit);
+
+    Ssd &_ssd;
+    GcParams _params;
+    std::vector<UnitState> _units;
+    unsigned _activeUnits = 0;
+    std::uint32_t _dstCursor = 0;
+    std::uint64_t _pagesMoved = 0;
+    std::uint64_t _blocksErased = 0;
+    Tick _firstStart;
+    Tick _lastEnd = 0;
+    SampleStat _copyLatency{"gc-copy-latency"};
+    Callback _forceDone;
+    unsigned _forcedPending = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_CORE_GC_HH

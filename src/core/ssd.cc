@@ -1,0 +1,464 @@
+#include "core/ssd.hh"
+
+#include <memory>
+#include <utility>
+
+#include "core/gc.hh"
+#include "noc/topology.hh"
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+LatencyBreakdown
+BreakdownStats::mean() const
+{
+    LatencyBreakdown m;
+    if (count == 0)
+        return m;
+    m.flashMem = sum.flashMem / count;
+    m.flashBus = sum.flashBus / count;
+    m.systemBus = sum.systemBus / count;
+    m.dram = sum.dram / count;
+    m.ecc = sum.ecc / count;
+    m.noc = sum.noc / count;
+    m.other = sum.other / count;
+    return m;
+}
+
+Ssd::Ssd(Engine &engine, const SsdConfig &config)
+    : _engine(engine), _config(config), _rng(config.seed)
+{
+    _config.geom.validate();
+
+    _busRecorder =
+        std::make_unique<UtilizationRecorder>(_config.statWindow);
+    _systemBus = std::make_unique<SystemBus>(
+        engine, _config.effectiveSystemBusBandwidth());
+    _systemBus->attachRecorder(_busRecorder.get());
+    _dram = std::make_unique<Dram>(engine, _config.dramBandwidth);
+
+    for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
+        _channels.push_back(std::make_unique<FlashChannel>(
+            engine, _config.geom, _config.timing, ch, _config.channel));
+    }
+
+    if (isDecoupled(_config.arch)) {
+        DecoupledParams dp = _config.decoupled;
+        dp.ecc = _config.ecc;
+        for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
+            _decoupled.push_back(std::make_unique<DecoupledController>(
+                engine, *_channels[ch], dp));
+        }
+        switch (_config.arch) {
+          case ArchKind::DSSD:
+            _interconnect =
+                std::make_unique<SystemBusInterconnect>(*_systemBus);
+            break;
+          case ArchKind::DSSDBus:
+            _interconnect = std::make_unique<DedicatedBusInterconnect>(
+                engine, _config.interconnectBandwidth());
+            break;
+          case ArchKind::DSSDNoc: {
+            auto topo =
+                makeTopology(_config.nocTopology, _config.geom.channels);
+            NocParams np = _config.noc;
+            if (!_config.nocExplicitBandwidth) {
+                np.linkBandwidth = _config.interconnectBandwidth() /
+                                   topo->bisectionLinks();
+            }
+            auto noc = std::make_unique<NocNetwork>(engine,
+                                                    std::move(topo), np);
+            _noc = noc.get();
+            _interconnect = std::move(noc);
+            break;
+          }
+          default:
+            panic("decoupled arch without interconnect mapping");
+        }
+        for (unsigned ch = 0; ch < _config.geom.channels; ++ch)
+            _decoupled[ch]->setInterconnect(_interconnect.get(), ch);
+    } else {
+        for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
+            _frontEcc.push_back(std::make_unique<EccEngine>(
+                engine, strformat("front-ecc-ch%u", ch), _config.ecc));
+        }
+    }
+
+    MappingParams mp;
+    mp.geom = _config.geom;
+    mp.overProvision = _config.overProvision;
+    mp.gcFreeBlockThreshold = _config.gcFreeBlockThreshold;
+    mp.gcFreeBlockTarget = _config.gcFreeBlockTarget;
+    _mapping = std::make_unique<PageMapping>(mp);
+
+    _writeBuffer = std::make_unique<WriteBuffer>(_config.writeBuffer);
+    _gc = std::make_unique<GcEngine>(*this, _config.gc);
+}
+
+Ssd::~Ssd() = default;
+
+FlashChannel &
+Ssd::channel(unsigned ch)
+{
+    if (ch >= _channels.size())
+        panic("channel %u out of range", ch);
+    return *_channels[ch];
+}
+
+unsigned
+Ssd::channelCount() const
+{
+    return static_cast<unsigned>(_channels.size());
+}
+
+DecoupledController *
+Ssd::decoupledController(unsigned ch)
+{
+    if (!isDecoupled(_config.arch))
+        return nullptr;
+    if (ch >= _decoupled.size())
+        panic("channel %u out of range", ch);
+    return _decoupled[ch].get();
+}
+
+void
+Ssd::prefill(double fill_fraction, double invalid_fraction)
+{
+    _mapping->prefill(fill_fraction, invalid_fraction, _rng);
+}
+
+PhysAddr
+Ssd::resolve(const PhysAddr &addr) const
+{
+    if (!isDecoupled(_config.arch) || !_config.applySrtRemap)
+        return addr;
+    return _decoupled[addr.channel]->remap(addr);
+}
+
+void
+Ssd::submit(const IoRequest &req, Callback done)
+{
+    std::uint64_t page = _config.geom.pageBytes;
+    Lpn first = req.offset / page;
+    std::uint64_t end = req.offset + std::max<std::uint64_t>(req.bytes, 1);
+    std::uint64_t pages = (end + page - 1) / page - first;
+    Lpn lpn_count = _mapping->lpnCount();
+
+    auto remaining = std::make_shared<std::uint64_t>(pages);
+    auto page_done = [remaining, cb = std::move(done)] {
+        if (--*remaining == 0)
+            cb();
+    };
+
+    // Firmware (FTL request handling) is charged once per request.
+    _engine.schedule(_config.firmwareLatency,
+                     [this, req, first, pages, lpn_count, page_done] {
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            Lpn lpn = (first + i) % lpn_count;
+            if (req.isRead())
+                readPage(lpn, page_done);
+            else
+                writePage(lpn, page_done);
+        }
+    });
+}
+
+void
+Ssd::readPage(Lpn lpn, Callback done)
+{
+    ++_ioOutstanding;
+    ++_hostReads;
+    readPageInternal(lpn, std::move(done));
+}
+
+void
+Ssd::writePage(Lpn lpn, Callback done)
+{
+    ++_ioOutstanding;
+    ++_hostWritesOps;
+    writePageInternal(lpn, std::move(done));
+}
+
+void
+Ssd::readPageInternal(Lpn lpn, Callback done)
+{
+    auto bd = std::make_shared<LatencyBreakdown>();
+    auto finish = [this, bd, cb = std::move(done)] {
+        _ioBreakdown.add(*bd);
+        --_ioOutstanding;
+        cb();
+    };
+
+    std::uint64_t page = _config.geom.pageBytes;
+    bool hit = _writeBuffer->readHit(lpn);
+    _writeBuffer->recordProbe(hit);
+
+    if (hit) {
+        // Buffer-cache hit: DRAM port then system bus, no flash.
+        Tick t0 = _engine.now();
+        _dram->port().transfer(page, tagIo, [this, page, bd, t0, finish] {
+            bd->dram += _engine.now() - t0;
+            Tick t1 = _engine.now();
+            _systemBus->channel().transfer(page, tagIo,
+                                           [this, bd, t1, finish] {
+                bd->systemBus += _engine.now() - t1;
+                finish();
+            });
+        });
+        return;
+    }
+
+    auto ppn = _mapping->translate(lpn);
+    if (!ppn) {
+        // Unwritten logical page: served as zeroes by the firmware.
+        _engine.schedule(0, finish);
+        return;
+    }
+    PhysAddr addr = resolve(_config.geom.pageAddr(*ppn));
+    unsigned ch = addr.channel;
+
+    _channels[ch]->read(addr, 1, tagIo, [this, ch, page, bd, finish] {
+        // Error check, then cross the system bus to the host.
+        EccEngine &ecc = isDecoupled(_config.arch)
+                             ? _decoupled[ch]->ecc()
+                             : *_frontEcc[ch];
+        Tick t0 = _engine.now();
+        ecc.process(page, tagIo, [this, page, bd, t0, finish] {
+            bd->ecc += _engine.now() - t0;
+            Tick t1 = _engine.now();
+            _systemBus->channel().transfer(page, tagIo,
+                                           [this, bd, t1, finish] {
+                bd->systemBus += _engine.now() - t1;
+                finish();
+            });
+        });
+    }, bd.get());
+}
+
+void
+Ssd::writePageInternal(Lpn lpn, Callback done)
+{
+    auto bd = std::make_shared<LatencyBreakdown>();
+    auto finish = [this, bd, cb = std::move(done)] {
+        _ioBreakdown.add(*bd);
+        --_ioOutstanding;
+        cb();
+    };
+
+    std::uint64_t page = _config.geom.pageBytes;
+
+    if (_writeBuffer->mode() != BufferMode::AlwaysMiss) {
+        bufferedWrite(lpn, bd, std::move(finish));
+        return;
+    }
+
+    // Direct (write-through) path: allocate, cross the bus, program.
+    // Under heavy write bursts the free pool can be momentarily
+    // exhausted; stall the write until GC reclaims a block (this is
+    // exactly the blocking behind the paper's I/O-bandwidth dips).
+    retryDirectWrite(lpn, bd, finish);
+}
+
+void
+Ssd::bufferedWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
+                   Callback finish)
+{
+    // Buffered write: host -> system bus -> DRAM, then ack. Flash
+    // programs happen lazily in the flush path. When the buffer is
+    // full the host write stalls until the flusher drains — write-
+    // cache backpressure is what turns flash/GC slowness into
+    // host-visible latency.
+    if (_writeBuffer->mode() == BufferMode::Real &&
+        _writeBuffer->occupancy() >= _writeBuffer->capacity() &&
+        !_writeBuffer->readHit(lpn)) {
+        bd->other += usToTicks(2);
+        if (bd->other > tickSec)
+            panic("buffered write stalled >1s: flush path wedged");
+        _engine.schedule(usToTicks(2), [this, lpn, bd, finish] {
+            bufferedWrite(lpn, bd, finish);
+        });
+        maybeStartFlush();
+        return;
+    }
+
+    std::uint64_t page = _config.geom.pageBytes;
+    Tick t0 = _engine.now();
+    _systemBus->channel().transfer(page, tagIo,
+                                   [this, lpn, page, bd, t0, finish] {
+        bd->systemBus += _engine.now() - t0;
+        Tick t1 = _engine.now();
+        _dram->port().transfer(page, tagIo, [this, lpn, bd, t1, finish] {
+            bd->dram += _engine.now() - t1;
+            _writeBuffer->insert(lpn);
+            finish();
+            maybeStartFlush();
+        });
+    });
+}
+
+void
+Ssd::retryDirectWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
+                      Callback finish)
+{
+    if (!_mapping->hostCanAllocate()) {
+        bd->other += usToTicks(2);
+        if (bd->other > tickSec)
+            panic("host write stalled >1s: device full and GC cannot "
+                  "reclaim space");
+        _engine.schedule(usToTicks(2), [this, lpn, bd, finish] {
+            retryDirectWrite(lpn, bd, finish);
+        });
+        return;
+    }
+    directWrite(lpn, bd, std::move(finish));
+}
+
+void
+Ssd::directWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
+                 Callback finish)
+{
+    std::uint64_t page = _config.geom.pageBytes;
+    PhysAddr addr = _mapping->allocate(lpn);
+    std::uint32_t unit = _mapping->unitOf(addr);
+    PhysAddr target = resolve(addr);
+    Tick t0 = _engine.now();
+    _systemBus->channel().transfer(page, tagIo,
+                                   [this, target, bd, t0,
+                                    finish = std::move(finish)] {
+        bd->systemBus += _engine.now() - t0;
+        _channels[target.channel]->program(target, 1, tagIo, finish,
+                                           bd.get());
+    });
+    _gc->noteAllocation(unit);
+}
+
+void
+Ssd::maybeStartFlush()
+{
+    if (_writeBuffer->mode() != BufferMode::Real)
+        return;
+    if (_flushActive || !_writeBuffer->flushNeeded())
+        return;
+    _flushActive = true;
+    flushPump();
+}
+
+void
+Ssd::flushPump()
+{
+    while (_flushInFlight < _config.flushInFlight) {
+        if (_writeBuffer->flushSatisfied())
+            break;
+        auto batch = _writeBuffer->drainForFlush(1);
+        if (batch.empty())
+            break;
+        ++_flushInFlight;
+        flushOne(batch.front(), [this] {
+            --_flushInFlight;
+            ++_flushedPages;
+            flushPump();
+        });
+    }
+    if (_flushInFlight == 0)
+        _flushActive = false;
+}
+
+void
+Ssd::flushOne(Lpn lpn, Callback done)
+{
+    if (!_mapping->hostCanAllocate()) {
+        // Free pool exhausted: hold this flush until GC reclaims.
+        _engine.schedule(usToTicks(2),
+                         [this, lpn, done = std::move(done)]() mutable {
+            flushOne(lpn, std::move(done));
+        });
+        return;
+    }
+    std::uint64_t page = _config.geom.pageBytes;
+    PhysAddr addr = _mapping->allocate(lpn);
+    std::uint32_t unit = _mapping->unitOf(addr);
+    PhysAddr target = resolve(addr);
+
+    // Write-back: DRAM read -> system bus -> flash program.
+    _dram->port().transfer(page, tagIo,
+                           [this, page, target, done = std::move(done)]()
+                               mutable {
+        _systemBus->channel().transfer(page, tagIo,
+                                       [this, target,
+                                        done = std::move(done)]() mutable {
+            _channels[target.channel]->program(target, 1, tagIo,
+                                               std::move(done));
+        });
+    });
+    _gc->noteAllocation(unit);
+}
+
+void
+Ssd::gcCopyPage(const PhysAddr &src, const PhysAddr &dst, Callback done)
+{
+    auto bd = std::make_shared<LatencyBreakdown>();
+    auto finish = [this, bd, cb = std::move(done)] {
+        _cbBreakdown.add(*bd);
+        cb();
+    };
+
+    std::uint64_t page = _config.geom.pageBytes;
+
+    if (isDecoupled(_config.arch)) {
+        DecoupledController *sc = _decoupled[src.channel].get();
+        DecoupledController *dc = _decoupled[dst.channel].get();
+        sc->globalCopyback(src, dst, dc, tagGc, finish, bd.get());
+        return;
+    }
+
+    // Conventional path (Fig 1): read -> ECC -> system bus -> DRAM,
+    // then the FTL issues the write: DRAM -> system bus -> program.
+    unsigned sch = src.channel;
+    _channels[sch]->read(src, 1, tagGc, [this, sch, page, dst, bd, finish] {
+        Tick t0 = _engine.now();
+        _frontEcc[sch]->process(page, tagGc,
+                                [this, page, dst, bd, t0, finish] {
+            bd->ecc += _engine.now() - t0;
+            Tick t1 = _engine.now();
+            _systemBus->channel().transfer(page, tagGc,
+                                           [this, page, dst, bd, t1,
+                                            finish] {
+                bd->systemBus += _engine.now() - t1;
+                Tick t2 = _engine.now();
+                _dram->port().transfer(page, tagGc,
+                                       [this, page, dst, bd, t2, finish] {
+                    bd->dram += _engine.now() - t2;
+                    bd->other += _config.gcFirmwareLatency;
+                    _engine.schedule(_config.gcFirmwareLatency,
+                                     [this, page, dst, bd, finish] {
+                        Tick t3 = _engine.now();
+                        _dram->port().transfer(page, tagGc,
+                                               [this, page, dst, bd, t3,
+                                                finish] {
+                            bd->dram += _engine.now() - t3;
+                            Tick t4 = _engine.now();
+                            _systemBus->channel().transfer(
+                                page, tagGc,
+                                [this, dst, bd, t4, finish] {
+                                bd->systemBus += _engine.now() - t4;
+                                _channels[dst.channel]->program(
+                                    dst, 1, tagGc, finish, bd.get());
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    }, bd.get());
+}
+
+void
+Ssd::gcEraseBlock(std::uint32_t unit, std::uint32_t block, Callback done)
+{
+    PhysAddr addr = _mapping->unitBlockAddr(unit, block);
+    PhysAddr target = resolve(addr);
+    _channels[target.channel]->erase(target, tagGc, std::move(done));
+}
+
+} // namespace dssd

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The SSD top-level: wires host interface, FTL state, write buffer,
+ * system bus, DRAM, ECC engines, flash channels, decoupled
+ * controllers, and the flash-to-flash interconnect according to an
+ * ArchKind (Table 2), and implements every datapath:
+ *
+ *  - host read (DRAM hit):   DRAM port -> system bus
+ *  - host read (miss):       flash ch -> ECC -> system bus
+ *  - host write (buffered):  system bus -> DRAM port (ack), flushed in
+ *                            the background: DRAM -> system bus ->
+ *                            flash ch -> program
+ *  - GC copy (Baseline/BW):  flash ch -> ECC -> system bus -> DRAM ->
+ *                            system bus -> flash ch -> program
+ *  - GC copy (dSSD family):  global copyback in the decoupled
+ *                            controllers (never touches the front-end)
+ */
+
+#ifndef DSSD_CORE_SSD_HH
+#define DSSD_CORE_SSD_HH
+
+#include <memory>
+#include <vector>
+
+#include "bus/system_bus.hh"
+#include "controller/decoupled.hh"
+#include "core/config.hh"
+#include "ftl/mapping.hh"
+#include "ftl/writebuffer.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "workload/request.hh"
+
+namespace dssd
+{
+
+class GcEngine;
+
+/** Aggregated mean latency breakdowns (Fig 9). */
+struct BreakdownStats
+{
+    LatencyBreakdown sum;
+    std::uint64_t count = 0;
+
+    void
+    add(const LatencyBreakdown &bd)
+    {
+        sum += bd;
+        ++count;
+    }
+
+    /** Mean contribution of each component, in ticks. */
+    LatencyBreakdown mean() const;
+};
+
+/** The simulated SSD. */
+class Ssd
+{
+  public:
+    using Callback = Engine::Callback;
+
+    Ssd(Engine &engine, const SsdConfig &config);
+    ~Ssd();
+
+    Ssd(const Ssd &) = delete;
+    Ssd &operator=(const Ssd &) = delete;
+
+    /**
+     * Submit a host request; @p done fires when every page of the
+     * request completes.
+     */
+    void submit(const IoRequest &req, Callback done);
+
+    /** Page-granularity host read. */
+    void readPage(Lpn lpn, Callback done);
+
+    /** Page-granularity host write. */
+    void writePage(Lpn lpn, Callback done);
+
+    /**
+     * Fill the device logically (no simulated time) so GC has work:
+     * see PageMapping::prefill.
+     */
+    void prefill(double fill_fraction, double invalid_fraction);
+
+    Engine &engine() { return _engine; }
+    const SsdConfig &config() const { return _config; }
+    PageMapping &mapping() { return *_mapping; }
+    WriteBuffer &writeBuffer() { return *_writeBuffer; }
+    SystemBus &systemBus() { return *_systemBus; }
+    Dram &dram() { return *_dram; }
+    GcEngine &gc() { return *_gc; }
+    FlashChannel &channel(unsigned ch);
+    unsigned channelCount() const;
+
+    /** Decoupled controller of @p ch; null on Baseline/BW. */
+    DecoupledController *decoupledController(unsigned ch);
+
+    /** The flash-to-flash interconnect; null on Baseline/BW. */
+    Interconnect *interconnect() { return _interconnect.get(); }
+
+    /** The fNoC, when arch == DSSDNoc. */
+    NocNetwork *noc() { return _noc; }
+
+    /** Windowed system-bus utilization (Fig 2(c,d), Fig 7(b)). */
+    UtilizationRecorder &busRecorder() { return *_busRecorder; }
+
+    /** Host page operations currently in flight. */
+    unsigned ioOutstanding() const { return _ioOutstanding; }
+
+    const BreakdownStats &ioBreakdown() const { return _ioBreakdown; }
+    const BreakdownStats &copybackBreakdown() const
+    {
+        return _cbBreakdown;
+    }
+
+    std::uint64_t hostReads() const { return _hostReads; }
+    std::uint64_t hostWrites() const { return _hostWritesOps; }
+    std::uint64_t flushedPages() const { return _flushedPages; }
+
+    //
+    // Internal datapath entry points for the GC engine.
+    //
+
+    /**
+     * Move one valid page from @p src to @p dst using this
+     * architecture's GC datapath. @p done fires when the destination
+     * program completes.
+     */
+    void gcCopyPage(const PhysAddr &src, const PhysAddr &dst,
+                    Callback done);
+
+    /** Erase @p block of @p unit on the flash array. */
+    void gcEraseBlock(std::uint32_t unit, std::uint32_t block,
+                      Callback done);
+
+  private:
+    void readPageInternal(Lpn lpn, Callback done);
+    void writePageInternal(Lpn lpn, Callback done);
+    /** Buffered write with write-cache backpressure (stalls while the
+     *  buffer is full and the flusher is draining). */
+    void bufferedWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
+                       Callback finish);
+    /** Direct write with free-space backpressure (retries until GC
+     *  frees a block). */
+    void retryDirectWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
+                          Callback finish);
+    void directWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
+                     Callback finish);
+    void maybeStartFlush();
+    void flushPump();
+    void flushOne(Lpn lpn, Callback done);
+
+    /** Apply SRT remapping when this architecture supports it. */
+    PhysAddr resolve(const PhysAddr &addr) const;
+
+    Engine &_engine;
+    SsdConfig _config;
+    Rng _rng;
+
+    std::unique_ptr<UtilizationRecorder> _busRecorder;
+    std::unique_ptr<SystemBus> _systemBus;
+    std::unique_ptr<Dram> _dram;
+    std::vector<std::unique_ptr<FlashChannel>> _channels;
+    /// Front-end ECC engines (one per channel) for Baseline/BW.
+    std::vector<std::unique_ptr<EccEngine>> _frontEcc;
+    std::vector<std::unique_ptr<DecoupledController>> _decoupled;
+    std::unique_ptr<Interconnect> _interconnect;
+    NocNetwork *_noc = nullptr; ///< borrowed view of _interconnect
+    std::unique_ptr<PageMapping> _mapping;
+    std::unique_ptr<WriteBuffer> _writeBuffer;
+    std::unique_ptr<GcEngine> _gc;
+
+    unsigned _ioOutstanding = 0;
+    bool _flushActive = false;
+    unsigned _flushInFlight = 0;
+    std::uint64_t _hostReads = 0;
+    std::uint64_t _hostWritesOps = 0;
+    std::uint64_t _flushedPages = 0;
+    BreakdownStats _ioBreakdown;
+    BreakdownStats _cbBreakdown;
+};
+
+} // namespace dssd
+
+#endif // DSSD_CORE_SSD_HH

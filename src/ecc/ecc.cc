@@ -1,0 +1,30 @@
+#include "ecc/ecc.hh"
+
+#include <utility>
+
+namespace dssd
+{
+
+EccEngine::EccEngine(Engine &engine, std::string name,
+                     const EccParams &params)
+    : _engine(engine), _params(params),
+      _pipe(engine, std::move(name), params.throughput)
+{
+}
+
+Tick
+EccEngine::reserve(std::uint64_t bytes, int tag)
+{
+    ++_pages;
+    return _pipe.reserve(bytes, tag) + _params.latency;
+}
+
+Tick
+EccEngine::process(std::uint64_t bytes, int tag, Callback done)
+{
+    Tick end = reserve(bytes, tag);
+    _engine.scheduleAbs(end, std::move(done));
+    return end;
+}
+
+} // namespace dssd

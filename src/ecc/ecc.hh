@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ECC engine timing model.
+ *
+ * An LDPC-class engine is modeled as a pipeline: finite throughput
+ * (codewords stream through back-to-back) plus a fixed decode latency.
+ * The baseline SSD places engines at the front-end, so GC/read data
+ * must cross the system bus before decoding; dSSD integrates one
+ * engine into each decoupled flash controller (Fig 4), so copyback
+ * error checking happens without touching the front-end.
+ */
+
+#ifndef DSSD_ECC_ECC_HH
+#define DSSD_ECC_ECC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/resource.hh"
+
+namespace dssd
+{
+
+/** ECC engine timing parameters. */
+struct EccParams
+{
+    /// Fixed decode/encode pipeline latency per page.
+    Tick latency = usToTicks(1);
+    /// Sustained decode throughput.
+    BytesPerTick throughput = gbPerSec(4.0);
+};
+
+/** A single ECC engine (pipeline) shared by whoever is wired to it. */
+class EccEngine
+{
+  public:
+    using Callback = Engine::Callback;
+
+    EccEngine(Engine &engine, std::string name, const EccParams &params);
+
+    /**
+     * Stream @p bytes through the decoder; @p done runs when the last
+     * codeword leaves the pipeline.
+     * @return the completion tick.
+     */
+    Tick process(std::uint64_t bytes, int tag, Callback done);
+
+    /** Reservation-only variant. @return completion tick. */
+    Tick reserve(std::uint64_t bytes, int tag);
+
+    std::uint64_t pagesProcessed() const { return _pages; }
+    Tick totalBusyTicks() const { return _pipe.totalBusyTicks(); }
+    const EccParams &params() const { return _params; }
+
+  private:
+    Engine &_engine;
+    EccParams _params;
+    BandwidthResource _pipe;
+    std::uint64_t _pages = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_ECC_ECC_HH

@@ -1,0 +1,401 @@
+#include "ftl/mapping.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+PageMapping::PageMapping(const MappingParams &params)
+    : _params(params), _geom(params.geom)
+{
+    _geom.validate();
+    if (params.overProvision < 0.0 || params.overProvision >= 1.0)
+        fatal("over-provision ratio must be in [0, 1)");
+    if (params.gcFreeBlockTarget < params.gcFreeBlockThreshold)
+        fatal("GC target must be >= GC threshold");
+
+    _unitCount = _geom.channels * _geom.ways * _geom.diesPerWay *
+                 _geom.planesPerDie;
+    _lpnCount = static_cast<Lpn>(
+        static_cast<double>(_geom.totalPages()) *
+        (1.0 - params.overProvision));
+
+    _l2p.assign(_lpnCount, invalidPpn);
+    _p2l.assign(_geom.totalPages(), invalidLpn);
+
+    _units.resize(_unitCount);
+    for (auto &u : _units) {
+        u.blocks.resize(_geom.blocksPerPlane);
+        for (auto &b : u.blocks)
+            b.valid.assign(_geom.pagesPerBlock, false);
+        for (std::uint32_t b = 0; b < _geom.blocksPerPlane; ++b)
+            u.freeList.push_back(b);
+    }
+}
+
+std::uint32_t
+PageMapping::unitOf(const PhysAddr &a) const
+{
+    return ((a.channel * _geom.ways + a.way) * _geom.diesPerWay + a.die) *
+               _geom.planesPerDie +
+           a.plane;
+}
+
+PhysAddr
+PageMapping::unitBlockAddr(std::uint32_t unit, std::uint32_t block) const
+{
+    PhysAddr a;
+    a.plane = unit % _geom.planesPerDie;
+    std::uint32_t rest = unit / _geom.planesPerDie;
+    a.die = rest % _geom.diesPerWay;
+    rest /= _geom.diesPerWay;
+    a.way = rest % _geom.ways;
+    a.channel = rest / _geom.ways;
+    a.block = block;
+    a.page = 0;
+    return a;
+}
+
+std::optional<Ppn>
+PageMapping::translate(Lpn lpn) const
+{
+    if (lpn >= _lpnCount)
+        panic("LPN %llu out of range", (unsigned long long)lpn);
+    Ppn p = _l2p[lpn];
+    if (p == invalidPpn)
+        return std::nullopt;
+    return p;
+}
+
+std::optional<Lpn>
+PageMapping::reverseLookup(Ppn ppn) const
+{
+    if (ppn >= _p2l.size())
+        panic("PPN %llu out of range", (unsigned long long)ppn);
+    Lpn l = _p2l[ppn];
+    if (l == invalidLpn)
+        return std::nullopt;
+    return l;
+}
+
+void
+PageMapping::openActiveBlock(Unit &u, std::uint32_t unit)
+{
+    if (u.freeList.empty())
+        panic("unit %u has no free blocks to open", unit);
+    auto pick = u.freeList.begin();
+    if (_params.wearLeveling) {
+        // Static wear-leveling: the least-erased free block goes next.
+        for (auto it = u.freeList.begin(); it != u.freeList.end(); ++it) {
+            if (u.blocks[*it].eraseCount <
+                u.blocks[*pick].eraseCount) {
+                pick = it;
+            }
+        }
+    }
+    u.activeBlock = *pick;
+    u.freeList.erase(pick);
+    u.hasActive = true;
+    BlockState &b = u.blocks[u.activeBlock];
+    b.isFree = false;
+    b.writePtr = 0;
+}
+
+PhysAddr
+PageMapping::allocateRaw(Lpn lpn, std::uint32_t unit)
+{
+    (void)lpn;
+    Unit &u = _units[unit];
+    if (!u.hasActive)
+        openActiveBlock(u, unit);
+    BlockState &b = u.blocks[u.activeBlock];
+    PhysAddr a = unitBlockAddr(unit, u.activeBlock);
+    a.page = b.writePtr++;
+    if (b.writePtr == _geom.pagesPerBlock)
+        u.hasActive = false;
+    return a;
+}
+
+PhysAddr
+PageMapping::allocate(Lpn lpn)
+{
+    if (lpn >= _lpnCount)
+        panic("LPN %llu out of range", (unsigned long long)lpn);
+
+    // Round-robin stripe over units that still have room. Host
+    // allocation never consumes a unit's last free block: that block
+    // is reserved so the unit's own GC can always relocate a full
+    // victim locally (the classic GC forward-progress invariant).
+    for (std::uint32_t tried = 0; tried < _unitCount; ++tried) {
+        std::uint32_t unit = _allocCursor;
+        _allocCursor = (_allocCursor + 1) % _unitCount;
+        Unit &u = _units[unit];
+        if (!u.hasActive && u.freeList.size() <= 1)
+            continue;
+        PhysAddr a = allocateRaw(lpn, unit);
+        // Host write: retire the previous copy, then map the new one.
+        invalidate(lpn);
+        Ppn p = _geom.pageIndex(a);
+        _l2p[lpn] = p;
+        _p2l[p] = lpn;
+        BlockState &b = _units[unit].blocks[a.block];
+        b.valid[a.page] = true;
+        ++b.validCount;
+        ++_validPages;
+        ++_hostWrites;
+        return a;
+    }
+    panic("device full: no unit can allocate a page");
+}
+
+PhysAddr
+PageMapping::allocateInUnit(Lpn lpn, std::uint32_t unit)
+{
+    if (unit >= _unitCount)
+        panic("unit %u out of range", unit);
+    Unit &u = _units[unit];
+    if (!u.hasActive && u.freeList.empty())
+        panic("unit %u full during GC allocation", unit);
+    (void)lpn;
+    PhysAddr a = allocateRaw(lpn, unit);
+    // GC reservation: the page is claimed but not yet valid; the copy
+    // commits via commitRelocation() when the data lands. Until then
+    // the block is pinned against victim selection and erase.
+    ++u.blocks[a.block].pending;
+    return a;
+}
+
+void
+PageMapping::invalidatePpn(Ppn ppn)
+{
+    Lpn l = _p2l[ppn];
+    if (l == invalidLpn)
+        return;
+    PhysAddr a = _geom.pageAddr(ppn);
+    std::uint32_t unit = unitOf(a);
+    BlockState &b = _units[unit].blocks[a.block];
+    if (!b.valid[a.page])
+        panic("invalidate of already-invalid page");
+    b.valid[a.page] = false;
+    --b.validCount;
+    --_validPages;
+    _p2l[ppn] = invalidLpn;
+}
+
+void
+PageMapping::invalidate(Lpn lpn)
+{
+    if (lpn >= _lpnCount)
+        panic("LPN %llu out of range", (unsigned long long)lpn);
+    Ppn old = _l2p[lpn];
+    if (old == invalidPpn)
+        return;
+    invalidatePpn(old);
+    _l2p[lpn] = invalidPpn;
+}
+
+void
+PageMapping::commitRelocation(Lpn lpn, const PhysAddr &dst)
+{
+    if (lpn >= _lpnCount)
+        panic("LPN %llu out of range", (unsigned long long)lpn);
+    // The source may have been overwritten by the host while the copy
+    // was in flight; in that case the relocated copy is stale and the
+    // destination page is simply left invalid (dead on arrival).
+    Ppn dstPpn = _geom.pageIndex(dst);
+    std::uint32_t unit = unitOf(dst);
+    BlockState &b = _units[unit].blocks[dst.block];
+    if (b.pending == 0)
+        panic("relocation commit without a pending reservation");
+    --b.pending;
+
+    Ppn old = _l2p[lpn];
+    if (old == invalidPpn) {
+        ++_gcRelocations;
+        return;
+    }
+    invalidatePpn(old);
+    _l2p[lpn] = dstPpn;
+    _p2l[dstPpn] = lpn;
+    b.valid[dst.page] = true;
+    ++b.validCount;
+    ++_validPages;
+    ++_gcRelocations;
+}
+
+std::uint32_t
+PageMapping::freeBlockCount(std::uint32_t unit) const
+{
+    return static_cast<std::uint32_t>(_units[unit].freeList.size());
+}
+
+bool
+PageMapping::canAllocate(std::uint32_t unit) const
+{
+    const Unit &u = _units[unit];
+    return u.hasActive || !u.freeList.empty();
+}
+
+bool
+PageMapping::canAllocateAny() const
+{
+    for (std::uint32_t u = 0; u < _unitCount; ++u) {
+        if (canAllocate(u))
+            return true;
+    }
+    return false;
+}
+
+bool
+PageMapping::hostCanAllocate() const
+{
+    for (std::uint32_t u = 0; u < _unitCount; ++u) {
+        const Unit &unit = _units[u];
+        if (unit.hasActive || unit.freeList.size() > 1)
+            return true;
+    }
+    return false;
+}
+
+bool
+PageMapping::gcNeeded(std::uint32_t unit) const
+{
+    return freeBlockCount(unit) <= _params.gcFreeBlockThreshold;
+}
+
+bool
+PageMapping::gcSatisfied(std::uint32_t unit) const
+{
+    return freeBlockCount(unit) >= _params.gcFreeBlockTarget;
+}
+
+std::optional<std::uint32_t>
+PageMapping::pickVictim(std::uint32_t unit) const
+{
+    const Unit &u = _units[unit];
+    std::optional<std::uint32_t> best;
+    std::uint32_t best_valid = _geom.pagesPerBlock;
+    for (std::uint32_t b = 0; b < u.blocks.size(); ++b) {
+        const BlockState &bs = u.blocks[b];
+        if (bs.isFree || bs.isBad)
+            continue;
+        if (u.hasActive && b == u.activeBlock)
+            continue;
+        if (bs.writePtr != _geom.pagesPerBlock)
+            continue; // still filling
+        if (bs.pending != 0)
+            continue; // GC copies in flight into this block
+        if (bs.validCount >= best_valid)
+            continue;
+        best = b;
+        best_valid = bs.validCount;
+    }
+    // A fully-valid victim frees nothing; treat as no victim.
+    if (best && best_valid == _geom.pagesPerBlock)
+        return std::nullopt;
+    return best;
+}
+
+std::vector<Lpn>
+PageMapping::validLpns(std::uint32_t unit, std::uint32_t block) const
+{
+    const BlockState &bs = _units[unit].blocks[block];
+    std::vector<Lpn> out;
+    out.reserve(bs.validCount);
+    PhysAddr a = unitBlockAddr(unit, block);
+    for (std::uint32_t p = 0; p < _geom.pagesPerBlock; ++p) {
+        if (!bs.valid[p])
+            continue;
+        a.page = p;
+        Lpn l = _p2l[_geom.pageIndex(a)];
+        if (l == invalidLpn)
+            panic("valid page with no reverse mapping");
+        out.push_back(l);
+    }
+    return out;
+}
+
+void
+PageMapping::eraseBlock(std::uint32_t unit, std::uint32_t block)
+{
+    Unit &u = _units[unit];
+    BlockState &bs = u.blocks[block];
+    if (bs.validCount != 0)
+        panic("erase of block with %u valid pages", bs.validCount);
+    if (bs.pending != 0)
+        panic("erase of block with %u pending GC copies", bs.pending);
+    if (bs.isFree)
+        panic("erase of free block");
+    if (u.hasActive && block == u.activeBlock)
+        panic("erase of the active block");
+    std::fill(bs.valid.begin(), bs.valid.end(), false);
+    bs.writePtr = 0;
+    ++bs.eraseCount;
+    ++_erases;
+    if (!bs.isBad) {
+        bs.isFree = true;
+        u.freeList.push_back(block);
+    }
+}
+
+void
+PageMapping::retireBlock(std::uint32_t unit, std::uint32_t block)
+{
+    Unit &u = _units[unit];
+    BlockState &bs = u.blocks[block];
+    bs.isBad = true;
+    if (bs.isFree) {
+        bs.isFree = false;
+        auto it = std::find(u.freeList.begin(), u.freeList.end(), block);
+        if (it != u.freeList.end())
+            u.freeList.erase(it);
+    }
+}
+
+const BlockState &
+PageMapping::blockState(std::uint32_t unit, std::uint32_t block) const
+{
+    return _units[unit].blocks[block];
+}
+
+double
+PageMapping::utilization() const
+{
+    return static_cast<double>(_validPages) /
+           static_cast<double>(_lpnCount);
+}
+
+void
+PageMapping::prefill(double fill_fraction, double invalid_fraction,
+                     Rng &rng)
+{
+    if (fill_fraction < 0.0 || fill_fraction > 1.0 ||
+        invalid_fraction < 0.0 || invalid_fraction > 1.0) {
+        fatal("prefill fractions must be in [0, 1]");
+    }
+    Lpn fill = static_cast<Lpn>(static_cast<double>(_lpnCount) *
+                                fill_fraction);
+    for (Lpn l = 0; l < fill; ++l)
+        allocate(l);
+    // Random trim creates the "some random fraction of the pages are
+    // invalidated" precondition without consuming more free blocks.
+    for (Lpn l = 0; l < fill; ++l) {
+        if (rng.chance(invalid_fraction))
+            invalidate(l);
+    }
+    // Prefill is setup, not workload: exclude it from WAF accounting.
+    _hostWrites = 0;
+}
+
+double
+PageMapping::waf() const
+{
+    if (_hostWrites == 0)
+        return 1.0;
+    return static_cast<double>(_hostWrites + _gcRelocations) /
+           static_cast<double>(_hostWrites);
+}
+
+} // namespace dssd

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Page-level address mapping and block bookkeeping.
+ *
+ * The FTL maps logical page numbers (LPNs) to physical pages and
+ * tracks per-block validity for garbage collection. Allocation stripes
+ * writes round-robin across parallel units (one unit per plane), which
+ * is how the paper's SSD reaches channel x way x plane parallelism.
+ *
+ * This layer is pure state (no simulated time); the datapath in
+ * src/core drives it and charges time to the right resources.
+ */
+
+#ifndef DSSD_FTL_MAPPING_HH
+#define DSSD_FTL_MAPPING_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "nand/geometry.hh"
+#include "sim/rng.hh"
+
+namespace dssd
+{
+
+/** Logical page number. */
+using Lpn = std::uint64_t;
+/** Physical page number (flat index, see FlashGeometry::pageIndex). */
+using Ppn = std::uint64_t;
+
+constexpr Lpn invalidLpn = ~static_cast<Lpn>(0);
+constexpr Ppn invalidPpn = ~static_cast<Ppn>(0);
+
+/** Per-block state. */
+struct BlockState
+{
+    std::uint32_t writePtr = 0;        ///< next free page index
+    std::uint32_t validCount = 0;      ///< live pages
+    std::uint32_t pending = 0;         ///< GC copies in flight to here
+    std::uint32_t eraseCount = 0;      ///< P/E cycles
+    bool isFree = true;                ///< on the free list
+    bool isBad = false;                ///< retired
+    std::vector<bool> valid;           ///< per-page validity
+};
+
+/** Parameters of the mapping layer. */
+struct MappingParams
+{
+    FlashGeometry geom;
+    /// Over-provisioning ratio (Table 1: 7%); the logical space is
+    /// (1 - ratio) of physical capacity.
+    double overProvision = 0.07;
+    /// GC trigger: free blocks per unit at/below this starts GC.
+    std::uint32_t gcFreeBlockThreshold = 2;
+    /// GC stops once free blocks per unit recover to this.
+    std::uint32_t gcFreeBlockTarget = 4;
+    /// Static wear-leveling: open the least-erased free block instead
+    /// of FIFO order.
+    bool wearLeveling = false;
+};
+
+/**
+ * The mapping table plus free-list/validity bookkeeping.
+ *
+ * A "unit" is one plane (the smallest independently programmable
+ * resource); units are addressed by flat index.
+ */
+class PageMapping
+{
+  public:
+    explicit PageMapping(const MappingParams &params);
+
+    const FlashGeometry &geometry() const { return _geom; }
+    const MappingParams &params() const { return _params; }
+
+    /** Number of logical pages exposed to the host. */
+    Lpn lpnCount() const { return _lpnCount; }
+
+    /** Number of parallel allocation units (planes). */
+    std::uint32_t unitCount() const { return _unitCount; }
+
+    /** Flat unit index of a physical address. */
+    std::uint32_t unitOf(const PhysAddr &a) const;
+
+    /** Address of block @p block in unit @p unit (page 0). */
+    PhysAddr unitBlockAddr(std::uint32_t unit, std::uint32_t block) const;
+
+    /** Current physical location of @p lpn, if mapped. */
+    std::optional<Ppn> translate(Lpn lpn) const;
+
+    /** LPN stored at @p ppn, if any. */
+    std::optional<Lpn> reverseLookup(Ppn ppn) const;
+
+    /**
+     * Allocate a physical page for a (re)write of @p lpn, invalidating
+     * any previous location. Stripes across units round-robin.
+     * @return the new physical address.
+     */
+    PhysAddr allocate(Lpn lpn);
+
+    /**
+     * Allocate specifically within @p unit (used by GC relocation when
+     * the policy wants a same-plane or chosen-unit destination).
+     */
+    PhysAddr allocateInUnit(Lpn lpn, std::uint32_t unit);
+
+    /** Drop the mapping for @p lpn (trim). */
+    void invalidate(Lpn lpn);
+
+    /**
+     * Move @p lpn to @p dst (GC relocation bookkeeping). @p dst must
+     * have been returned by allocate*() for this LPN.
+     */
+    void commitRelocation(Lpn lpn, const PhysAddr &dst);
+
+    /** Free blocks currently available in @p unit. */
+    std::uint32_t freeBlockCount(std::uint32_t unit) const;
+
+    /** Whether @p unit can currently take another page allocation. */
+    bool canAllocate(std::uint32_t unit) const;
+
+    /** Whether any unit can take another page allocation. */
+    bool canAllocateAny() const;
+
+    /**
+     * Whether a *host* write may allocate now. Host writes keep one
+     * free block per unit in reserve so in-flight GC relocations
+     * always find a destination.
+     */
+    bool hostCanAllocate() const;
+
+    /** Whether GC should run for @p unit (threshold crossed). */
+    bool gcNeeded(std::uint32_t unit) const;
+
+    /** Whether GC for @p unit may stop (target restored). */
+    bool gcSatisfied(std::uint32_t unit) const;
+
+    /**
+     * Greedy victim selection: the non-free, non-active block in
+     * @p unit with the fewest valid pages (full blocks only).
+     */
+    std::optional<std::uint32_t> pickVictim(std::uint32_t unit) const;
+
+    /** Valid LPNs inside block @p block of @p unit, in page order. */
+    std::vector<Lpn> validLpns(std::uint32_t unit,
+                               std::uint32_t block) const;
+
+    /**
+     * Erase @p block of @p unit and return it to the free list.
+     * @pre the block has no valid pages.
+     */
+    void eraseBlock(std::uint32_t unit, std::uint32_t block);
+
+    /** Retire a block (bad block management); never reused. */
+    void retireBlock(std::uint32_t unit, std::uint32_t block);
+
+    const BlockState &blockState(std::uint32_t unit,
+                                 std::uint32_t block) const;
+
+    /** Total valid pages across the device. */
+    std::uint64_t totalValidPages() const { return _validPages; }
+
+    /** Host-visible utilization in [0, 1]. */
+    double utilization() const;
+
+    /**
+     * Logically fill the device: write LPNs 0..count-1, then rewrite a
+     * random @p invalid_fraction of them so GC has work to do. Mirrors
+     * the paper's setup ("SSD is fully utilized and some random
+     * fraction of the pages are invalidated").
+     */
+    void prefill(double fill_fraction, double invalid_fraction, Rng &rng);
+
+    std::uint64_t hostWrites() const { return _hostWrites; }
+    std::uint64_t gcRelocations() const { return _gcRelocations; }
+    std::uint64_t erases() const { return _erases; }
+
+    /** Write amplification factor so far. */
+    double waf() const;
+
+  private:
+    struct Unit
+    {
+        std::vector<BlockState> blocks;
+        std::deque<std::uint32_t> freeList;
+        std::uint32_t activeBlock = 0;
+        bool hasActive = false;
+    };
+
+    PhysAddr allocateRaw(Lpn lpn, std::uint32_t unit);
+    void openActiveBlock(Unit &u, std::uint32_t unit);
+    void invalidatePpn(Ppn ppn);
+
+    MappingParams _params;
+    FlashGeometry _geom;
+    Lpn _lpnCount;
+    std::uint32_t _unitCount;
+    std::vector<Ppn> _l2p;
+    std::vector<Lpn> _p2l;
+    std::vector<Unit> _units;
+    std::uint32_t _allocCursor = 0;
+    std::uint64_t _validPages = 0;
+    std::uint64_t _hostWrites = 0;
+    std::uint64_t _gcRelocations = 0;
+    std::uint64_t _erases = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_FTL_MAPPING_HH

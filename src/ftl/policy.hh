@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Garbage-collection policy descriptors.
+ *
+ * Three schemes from the paper's comparison (Table 3):
+ *  - PaGC [35]: the baseline. When the free-block threshold trips, GC
+ *    runs in parallel across all flash memory; valid-page copies
+ *    compete head-on with I/O for the shared resources.
+ *  - PreemptiveGC [24]: GC is postponed while I/O is pending and only
+ *    forced when free blocks become critically low.
+ *  - TinyTail [42]: GC proceeds in small slices per channel so I/O can
+ *    interleave, bounding tail latency (but still sharing the bus).
+ *
+ * The dSSD variants change the *datapath* of the copies (copyback over
+ * the decoupled controllers), orthogonal to the scheduling policy; the
+ * paper pairs dSSD with parallel GC.
+ */
+
+#ifndef DSSD_FTL_POLICY_HH
+#define DSSD_FTL_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dssd
+{
+
+/** GC scheduling policy. */
+enum class GcPolicy
+{
+    Parallel,   ///< PaGC: all units collect concurrently
+    Preemptive, ///< postpone while I/O pending, force when critical
+    TinyTail,   ///< bounded page-copy slices interleaved with I/O
+};
+
+/** GC tuning knobs. */
+struct GcParams
+{
+    GcPolicy policy = GcPolicy::Parallel;
+    /// Copies in flight per unit during GC (pipelining depth).
+    unsigned copiesInFlightPerUnit = 2;
+    /// TinyTail: pages copied per slice before yielding to I/O.
+    unsigned tinyTailSlicePages = 4;
+    /// TinyTail: pause between slices while I/O is pending.
+    std::uint64_t tinyTailYieldNs = 20000;
+    /// Preemptive: free blocks at/below which GC can no longer be
+    /// postponed regardless of pending I/O.
+    std::uint32_t preemptiveForcedFreeBlocks = 1;
+    /// Destination selection: allow relocating to any unit (global
+    /// free-block selection) rather than the victim's own unit.
+    bool globalDestination = true;
+};
+
+/** Human-readable policy name. */
+inline const char *
+gcPolicyName(GcPolicy p)
+{
+    switch (p) {
+      case GcPolicy::Parallel:
+        return "PaGC";
+      case GcPolicy::Preemptive:
+        return "PreemptiveGC";
+      case GcPolicy::TinyTail:
+        return "TinyTail";
+    }
+    return "?";
+}
+
+} // namespace dssd
+
+#endif // DSSD_FTL_POLICY_HH

@@ -1,0 +1,283 @@
+#include "ftl/superblock.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+SuperblockMapping::SuperblockMapping(const FlashGeometry &geom,
+                                     double over_provision)
+    : _geom(geom)
+{
+    _geom.validate();
+    if (over_provision < 0.0 || over_provision >= 1.0)
+        fatal("over-provision ratio must be in [0, 1)");
+
+    _unitCount = _geom.channels * _geom.ways * _geom.diesPerWay *
+                 _geom.planesPerDie;
+    _pagesPerSb = _unitCount * _geom.pagesPerBlock;
+    _lpnCount = static_cast<Lpn>(
+        static_cast<double>(_geom.totalPages()) * (1.0 - over_provision));
+
+    _sbs.resize(_geom.blocksPerPlane);
+    for (auto &sb : _sbs)
+        sb.valid.assign(_pagesPerSb, false);
+    for (std::uint32_t s = 0; s < _geom.blocksPerPlane; ++s)
+        _freeList.push_back(s);
+
+    _l2p.assign(_lpnCount, invalidPpn);
+    _p2l.assign(static_cast<std::size_t>(_geom.blocksPerPlane) *
+                    _pagesPerSb,
+                invalidLpn);
+}
+
+std::uint32_t
+SuperblockMapping::stripeSlotOf(const PhysAddr &a) const
+{
+    std::uint32_t unit =
+        ((a.channel * _geom.ways + a.way) * _geom.diesPerWay + a.die) *
+            _geom.planesPerDie +
+        a.plane;
+    return a.page * _unitCount + unit;
+}
+
+PhysAddr
+SuperblockMapping::slotAddr(std::uint32_t sb, std::uint32_t slot) const
+{
+    std::uint32_t unit = slot % _unitCount;
+    PhysAddr a;
+    a.plane = unit % _geom.planesPerDie;
+    std::uint32_t rest = unit / _geom.planesPerDie;
+    a.die = rest % _geom.diesPerWay;
+    rest /= _geom.diesPerWay;
+    a.way = rest % _geom.ways;
+    a.channel = rest / _geom.ways;
+    a.block = sb;
+    a.page = slot / _unitCount;
+    return a;
+}
+
+std::optional<PhysAddr>
+SuperblockMapping::translate(Lpn lpn) const
+{
+    if (lpn >= _lpnCount)
+        panic("LPN %llu out of range", (unsigned long long)lpn);
+    Ppn p = _l2p[lpn];
+    if (p == invalidPpn)
+        return std::nullopt;
+    return slotAddr(static_cast<std::uint32_t>(p / _pagesPerSb),
+                    static_cast<std::uint32_t>(p % _pagesPerSb));
+}
+
+void
+SuperblockMapping::openActive()
+{
+    if (_freeList.empty())
+        panic("no free superblock to open");
+    _active = _freeList.front();
+    _freeList.pop_front();
+    _hasActive = true;
+    SuperblockInfo &sb = _sbs[_active];
+    sb.state = SuperblockState::Active;
+    sb.writePtr = 0;
+}
+
+PhysAddr
+SuperblockMapping::allocate(Lpn lpn)
+{
+    if (lpn >= _lpnCount)
+        panic("LPN %llu out of range", (unsigned long long)lpn);
+    if (!_hasActive)
+        openActive();
+
+    SuperblockInfo &sb = _sbs[_active];
+    std::uint32_t slot = sb.writePtr++;
+    std::uint32_t sbid = _active;
+    if (sb.writePtr == _pagesPerSb) {
+        sb.state = SuperblockState::Full;
+        _hasActive = false;
+    }
+
+    invalidate(lpn);
+    Ppn p = static_cast<Ppn>(sbid) * _pagesPerSb + slot;
+    _l2p[lpn] = p;
+    _p2l[p] = lpn;
+    _sbs[sbid].valid[slot] = true;
+    ++_sbs[sbid].validCount;
+    ++_validPages;
+    ++_hostWrites;
+    return slotAddr(sbid, slot);
+}
+
+void
+SuperblockMapping::invalidate(Lpn lpn)
+{
+    if (lpn >= _lpnCount)
+        panic("LPN %llu out of range", (unsigned long long)lpn);
+    Ppn old = _l2p[lpn];
+    if (old == invalidPpn)
+        return;
+    std::uint32_t sbid = static_cast<std::uint32_t>(old / _pagesPerSb);
+    std::uint32_t slot = static_cast<std::uint32_t>(old % _pagesPerSb);
+    SuperblockInfo &sb = _sbs[sbid];
+    if (!sb.valid[slot])
+        panic("invalidate of already-invalid slot");
+    sb.valid[slot] = false;
+    --sb.validCount;
+    --_validPages;
+    _p2l[old] = invalidLpn;
+    _l2p[lpn] = invalidPpn;
+}
+
+std::optional<std::uint32_t>
+SuperblockMapping::pickVictim() const
+{
+    std::optional<std::uint32_t> best;
+    std::uint32_t best_valid = _pagesPerSb;
+    for (std::uint32_t s = 0; s < _sbs.size(); ++s) {
+        const SuperblockInfo &sb = _sbs[s];
+        if (sb.state != SuperblockState::Full)
+            continue;
+        if (sb.validCount >= best_valid)
+            continue;
+        best = s;
+        best_valid = sb.validCount;
+    }
+    if (best && best_valid == _pagesPerSb)
+        return std::nullopt;
+    return best;
+}
+
+std::vector<Lpn>
+SuperblockMapping::validLpns(std::uint32_t sb) const
+{
+    const SuperblockInfo &info = _sbs[sb];
+    std::vector<Lpn> out;
+    out.reserve(info.validCount);
+    Ppn base = static_cast<Ppn>(sb) * _pagesPerSb;
+    for (std::uint32_t slot = 0; slot < _pagesPerSb; ++slot) {
+        if (info.valid[slot])
+            out.push_back(_p2l[base + slot]);
+    }
+    return out;
+}
+
+std::vector<Lpn>
+SuperblockMapping::validLpnsOnChannel(std::uint32_t sb,
+                                      std::uint32_t channel) const
+{
+    const SuperblockInfo &info = _sbs[sb];
+    std::vector<Lpn> out;
+    Ppn base = static_cast<Ppn>(sb) * _pagesPerSb;
+    for (std::uint32_t slot = 0; slot < _pagesPerSb; ++slot) {
+        if (!info.valid[slot])
+            continue;
+        if (slotAddr(sb, slot).channel == channel)
+            out.push_back(_p2l[base + slot]);
+    }
+    return out;
+}
+
+void
+SuperblockMapping::eraseSuperblock(std::uint32_t sb)
+{
+    SuperblockInfo &info = _sbs[sb];
+    if (info.validCount != 0)
+        panic("erase of superblock with %u valid pages",
+              info.validCount);
+    if (info.state == SuperblockState::Dead)
+        panic("erase of dead superblock");
+    if (info.state == SuperblockState::Free)
+        panic("erase of free superblock");
+    if (_hasActive && sb == _active)
+        panic("erase of the active superblock");
+    std::fill(info.valid.begin(), info.valid.end(), false);
+    info.writePtr = 0;
+    ++info.eraseCount;
+    ++_erases;
+    info.state = SuperblockState::Free;
+    _freeList.push_back(sb);
+}
+
+void
+SuperblockMapping::retireSuperblock(std::uint32_t sb)
+{
+    SuperblockInfo &info = _sbs[sb];
+    if (info.validCount != 0)
+        panic("retire of superblock still holding %u valid pages",
+              info.validCount);
+    if (info.state == SuperblockState::Free) {
+        auto it = std::find(_freeList.begin(), _freeList.end(), sb);
+        if (it != _freeList.end())
+            _freeList.erase(it);
+    }
+    if (_hasActive && sb == _active)
+        _hasActive = false;
+    info.state = SuperblockState::Dead;
+    ++_dead;
+}
+
+void
+SuperblockMapping::reserveSuperblock(std::uint32_t sb)
+{
+    SuperblockInfo &info = _sbs[sb];
+    if (info.state != SuperblockState::Free)
+        panic("only free superblocks can be reserved");
+    auto it = std::find(_freeList.begin(), _freeList.end(), sb);
+    if (it == _freeList.end())
+        panic("reserved superblock missing from free list");
+    _freeList.erase(it);
+    info.state = SuperblockState::Reserved;
+    ++_reserved;
+}
+
+void
+SuperblockMapping::fillAll(std::uint32_t sb, Lpn base)
+{
+    SuperblockInfo &info = _sbs[sb];
+    if (info.state != SuperblockState::Free)
+        panic("fillAll needs a free superblock");
+    if (base + _pagesPerSb > _lpnCount)
+        panic("fillAll LPN range out of bounds");
+    auto it = std::find(_freeList.begin(), _freeList.end(), sb);
+    if (it == _freeList.end())
+        panic("free superblock missing from free list");
+    _freeList.erase(it);
+
+    Ppn p_base = static_cast<Ppn>(sb) * _pagesPerSb;
+    for (std::uint32_t slot = 0; slot < _pagesPerSb; ++slot) {
+        Lpn lpn = base + slot;
+        invalidate(lpn);
+        _l2p[lpn] = p_base + slot;
+        _p2l[p_base + slot] = lpn;
+        info.valid[slot] = true;
+    }
+    info.validCount = _pagesPerSb;
+    info.writePtr = _pagesPerSb;
+    info.state = SuperblockState::Full;
+    _validPages += _pagesPerSb;
+    _hostWrites += _pagesPerSb;
+}
+
+void
+SuperblockMapping::invalidateAll(std::uint32_t sb)
+{
+    SuperblockInfo &info = _sbs[sb];
+    Ppn base = static_cast<Ppn>(sb) * _pagesPerSb;
+    for (std::uint32_t slot = 0; slot < _pagesPerSb; ++slot) {
+        if (!info.valid[slot])
+            continue;
+        Lpn lpn = _p2l[base + slot];
+        invalidate(lpn);
+    }
+}
+
+const SuperblockInfo &
+SuperblockMapping::info(std::uint32_t sb) const
+{
+    return _sbs[sb];
+}
+
+} // namespace dssd

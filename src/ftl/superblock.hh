@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Superblock-organized mapping (Sec 5, Fig 5).
+ *
+ * A superblock groups the same block id across every parallel unit
+ * (channel/way/die/plane), so one superblock-granularity allocation
+ * stripes pages across the whole array — smaller mapping tables and
+ * cheap GC, at the cost of the whole group dying with its first bad
+ * sub-block (the problem dynamic superblock management solves).
+ *
+ * Pure state, like PageMapping; the event-driven datapaths charge
+ * time separately.
+ */
+
+#ifndef DSSD_FTL_SUPERBLOCK_HH
+#define DSSD_FTL_SUPERBLOCK_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "ftl/mapping.hh"
+#include "nand/geometry.hh"
+
+namespace dssd
+{
+
+/** Lifecycle of one superblock. */
+enum class SuperblockState
+{
+    Free,     ///< erased, on the free list
+    Active,   ///< currently taking writes
+    Full,     ///< fully programmed
+    Dead,     ///< retired (bad)
+    Reserved, ///< provisioned as recycled blocks (RESERV scheme)
+};
+
+/** Per-superblock bookkeeping. */
+struct SuperblockInfo
+{
+    SuperblockState state = SuperblockState::Free;
+    std::uint32_t writePtr = 0;    ///< next stripe slot
+    std::uint32_t validCount = 0;  ///< live pages
+    std::uint32_t eraseCount = 0;  ///< P/E cycles
+    std::vector<bool> valid;       ///< per stripe slot
+};
+
+/** Superblock-granularity address mapping. */
+class SuperblockMapping
+{
+  public:
+    /**
+     * @param geom Flash geometry; the superblock count equals
+     *        blocksPerPlane.
+     * @param over_provision Fraction of capacity hidden from the host.
+     */
+    SuperblockMapping(const FlashGeometry &geom, double over_provision);
+
+    const FlashGeometry &geometry() const { return _geom; }
+
+    /** Parallel units striped by one superblock. */
+    std::uint32_t unitCount() const { return _unitCount; }
+
+    /** Pages one superblock holds. */
+    std::uint32_t pagesPerSuperblock() const { return _pagesPerSb; }
+
+    std::uint32_t superblockCount() const { return _geom.blocksPerPlane; }
+
+    Lpn lpnCount() const { return _lpnCount; }
+
+    /** Current physical location of @p lpn, if mapped. */
+    std::optional<PhysAddr> translate(Lpn lpn) const;
+
+    /**
+     * Allocate the next stripe slot for @p lpn in the active
+     * superblock (opening a new one as needed), invalidating any
+     * previous copy.
+     */
+    PhysAddr allocate(Lpn lpn);
+
+    /** Drop the mapping for @p lpn. */
+    void invalidate(Lpn lpn);
+
+    /** Superblock id and stripe slot of a physical address. */
+    std::uint32_t superblockOf(const PhysAddr &a) const { return a.block; }
+    std::uint32_t stripeSlotOf(const PhysAddr &a) const;
+
+    /** Physical address of stripe slot @p slot of superblock @p sb. */
+    PhysAddr slotAddr(std::uint32_t sb, std::uint32_t slot) const;
+
+    /** Greedy victim: fewest valid pages among Full superblocks. */
+    std::optional<std::uint32_t> pickVictim() const;
+
+    /** Valid LPNs of superblock @p sb in stripe order. */
+    std::vector<Lpn> validLpns(std::uint32_t sb) const;
+
+    /** Valid LPNs of @p sb whose stripe slot lives on @p channel. */
+    std::vector<Lpn> validLpnsOnChannel(std::uint32_t sb,
+                                        std::uint32_t channel) const;
+
+    /**
+     * Erase @p sb and return it to the free list.
+     * @pre no valid pages remain.
+     */
+    void eraseSuperblock(std::uint32_t sb);
+
+    /** Retire @p sb (bad superblock); never reused. */
+    void retireSuperblock(std::uint32_t sb);
+
+    /**
+     * Remove a free superblock from FTL visibility so its blocks can
+     * pre-fill the RBTs (the RESERV scheme of Sec 5.3).
+     */
+    void reserveSuperblock(std::uint32_t sb);
+
+    std::uint32_t reservedSuperblocks() const { return _reserved; }
+
+    /**
+     * Mark every slot of the free superblock @p sb valid, mapped to
+     * LPNs base..base+pagesPerSuperblock-1 (invalidating any previous
+     * copies). A bulk write used by wear-cycling drivers.
+     */
+    void fillAll(std::uint32_t sb, Lpn base);
+
+    /** Invalidate every valid page of @p sb. */
+    void invalidateAll(std::uint32_t sb);
+
+    std::uint32_t freeSuperblocks() const
+    {
+        return static_cast<std::uint32_t>(_freeList.size());
+    }
+
+    std::uint32_t deadSuperblocks() const { return _dead; }
+
+    const SuperblockInfo &info(std::uint32_t sb) const;
+
+    std::uint64_t totalValidPages() const { return _validPages; }
+
+    std::uint64_t hostWrites() const { return _hostWrites; }
+    std::uint64_t erases() const { return _erases; }
+
+  private:
+    void openActive();
+
+    FlashGeometry _geom;
+    std::uint32_t _unitCount;
+    std::uint32_t _pagesPerSb;
+    Lpn _lpnCount;
+    std::vector<SuperblockInfo> _sbs;
+    std::vector<Ppn> _l2p;   ///< lpn -> sb * pagesPerSb + slot
+    std::vector<Lpn> _p2l;
+    std::deque<std::uint32_t> _freeList;
+    std::uint32_t _active = 0;
+    bool _hasActive = false;
+    std::uint32_t _dead = 0;
+    std::uint32_t _reserved = 0;
+    std::uint64_t _validPages = 0;
+    std::uint64_t _hostWrites = 0;
+    std::uint64_t _erases = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_FTL_SUPERBLOCK_HH

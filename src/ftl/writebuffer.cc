@@ -1,0 +1,98 @@
+#include "ftl/writebuffer.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+WriteBuffer::WriteBuffer(const WriteBufferParams &params) : _params(params)
+{
+    if (params.capacityPages == 0)
+        fatal("write buffer capacity must be > 0");
+    if (params.flushLowWatermark > params.flushHighWatermark)
+        fatal("flush low watermark above high watermark");
+}
+
+bool
+WriteBuffer::readHit(Lpn lpn) const
+{
+    switch (_params.mode) {
+      case BufferMode::AlwaysHit:
+        return true;
+      case BufferMode::AlwaysMiss:
+        return false;
+      case BufferMode::Real:
+        return _resident.count(lpn) > 0;
+    }
+    return false;
+}
+
+bool
+WriteBuffer::insert(Lpn lpn)
+{
+    if (_resident.count(lpn))
+        return true;
+    if (_fifo.size() >= _params.capacityPages) {
+        // Caller should have flushed; drop the oldest to stay sane.
+        Lpn victim = _fifo.front();
+        _fifo.pop_front();
+        _resident.erase(victim);
+    }
+    _fifo.push_back(lpn);
+    _resident.insert(lpn);
+    return false;
+}
+
+bool
+WriteBuffer::flushNeeded() const
+{
+    return static_cast<double>(_fifo.size()) >
+           _params.flushHighWatermark *
+               static_cast<double>(_params.capacityPages);
+}
+
+bool
+WriteBuffer::flushSatisfied() const
+{
+    return static_cast<double>(_fifo.size()) <=
+           _params.flushLowWatermark *
+               static_cast<double>(_params.capacityPages);
+}
+
+std::vector<Lpn>
+WriteBuffer::drainForFlush(std::size_t count)
+{
+    std::vector<Lpn> out;
+    out.reserve(std::min<std::size_t>(count, _fifo.size()));
+    while (out.size() < count && !_fifo.empty()) {
+        Lpn l = _fifo.front();
+        _fifo.pop_front();
+        _resident.erase(l);
+        out.push_back(l);
+    }
+    return out;
+}
+
+void
+WriteBuffer::evict(Lpn lpn)
+{
+    if (!_resident.count(lpn))
+        return;
+    _resident.erase(lpn);
+    auto it = std::find(_fifo.begin(), _fifo.end(), lpn);
+    if (it != _fifo.end())
+        _fifo.erase(it);
+}
+
+void
+WriteBuffer::recordProbe(bool hit)
+{
+    if (hit)
+        ++_hits;
+    else
+        ++_misses;
+}
+
+} // namespace dssd

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DRAM write-buffer cache model (logical state).
+ *
+ * A significant fraction of SSD DRAM serves as a write-back buffer
+ * cache hiding flash latency (Sec 2.1). The model tracks which LPNs
+ * are resident/dirty; the datapath charges DRAM-port and system-bus
+ * time for hits and flushes. Modes force all-hit / all-miss behaviour
+ * for the paper's "DRAM hit" and "DRAM miss" synthetic inputs.
+ */
+
+#ifndef DSSD_FTL_WRITEBUFFER_HH
+#define DSSD_FTL_WRITEBUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "ftl/mapping.hh"
+
+namespace dssd
+{
+
+/** Hit behaviour of the buffer cache. */
+enum class BufferMode
+{
+    Real,       ///< actual residency decides hits
+    AlwaysHit,  ///< every access is served by DRAM (paper: "DRAM hit")
+    AlwaysMiss, ///< every access goes to flash (paper: "DRAM miss")
+};
+
+/** Write-buffer parameters. */
+struct WriteBufferParams
+{
+    std::uint64_t capacityPages = 4096;
+    BufferMode mode = BufferMode::Real;
+    /// Flushing starts above this occupancy fraction...
+    double flushHighWatermark = 0.8;
+    /// ...and stops below this one.
+    double flushLowWatermark = 0.5;
+};
+
+/** FIFO dirty-page write buffer. */
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(const WriteBufferParams &params);
+
+    /** Would a read of @p lpn be served from DRAM? */
+    bool readHit(Lpn lpn) const;
+
+    /**
+     * Record a host write of @p lpn into the buffer.
+     * @retval true if the page was already resident (overwrite hit).
+     */
+    bool insert(Lpn lpn);
+
+    /** Whether flushing should start/continue. */
+    bool flushNeeded() const;
+
+    /** Whether flushing may stop. */
+    bool flushSatisfied() const;
+
+    /**
+     * Remove and return up to @p count oldest dirty pages for
+     * writeback to flash.
+     */
+    std::vector<Lpn> drainForFlush(std::size_t count);
+
+    /** Drop a page (e.g., trimmed). */
+    void evict(Lpn lpn);
+
+    std::uint64_t occupancy() const { return _fifo.size(); }
+    std::uint64_t capacity() const { return _params.capacityPages; }
+    BufferMode mode() const { return _params.mode; }
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+
+    /** Record a read probe outcome (for hit-rate stats). */
+    void recordProbe(bool hit);
+
+  private:
+    WriteBufferParams _params;
+    std::deque<Lpn> _fifo;
+    std::unordered_set<Lpn> _resident;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_FTL_WRITEBUFFER_HH

@@ -1,0 +1,73 @@
+#include "hil/driver.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+QueueDriver::QueueDriver(Engine &engine, Generator &gen, SubmitFn submit,
+                         unsigned queue_depth, Tick window)
+    : _engine(engine), _gen(gen), _submit(std::move(submit)),
+      _queueDepth(queue_depth), _ioBytes(window, "io-bytes")
+{
+    if (queue_depth == 0)
+        fatal("queue depth must be > 0");
+}
+
+void
+QueueDriver::start()
+{
+    pump();
+}
+
+void
+QueueDriver::pump()
+{
+    while (!_stopped && !_exhausted && _outstanding < _queueDepth) {
+        auto req = _gen.next();
+        if (!req) {
+            _exhausted = true;
+            break;
+        }
+        if (req->issueAt > _engine.now()) {
+            // Trace replay: hold this request until its timestamp.
+            ++_outstanding; // reserve the slot while waiting
+            _engine.scheduleAbs(req->issueAt, [this, r = *req] {
+                --_outstanding;
+                issue(r);
+                pump();
+            });
+            break;
+        }
+        issue(*req);
+    }
+    if ((_exhausted || _stopped) && _outstanding == 0 && !_finished) {
+        _finished = true;
+        if (_onFinished)
+            _onFinished();
+    }
+}
+
+void
+QueueDriver::issue(const IoRequest &req)
+{
+    ++_outstanding;
+    Tick submit_time = _engine.now();
+    _submit(req, [this, req, submit_time] {
+        Tick lat = _engine.now() - submit_time;
+        double lat_d = static_cast<double>(lat);
+        _allLat.sample(lat_d);
+        if (req.isRead())
+            _readLat.sample(lat_d);
+        else
+            _writeLat.sample(lat_d);
+        _ioBytes.add(_engine.now(), static_cast<double>(req.bytes));
+        ++_completed;
+        --_outstanding;
+        pump();
+    });
+}
+
+} // namespace dssd

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Flash geometry: the channel/way/die/plane/block/page hierarchy and
+ * physical addressing.
+ *
+ * Default geometry follows Table 1 of the paper: 8 channels x 8 ways x
+ * 1 die x 8 planes, 1384 blocks/plane, 384 pages/block, 4 KB pages
+ * (ULL). The superblock study uses 8 channels x 4 ways x 2 dies x
+ * 2 planes with 32 pages/block (TLC), as the paper notes it simplified
+ * pages/block for feasible simulation time.
+ */
+
+#ifndef DSSD_NAND_GEOMETRY_HH
+#define DSSD_NAND_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace dssd
+{
+
+/** Physical page address within the SSD. */
+struct PhysAddr
+{
+    std::uint32_t channel = 0;
+    std::uint32_t way = 0;
+    std::uint32_t die = 0;
+    std::uint32_t plane = 0;
+    std::uint32_t block = 0;
+    std::uint32_t page = 0;
+
+    bool
+    operator==(const PhysAddr &o) const
+    {
+        return channel == o.channel && way == o.way && die == o.die &&
+               plane == o.plane && block == o.block && page == o.page;
+    }
+};
+
+/** Flash array geometry and derived counts. */
+struct FlashGeometry
+{
+    std::uint32_t channels = 8;
+    std::uint32_t ways = 8;           ///< packages per channel
+    std::uint32_t diesPerWay = 1;
+    std::uint32_t planesPerDie = 8;
+    std::uint32_t blocksPerPlane = 1384;
+    std::uint32_t pagesPerBlock = 384;
+    std::uint64_t pageBytes = 4 * kKiB;
+
+    std::uint32_t
+    diesPerChannel() const
+    {
+        return ways * diesPerWay;
+    }
+
+    std::uint64_t
+    totalDies() const
+    {
+        return static_cast<std::uint64_t>(channels) * diesPerChannel();
+    }
+
+    std::uint64_t
+    blocksPerDie() const
+    {
+        return static_cast<std::uint64_t>(planesPerDie) * blocksPerPlane;
+    }
+
+    std::uint64_t
+    pagesPerDie() const
+    {
+        return blocksPerDie() * pagesPerBlock;
+    }
+
+    std::uint64_t
+    totalBlocks() const
+    {
+        return totalDies() * blocksPerDie();
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return totalDies() * pagesPerDie();
+    }
+
+    std::uint64_t
+    capacityBytes() const
+    {
+        return totalPages() * pageBytes;
+    }
+
+    /** Bytes moved by an N-plane multi-plane operation. */
+    std::uint64_t
+    multiPlaneBytes(std::uint32_t planes) const
+    {
+        return pageBytes * planes;
+    }
+
+    /** Flat die index within the SSD. */
+    std::uint64_t
+    dieIndex(const PhysAddr &a) const
+    {
+        return (static_cast<std::uint64_t>(a.channel) * ways + a.way) *
+                   diesPerWay +
+               a.die;
+    }
+
+    /** Flat die index within one channel. */
+    std::uint32_t
+    dieIndexInChannel(const PhysAddr &a) const
+    {
+        return a.way * diesPerWay + a.die;
+    }
+
+    /** Flat page index within the SSD (for mapping tables). */
+    std::uint64_t
+    pageIndex(const PhysAddr &a) const
+    {
+        std::uint64_t in_die =
+            (static_cast<std::uint64_t>(a.plane) * blocksPerPlane + a.block) *
+                pagesPerBlock +
+            a.page;
+        return dieIndex(a) * pagesPerDie() + in_die;
+    }
+
+    /** Inverse of pageIndex(). */
+    PhysAddr
+    pageAddr(std::uint64_t index) const
+    {
+        PhysAddr a;
+        std::uint64_t in_die = index % pagesPerDie();
+        std::uint64_t die_flat = index / pagesPerDie();
+        a.page = static_cast<std::uint32_t>(in_die % pagesPerBlock);
+        std::uint64_t blk_flat = in_die / pagesPerBlock;
+        a.block = static_cast<std::uint32_t>(blk_flat % blocksPerPlane);
+        a.plane = static_cast<std::uint32_t>(blk_flat / blocksPerPlane);
+        a.die = static_cast<std::uint32_t>(die_flat % diesPerWay);
+        std::uint64_t way_flat = die_flat / diesPerWay;
+        a.way = static_cast<std::uint32_t>(way_flat % ways);
+        a.channel = static_cast<std::uint32_t>(way_flat / ways);
+        return a;
+    }
+
+    /** Sanity-check the geometry; fatal() on nonsense. */
+    void
+    validate() const
+    {
+        if (channels == 0 || ways == 0 || diesPerWay == 0 ||
+            planesPerDie == 0 || blocksPerPlane == 0 || pagesPerBlock == 0 ||
+            pageBytes == 0) {
+            fatal("FlashGeometry: all dimensions must be non-zero");
+        }
+    }
+};
+
+} // namespace dssd
+
+#endif // DSSD_NAND_GEOMETRY_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * NAND operation timing parameter sets.
+ *
+ * Two device classes from Table 1 of the paper:
+ *  - ULL ("Flash (ULL)"):  read 5 us, program 50 us, erase 1 ms, 4 KB page
+ *  - TLC ("Memory (TLC)"): read 60-95 us, program 200-500 us, erase 2 ms,
+ *    16 KB page
+ *
+ * TLC latencies vary with the page's position inside a wordline (LSB,
+ * CSB, MSB pages). We spread the published range deterministically over
+ * the page index so that a given address always sees the same latency.
+ */
+
+#ifndef DSSD_NAND_TIMING_HH
+#define DSSD_NAND_TIMING_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace dssd
+{
+
+/** NAND array-operation timing for one device class. */
+struct NandTiming
+{
+    Tick readMin = usToTicks(5);
+    Tick readMax = usToTicks(5);
+    Tick programMin = usToTicks(50);
+    Tick programMax = usToTicks(50);
+    Tick erase = msToTicks(1);
+    /// Command/address cycle overhead on the flash bus per operation.
+    std::uint64_t commandBytes = 8;
+
+    /** Deterministic per-page read latency within [readMin, readMax]. */
+    Tick
+    readLatency(std::uint32_t page_in_block, std::uint32_t pages_per_block)
+        const
+    {
+        return spread(readMin, readMax, page_in_block, pages_per_block);
+    }
+
+    /** Deterministic per-page program latency. */
+    Tick
+    programLatency(std::uint32_t page_in_block,
+                   std::uint32_t pages_per_block) const
+    {
+        return spread(programMin, programMax, page_in_block,
+                      pages_per_block);
+    }
+
+    static Tick
+    spread(Tick lo, Tick hi, std::uint32_t idx, std::uint32_t count)
+    {
+        if (hi <= lo || count <= 1)
+            return lo;
+        // Cycle through thirds of the range, mimicking LSB/CSB/MSB pages.
+        std::uint32_t phase = idx % 3;
+        return lo + (hi - lo) * phase / 2;
+    }
+};
+
+/** Ultra-low-latency flash (Z-NAND class), Table 1 "Flash (ULL)". */
+inline NandTiming
+ullTiming()
+{
+    NandTiming t;
+    t.readMin = usToTicks(5);
+    t.readMax = usToTicks(5);
+    t.programMin = usToTicks(50);
+    t.programMax = usToTicks(50);
+    t.erase = msToTicks(1);
+    return t;
+}
+
+/** Triple-level-cell flash, Table 1 "Memory (TLC)". */
+inline NandTiming
+tlcTiming()
+{
+    NandTiming t;
+    t.readMin = usToTicks(60);
+    t.readMax = usToTicks(95);
+    t.programMin = usToTicks(200);
+    t.programMax = usToTicks(500);
+    t.erase = msToTicks(2);
+    return t;
+}
+
+} // namespace dssd
+
+#endif // DSSD_NAND_TIMING_HH

@@ -1,0 +1,201 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+/** Per-packet in-flight state. */
+struct NocNetwork::Transit
+{
+    unsigned src = 0;
+    unsigned dst = 0;
+    std::uint64_t totalBytes = 0;
+    int tag = tagGc;
+    std::vector<unsigned> route;
+    unsigned hop = 0;
+    unsigned vc = 0;
+    /// Buffer index (node*2+vc) currently held, or -1.
+    int heldBuffer = -1;
+    Tick injectTime = 0;
+    /// Tail arrival time at the node reached by the last transmitted hop.
+    Tick tailArrive = 0;
+    Callback done;
+};
+
+NocNetwork::NocNetwork(Engine &engine, std::unique_ptr<Topology> topo,
+                       const NocParams &params)
+    : _engine(engine), _topo(std::move(topo)), _params(params)
+{
+    if (_params.linkBandwidth <= 0.0)
+        fatal("NocNetwork: link bandwidth must be positive");
+    for (unsigned l = 0; l < _topo->numLinks(); ++l) {
+        _links.push_back(std::make_unique<BandwidthResource>(
+            _engine, strformat("%s-link%u", _topo->name().c_str(), l),
+            _params.linkBandwidth));
+    }
+    for (unsigned l = 0; l < _topo->numLinks(); ++l) {
+        for (unsigned vc = 0; vc < 2; ++vc) {
+            _buffers.push_back(std::make_unique<SlotResource>(
+                _engine, strformat("link%u-vc%u-buf", l, vc),
+                _params.bufferPackets));
+        }
+    }
+}
+
+SlotResource &
+NocNetwork::buffer(unsigned link, unsigned vc)
+{
+    return *_buffers[link * 2 + vc];
+}
+
+void
+NocNetwork::send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
+                 Callback done)
+{
+    if (src >= _topo->numNodes() || dst >= _topo->numNodes())
+        panic("NocNetwork::send out of range: %u -> %u", src, dst);
+
+    auto t = std::make_shared<Transit>();
+    t->src = src;
+    t->dst = dst;
+    t->totalBytes = bytes + _params.headerBytes;
+    t->tag = tag;
+    t->route = _topo->route(src, dst);
+    t->injectTime = _engine.now();
+    t->done = std::move(done);
+    ++_inFlight;
+
+    if (t->route.empty()) {
+        // Degenerate src == dst injection: loop through the local NI.
+        Tick lat = _params.hopLatency;
+        _engine.schedule(lat, [this, t] {
+            _latency.sample(static_cast<double>(_engine.now() -
+                                                t->injectTime));
+            ++_packetsDelivered;
+            _bytesDelivered += t->totalBytes;
+            --_inFlight;
+            t->done();
+        });
+        return;
+    }
+
+    advance(t);
+}
+
+void
+NocNetwork::advance(const std::shared_ptr<Transit> &t)
+{
+    if (t->hop >= t->route.size())
+        panic("advance past end of route");
+
+    if (_topo->simultaneousLinks()) {
+        // Crossbar: hold a credit at the destination's input port,
+        // then occupy the source output port and destination input
+        // port together.
+        buffer(t->route[1], 0).acquire([this, t] { transmit(t); });
+        return;
+    }
+
+    unsigned link_id = t->route[t->hop];
+    unsigned vc = t->vc;
+    if (_topo->datelineLink(link_id))
+        vc = 1; // escape VC past the ring dateline
+    buffer(link_id, vc).acquire([this, t, vc] {
+        t->vc = vc;
+        transmit(t);
+    });
+}
+
+void
+NocNetwork::transmit(const std::shared_ptr<Transit> &t)
+{
+    if (_topo->simultaneousLinks()) {
+        BandwidthResource &out = *_links[t->route[0]];
+        BandwidthResource &in = *_links[t->route[1]];
+        Tick start = std::max({_engine.now(), out.busyUntil(),
+                               in.busyUntil()});
+        out.reserveFrom(start, t->totalBytes, t->tag);
+        Tick end = in.reserveFrom(start, t->totalBytes, t->tag);
+        Tick arrive = end + _params.hopLatency;
+        int held = static_cast<int>(t->route[1] * 2);
+        _engine.scheduleAbs(arrive, [this, t, held] {
+            _buffers[static_cast<unsigned>(held)]->release();
+            _latency.sample(static_cast<double>(_engine.now() -
+                                                t->injectTime));
+            ++_packetsDelivered;
+            _bytesDelivered += t->totalBytes;
+            --_inFlight;
+            t->done();
+        });
+        return;
+    }
+
+    unsigned link_id = t->route[t->hop];
+    BandwidthResource &link = *_links[link_id];
+
+    Tick end = link.reserve(t->totalBytes, t->tag);
+    Tick start = end - link.duration(t->totalBytes);
+    Tick head_arrive = start + _params.hopLatency;
+    Tick tail_arrive = end + _params.hopLatency;
+
+    // The packet's tail leaves the upstream node once it has fully
+    // serialized onto this link; free that node's input buffer then.
+    if (t->heldBuffer >= 0) {
+        unsigned held = static_cast<unsigned>(t->heldBuffer);
+        _engine.scheduleAbs(end, [this, held] {
+            _buffers[held]->release();
+        });
+    }
+    t->heldBuffer = static_cast<int>(link_id * 2 + t->vc);
+    t->tailArrive = tail_arrive;
+    ++t->hop;
+
+    if (t->hop == t->route.size()) {
+        // Delivered once the tail reaches the destination router; the
+        // NI then drains it into the dBUF and frees the input buffer.
+        _engine.scheduleAbs(tail_arrive, [this, t] {
+            unsigned held = static_cast<unsigned>(t->heldBuffer);
+            _buffers[held]->release();
+            _latency.sample(static_cast<double>(_engine.now() -
+                                                t->injectTime));
+            ++_packetsDelivered;
+            _bytesDelivered += t->totalBytes;
+            --_inFlight;
+            t->done();
+        });
+    } else {
+        // Cut-through: the next hop may begin once the head arrives.
+        _engine.scheduleAbs(head_arrive, [this, t] { advance(t); });
+    }
+}
+
+Tick
+NocNetwork::totalBusyTicks() const
+{
+    Tick sum = 0;
+    for (const auto &l : _links)
+        sum += l->totalBusyTicks();
+    return sum;
+}
+
+Tick
+NocNetwork::linkBusyTicks(unsigned link) const
+{
+    if (link >= _links.size())
+        return 0;
+    return _links[link]->totalBusyTicks();
+}
+
+void
+NocNetwork::setLinkBandwidth(BytesPerTick bw)
+{
+    _params.linkBandwidth = bw;
+    for (auto &l : _links)
+        l->setBandwidth(bw);
+}
+
+} // namespace dssd

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * fNoC network model: packet-granularity virtual cut-through with
+ * credit-based (finite input buffer) backpressure.
+ *
+ * A packet carries one page plus a header ("the data is appended with
+ * the command information as well as the packet header"). At each hop
+ * the packet (1) waits for an input-buffer credit at the downstream
+ * router, (2) serializes over the link (bytes / link-bandwidth), and
+ * (3) incurs the router pipeline + wire latency. Transmission on hop
+ * h+1 begins when the head arrives (cut-through), so a long packet
+ * occupies consecutive links simultaneously but each link only for its
+ * serialization time — bandwidth behaviour matches a wormhole network
+ * at packet granularity.
+ *
+ * Ring deadlock freedom uses the classic dateline rule: packets switch
+ * to virtual channel 1 when crossing the wrap-around link.
+ */
+
+#ifndef DSSD_NOC_NETWORK_HH
+#define DSSD_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bus/interconnect.hh"
+#include "noc/topology.hh"
+#include "sim/resource.hh"
+#include "sim/stats.hh"
+
+namespace dssd
+{
+
+/** Tunables for the fNoC (Fig 12/13 sweep these). */
+struct NocParams
+{
+    /// Per-link (router channel) bandwidth. The paper expresses this as
+    /// a ratio to the 1 GB/s flash-channel bandwidth.
+    BytesPerTick linkBandwidth = gbPerSec(2.0);
+    /// Router pipeline + link traversal latency per hop.
+    Tick hopLatency = 10;
+    /// Input buffer depth per router per virtual channel, in packets.
+    unsigned bufferPackets = 4;
+    /// Packet header + command/address overhead appended to the page.
+    std::uint64_t headerBytes = 32;
+};
+
+/**
+ * The flash-controller network-on-chip. Implements Interconnect so
+ * the dSSD_f configuration can plug it into the copyback datapath.
+ */
+class NocNetwork : public Interconnect
+{
+  public:
+    NocNetwork(Engine &engine, std::unique_ptr<Topology> topo,
+               const NocParams &params);
+
+    /** Inject a packet of @p bytes payload from @p src to @p dst. */
+    void send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
+              Callback done) override;
+
+    Tick totalBusyTicks() const override;
+    std::uint64_t bytesDelivered() const override { return _bytesDelivered; }
+
+    std::uint64_t packetsDelivered() const { return _packetsDelivered; }
+    std::uint64_t packetsInFlight() const { return _inFlight; }
+
+    /** End-to-end packet latency distribution (ticks). */
+    const SampleStat &latency() const { return _latency; }
+
+    const Topology &topology() const { return *_topo; }
+    const NocParams &params() const { return _params; }
+
+    /** Per-link busy ticks, for utilization reporting. */
+    Tick linkBusyTicks(unsigned link) const;
+
+    /** Change every link's bandwidth (used by the Fig 12 sweeps). */
+    void setLinkBandwidth(BytesPerTick bw);
+
+  private:
+    struct Transit;
+
+    /** Move @p t through its next hop (or deliver it). */
+    void advance(const std::shared_ptr<Transit> &t);
+
+    /** Transmit @p t over route link index t->hop once credit is held. */
+    void transmit(const std::shared_ptr<Transit> &t);
+
+    /**
+     * Input-port buffer at the downstream router of @p link. Buffers
+     * are per input port (per link), as in a real router — sharing one
+     * pool per node would let forward and backward traffic deadlock
+     * each other.
+     */
+    SlotResource &buffer(unsigned link, unsigned vc);
+
+    Engine &_engine;
+    std::unique_ptr<Topology> _topo;
+    NocParams _params;
+    std::vector<std::unique_ptr<BandwidthResource>> _links;
+    /// _buffers[link * 2 + vc]
+    std::vector<std::unique_ptr<SlotResource>> _buffers;
+
+    SampleStat _latency{"noc-packet-latency"};
+    std::uint64_t _packetsDelivered = 0;
+    std::uint64_t _bytesDelivered = 0;
+    std::uint64_t _inFlight = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_NOC_NETWORK_HH

@@ -1,0 +1,35 @@
+#include "overhead/area.hh"
+
+#include <cmath>
+
+namespace dssd
+{
+
+AreaReport
+computeArea(const AreaParams &p)
+{
+    AreaReport r{};
+    r.eccAreaMm2 = p.lpdcAreaMm2 * p.channels;
+    r.eccPct = 100.0 * r.eccAreaMm2 / p.controllerAreaMm2;
+
+    r.routerAreaMm2 = p.routerAreaMm2 * p.channels;
+    r.routerPct = 100.0 * r.routerAreaMm2 / p.controllerAreaMm2;
+
+    r.dbufAreaMm2 =
+        p.dbufKiBPerController * p.channels * p.sramMm2PerKiB;
+    r.dbufPct = 100.0 * r.dbufAreaMm2 / p.controllerAreaMm2;
+
+    r.totalPct = r.eccPct + r.routerPct + r.dbufPct;
+
+    r.srtBytesPerController =
+        static_cast<double>(p.srtEntries) * p.srtEntryBits / 8.0;
+    // The RBT itself is a few bytes; RESERV provisioning needs one
+    // entry per reserved block.
+    double reserved_entries =
+        p.reservedFraction * static_cast<double>(p.blocksPerChannel);
+    r.rbtBytesPerController =
+        p.rbtBits / 8.0 + std::ceil(reserved_entries) * p.rbtBits / 8.0;
+    return r;
+}
+
+} // namespace dssd

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analytical area-overhead model for the dSSD additions (Sec 6.5).
+ *
+ * Constants come straight from the paper's sources: an LDPC decoder is
+ * 2.56 mm^2 in 90 nm [11] (0.122 mm^2 scaled to 14 nm [38]); a
+ * synthesized fNoC router is ~0.02 mm^2 in 45 nm (FreePDK [39]); the
+ * reference SSD controller is ~64 mm^2 [30]. dBUF cost is SRAM area;
+ * the paper reports 2.46% for two 32 KB dBUFs per controller, which
+ * fixes the SRAM density constant.
+ */
+
+#ifndef DSSD_OVERHEAD_AREA_HH
+#define DSSD_OVERHEAD_AREA_HH
+
+#include <cstdint>
+
+namespace dssd
+{
+
+/** Inputs to the area model. */
+struct AreaParams
+{
+    unsigned channels = 8;
+    double controllerAreaMm2 = 64.0;     ///< Marvell Bravera-class [30]
+    double lpdcAreaMm2 = 0.122;          ///< per engine, 14 nm [11][38]
+    double routerAreaMm2 = 0.02;         ///< per router, 45 nm [39]
+    double dbufKiBPerController = 64.0;  ///< two 32 KB dBUFs
+    double sramMm2PerKiB = 64.0 * 0.0246 / (8 * 64.0); ///< from 2.46%
+    std::size_t srtEntries = 1024;
+    unsigned srtEntryBits = 32;          ///< 16b source + 16b dest
+    unsigned rbtBits = 32;
+    double reservedFraction = 0.0;       ///< RESERV RBT provisioning
+    std::uint32_t blocksPerChannel = 11072; ///< 1384 x 8 planes
+};
+
+/** Computed overheads. */
+struct AreaReport
+{
+    double eccAreaMm2;
+    double eccPct;
+    double routerAreaMm2;
+    double routerPct;
+    double dbufAreaMm2;
+    double dbufPct;
+    double totalPct;
+    double srtBytesPerController;
+    double rbtBytesPerController;
+};
+
+/** Evaluate the model. */
+AreaReport computeArea(const AreaParams &params);
+
+} // namespace dssd
+
+#endif // DSSD_OVERHEAD_AREA_HH

@@ -1,0 +1,246 @@
+#include "reliability/endurance.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+const char *
+schemeName(SuperblockScheme s)
+{
+    switch (s) {
+      case SuperblockScheme::Baseline:
+        return "BASELINE";
+      case SuperblockScheme::Recycled:
+        return "RECYCLED";
+      case SuperblockScheme::Reserv:
+        return "RESERV";
+      case SuperblockScheme::Was:
+        return "WAS";
+    }
+    return "?";
+}
+
+double
+EnduranceResult::dataUntilFirstBad() const
+{
+    if (curve.empty())
+        return totalDataWritten;
+    return curve.front().dataWrittenBytes;
+}
+
+double
+EnduranceResult::dataUntilBadFraction(double frac,
+                                      std::uint32_t total) const
+{
+    double need = frac * static_cast<double>(total);
+    for (const auto &p : curve) {
+        if (static_cast<double>(p.badSuperblocks) >= need)
+            return p.dataWrittenBytes;
+    }
+    return totalDataWritten;
+}
+
+EnduranceSim::EnduranceSim(const EnduranceParams &params) : _params(params)
+{
+    if (params.channels == 0 || params.superblocks == 0)
+        fatal("endurance sim needs channels and superblocks");
+    if (params.reservedFraction < 0.0 || params.reservedFraction >= 1.0)
+        fatal("reserved fraction out of range");
+}
+
+EnduranceResult
+EnduranceSim::run()
+{
+    const EnduranceParams &p = _params;
+    Rng rng(p.seed);
+    EnduranceResult res;
+
+    bool recycling = p.scheme == SuperblockScheme::Recycled ||
+                     p.scheme == SuperblockScheme::Reserv;
+
+    // Draw per-channel block endurance limits.
+    std::vector<std::vector<std::uint32_t>> limits(p.channels);
+    for (auto &v : limits) {
+        v.resize(p.superblocks);
+        for (auto &l : v)
+            l = p.wear.sampleLimit(rng);
+    }
+    if (p.scheme == SuperblockScheme::Was) {
+        // WAS groups blocks of similar measured endurance: sort each
+        // channel so superblock i holds comparably worn blocks.
+        for (auto &v : limits)
+            std::sort(v.begin(), v.end());
+    }
+
+    // Reserve blocks for the RESERV scheme: the last `reserved`
+    // superblock slots per channel pre-fill the RBT and are invisible
+    // to the FTL.
+    std::uint32_t reserved = 0;
+    if (p.scheme == SuperblockScheme::Reserv) {
+        reserved = static_cast<std::uint32_t>(
+            p.reservedFraction * static_cast<double>(p.superblocks));
+    }
+    std::uint32_t visible = p.superblocks - reserved;
+
+    std::vector<std::deque<SubBlock>> rbt(p.channels);
+    if (reserved > 0) {
+        for (unsigned ch = 0; ch < p.channels; ++ch) {
+            for (std::uint32_t b = visible; b < p.superblocks; ++b) {
+                SubBlock s;
+                s.origId = b;
+                s.limit = limits[ch][b];
+                rbt[ch].push_back(s);
+            }
+        }
+    }
+
+    std::vector<Superblock> sbs(visible);
+    for (std::uint32_t i = 0; i < visible; ++i) {
+        sbs[i].subs.resize(p.channels);
+        for (unsigned ch = 0; ch < p.channels; ++ch) {
+            sbs[i].subs[ch].origId = i;
+            sbs[i].subs[ch].limit = limits[ch][i];
+        }
+    }
+
+    std::vector<std::size_t> srtActive(p.channels, 0);
+    std::uint64_t remapEventsCh0 = 0;
+    const double sb_bytes = static_cast<double>(p.channels) *
+                            p.pagesPerBlock *
+                            static_cast<double>(p.pageBytes);
+    const std::uint32_t stop_bad = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(p.stopBadFraction *
+                                      static_cast<double>(visible)));
+
+    if (p.scheme == SuperblockScheme::Was) {
+        // WAS [40]: similar-endurance grouping (the sort above) plus
+        // wear-aware scheduling — writes are steered to the superblock
+        // with the most remaining endurance, so deaths are maximally
+        // postponed. Model it exactly: always cycle the alive
+        // superblock with the largest remaining life.
+        using Entry = std::pair<std::uint32_t, std::uint32_t>;
+        std::priority_queue<Entry> pq;
+        for (std::uint32_t i = 0; i < visible; ++i) {
+            std::uint32_t rem =
+                std::numeric_limits<std::uint32_t>::max();
+            for (const SubBlock &s : sbs[i].subs)
+                rem = std::min(rem, s.limit);
+            pq.push({rem, i});
+        }
+        while (!pq.empty()) {
+            auto [rem, i] = pq.top();
+            pq.pop();
+            res.totalDataWritten += sb_bytes;
+            if (rem <= 1) {
+                sbs[i].alive = false;
+                ++res.badSuperblocks;
+                res.curve.push_back(
+                    {res.totalDataWritten, res.badSuperblocks});
+                if (res.badSuperblocks >= stop_bad)
+                    break;
+            } else {
+                pq.push({rem - 1, i});
+            }
+        }
+        return res;
+    }
+
+    std::uint32_t alive = visible;
+    bool done = false;
+    while (!done && alive > 0) {
+        for (std::uint32_t i = 0; i < visible && !done; ++i) {
+            Superblock &sb = sbs[i];
+            if (!sb.alive)
+                continue;
+
+            // One full program/erase cycle of this superblock.
+            res.totalDataWritten += sb_bytes;
+            bool kill = false;
+            for (unsigned ch = 0; ch < p.channels; ++ch) {
+                SubBlock &sub = sb.subs[ch];
+                ++sub.pe;
+                if (sub.pe < sub.limit)
+                    continue;
+                // Uncorrectable error detected on this sub-block.
+                if (!recycling) {
+                    kill = true;
+                    break;
+                }
+                // Try to repair with a recycled block from this
+                // channel's RBT (skipping any that are themselves
+                // worn out).
+                SubBlock repl;
+                bool found = false;
+                while (!rbt[ch].empty()) {
+                    repl = rbt[ch].front();
+                    rbt[ch].pop_front();
+                    if (repl.pe < repl.limit) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found) {
+                    kill = true;
+                    break;
+                }
+                if (!sub.remapped) {
+                    // A fresh remapping needs a free SRT entry.
+                    if (p.srtCapacityPerChannel != 0 &&
+                        srtActive[ch] >= p.srtCapacityPerChannel) {
+                        ++res.srtRejections;
+                        rbt[ch].push_front(repl);
+                        kill = true;
+                        break;
+                    }
+                    ++srtActive[ch];
+                    if (ch == 0) {
+                        res.srtHighWater =
+                            std::max(res.srtHighWater, srtActive[0]);
+                    }
+                }
+                // Splice the recycled block in; FTL keeps using the
+                // original block id (SRT redirects).
+                bool was_remapped = sub.remapped;
+                std::uint32_t orig = sub.origId;
+                sub = repl;
+                sub.origId = orig;
+                sub.remapped = true;
+                (void)was_remapped;
+                ++res.remapEvents;
+                if (ch == 0) {
+                    ++remapEventsCh0;
+                    res.srtActivity.push_back(
+                        {remapEventsCh0, srtActive[0]});
+                }
+            }
+
+            if (kill) {
+                sb.alive = false;
+                --alive;
+                ++res.badSuperblocks;
+                res.curve.push_back(
+                    {res.totalDataWritten, res.badSuperblocks});
+                // Salvage still-good sub-blocks into the RBT and free
+                // any SRT entries this superblock held.
+                for (unsigned ch = 0; ch < p.channels; ++ch) {
+                    SubBlock &sub = sb.subs[ch];
+                    if (sub.remapped && srtActive[ch] > 0)
+                        --srtActive[ch];
+                    if (recycling && sub.pe < sub.limit)
+                        rbt[ch].push_back(sub);
+                }
+                if (res.badSuperblocks >= stop_bad)
+                    done = true;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace dssd

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Endurance fast-path simulator for dynamic superblock management.
+ *
+ * Reproduces the Sec 6.4 methodology: a continuous stream of large
+ * write I/O cycles the superblocks; per-block Gaussian P/E limits
+ * decide when a sub-block goes uncorrectable. Four schemes:
+ *
+ *  - Baseline: a static superblock dies with its first bad sub-block.
+ *  - Recycled: good sub-blocks of dead superblocks enter the RBT;
+ *    later failures are repaired by remapping through the SRT
+ *    (hardware, invisible to the FTL).
+ *  - Reserv: like Recycled but the RBT starts pre-filled with a
+ *    reserved fraction (7%) of the blocks, delaying the first death.
+ *  - Was: the software upper-bound comparison [40] — the FTL groups
+ *    blocks of similar endurance into superblocks.
+ *
+ * This simulator is logical (no event engine): lifetime experiments
+ * need millions of erase cycles and only care about wear state.
+ */
+
+#ifndef DSSD_RELIABILITY_ENDURANCE_HH
+#define DSSD_RELIABILITY_ENDURANCE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "reliability/wear.hh"
+#include "sim/types.hh"
+
+namespace dssd
+{
+
+/** Superblock-management scheme under test. */
+enum class SuperblockScheme
+{
+    Baseline,
+    Recycled,
+    Reserv,
+    Was,
+};
+
+const char *schemeName(SuperblockScheme s);
+
+/** Endurance-simulation parameters. */
+struct EnduranceParams
+{
+    /// Sub-blocks per superblock, one per channel (Fig 5).
+    unsigned channels = 8;
+    /// Superblocks (= block ids per channel).
+    std::uint32_t superblocks = 2048;
+    std::uint32_t pagesPerBlock = 32;
+    std::uint64_t pageBytes = 16 * kKiB;
+    WearModel wear;
+    SuperblockScheme scheme = SuperblockScheme::Baseline;
+    /// Reserv: fraction of superblocks provisioned as recycled blocks.
+    double reservedFraction = 0.07;
+    /// SRT capacity per channel; 0 = unbounded.
+    std::size_t srtCapacityPerChannel = 0;
+    /// Stop once this fraction of (visible) superblocks is bad.
+    double stopBadFraction = 0.5;
+    std::uint64_t seed = 42;
+};
+
+/** One (data-written, bad-superblock-count) step of the Fig 14 curve. */
+struct EnduranceCurvePoint
+{
+    double dataWrittenBytes;
+    std::uint32_t badSuperblocks;
+};
+
+/** One (remap-events, active-SRT-entries) step of the Fig 16(b) curve. */
+struct SrtActivityPoint
+{
+    std::uint64_t remapEvents;
+    std::size_t activeEntries;
+};
+
+/** Results of one endurance run. */
+struct EnduranceResult
+{
+    std::vector<EnduranceCurvePoint> curve;
+    std::vector<SrtActivityPoint> srtActivity; ///< channel 0
+    double totalDataWritten = 0.0;
+    std::uint32_t badSuperblocks = 0;
+    std::uint64_t remapEvents = 0;
+    std::size_t srtHighWater = 0;       ///< max active entries, ch 0
+    std::uint64_t srtRejections = 0;    ///< remaps refused: SRT full
+
+    /** Data written when the first superblock died. */
+    double dataUntilFirstBad() const;
+
+    /** Data written when @p frac of superblocks had died. */
+    double dataUntilBadFraction(double frac, std::uint32_t total) const;
+};
+
+/** The endurance simulator. */
+class EnduranceSim
+{
+  public:
+    explicit EnduranceSim(const EnduranceParams &params);
+
+    /** Run to the stop condition and return the curves. */
+    EnduranceResult run();
+
+    const EnduranceParams &params() const { return _params; }
+
+  private:
+    struct SubBlock
+    {
+        std::uint32_t origId;   ///< FTL-visible block id
+        std::uint32_t pe = 0;
+        std::uint32_t limit = 0;
+        bool remapped = false;  ///< holds an SRT entry
+    };
+
+    struct Superblock
+    {
+        std::vector<SubBlock> subs; ///< one per channel
+        bool alive = true;
+    };
+
+    EnduranceParams _params;
+};
+
+} // namespace dssd
+
+#endif // DSSD_RELIABILITY_ENDURANCE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Block-level wear (P/E endurance) model.
+ *
+ * Following WAS [40] and the paper's Sec 6.4, each block's P/E-cycle
+ * limit is drawn from a Gaussian (Table 1: E = 5578, sigma = 826.9)
+ * capturing process variation; a block becomes uncorrectable once its
+ * erase count passes its limit (the page with the highest RBER inside
+ * the block triggers the failure, footnote 9).
+ */
+
+#ifndef DSSD_RELIABILITY_WEAR_HH
+#define DSSD_RELIABILITY_WEAR_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/rng.hh"
+
+namespace dssd
+{
+
+/** P/E-limit distribution parameters. */
+struct WearModel
+{
+    double peMean = 5578.0;
+    double peSigma = 826.9;
+
+    /** Draw one block's P/E limit (truncated at >= 1). */
+    std::uint32_t
+    sampleLimit(Rng &rng) const
+    {
+        double v = rng.gaussian(peMean, peSigma);
+        if (v < 1.0)
+            v = 1.0;
+        return static_cast<std::uint32_t>(v);
+    }
+};
+
+} // namespace dssd
+
+#endif // DSSD_RELIABILITY_WEAR_HH

@@ -1,0 +1,55 @@
+#include "sim/engine.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+void
+Engine::schedule(Tick delay, Callback cb)
+{
+    scheduleAbs(_now + delay, std::move(cb));
+}
+
+void
+Engine::scheduleAbs(Tick when, Callback cb)
+{
+    if (when < _now)
+        panic("scheduleAbs into the past: when=%llu now=%llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    _queue.push(Event{when, _nextSeq++, std::move(cb)});
+}
+
+bool
+Engine::step()
+{
+    if (_queue.empty())
+        return false;
+    // Move the callback out before popping so that the event may
+    // safely schedule new events (which mutate the queue).
+    Event ev = _queue.top();
+    _queue.pop();
+    _now = ev.when;
+    ++_executed;
+    ev.cb();
+    return true;
+}
+
+void
+Engine::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Engine::runUntil(Tick until)
+{
+    while (!_queue.empty() && _queue.top().when <= until)
+        step();
+}
+
+} // namespace dssd

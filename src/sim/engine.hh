@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * A single Engine owns the event queue and the simulation clock. Model
+ * components hold a reference to the Engine and schedule callbacks at
+ * future ticks. Events scheduled for the same tick fire in FIFO order
+ * (insertion order), which keeps simulations deterministic.
+ */
+
+#ifndef DSSD_SIM_ENGINE_HH
+#define DSSD_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dssd
+{
+
+/**
+ * The discrete-event engine: an event queue plus the simulation clock.
+ *
+ * Typical driving loop:
+ * @code
+ *   Engine engine;
+ *   engine.schedule(100, []{ ... });
+ *   engine.run();             // drain all events
+ * @endcode
+ */
+class Engine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Engine() = default;
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulation time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void schedule(Tick delay, Callback cb);
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     * @pre when >= now()
+     */
+    void scheduleAbs(Tick when, Callback cb);
+
+    /**
+     * Execute the next pending event.
+     * @retval false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the event queue is empty. */
+    void run();
+
+    /**
+     * Run until the queue is empty or the clock passes @p until.
+     * Events at exactly @p until are executed; the clock never advances
+     * beyond the last executed event.
+     */
+    void runUntil(Tick until);
+
+    /** Number of events waiting in the queue. */
+    std::size_t pendingEvents() const { return _queue.size(); }
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executedEvents() const { return _executed; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> _queue;
+};
+
+} // namespace dssd
+
+#endif // DSSD_SIM_ENGINE_HH

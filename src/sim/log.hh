@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (simulator bugs), fatal() for user/configuration errors, warn()/inform()
+ * for status messages that never stop the simulation.
+ */
+
+#ifndef DSSD_SIM_LOG_HH
+#define DSSD_SIM_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dssd
+{
+
+/** Verbosity levels for inform()/debug() output. */
+enum class LogLevel { Quiet, Normal, Verbose, Debug };
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Get the global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Terminate due to an internal simulator bug. Prints the message to
+ * stderr and aborts (may dump core).
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to a user/configuration error. Prints the message to
+ * stderr and exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about questionable but non-fatal behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informative status message (suppressed under Quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace dssd
+
+#endif // DSSD_SIM_LOG_HH

@@ -1,0 +1,239 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+//
+// UtilizationRecorder
+//
+
+UtilizationRecorder::UtilizationRecorder(Tick window, int num_tags)
+    : _window(window), _numTags(num_tags), _busy(num_tags)
+{
+    if (window == 0)
+        fatal("UtilizationRecorder window must be > 0");
+    if (num_tags <= 0)
+        fatal("UtilizationRecorder needs at least one tag");
+}
+
+void
+UtilizationRecorder::ensureWindows(std::size_t count)
+{
+    for (auto &v : _busy) {
+        if (v.size() < count)
+            v.resize(count, 0);
+    }
+}
+
+void
+UtilizationRecorder::addBusy(Tick start, Tick end, int tag)
+{
+    if (tag < 0 || tag >= _numTags || end <= start)
+        return;
+    std::size_t last = static_cast<std::size_t>((end - 1) / _window);
+    ensureWindows(last + 1);
+    Tick t = start;
+    while (t < end) {
+        std::size_t w = static_cast<std::size_t>(t / _window);
+        Tick w_end = (static_cast<Tick>(w) + 1) * _window;
+        Tick seg_end = std::min(end, w_end);
+        _busy[tag][w] += seg_end - t;
+        t = seg_end;
+    }
+}
+
+std::vector<double>
+UtilizationRecorder::series(int tag) const
+{
+    std::vector<double> out;
+    if (tag < 0 || tag >= _numTags)
+        return out;
+    out.reserve(_busy[tag].size());
+    for (Tick b : _busy[tag])
+        out.push_back(static_cast<double>(b) / static_cast<double>(_window));
+    return out;
+}
+
+double
+UtilizationRecorder::busyFraction(int tag, Tick from, Tick to) const
+{
+    if (tag < 0 || tag >= _numTags || to <= from)
+        return 0.0;
+    // Sum whole windows that overlap [from, to); window-granular since
+    // busy time inside a window is not further localized.
+    std::size_t w0 = static_cast<std::size_t>(from / _window);
+    std::size_t w1 = static_cast<std::size_t>((to - 1) / _window);
+    Tick busy = 0;
+    for (std::size_t w = w0; w <= w1 && w < _busy[tag].size(); ++w)
+        busy += _busy[tag][w];
+    return static_cast<double>(busy) / static_cast<double>(to - from);
+}
+
+std::size_t
+UtilizationRecorder::numWindows() const
+{
+    std::size_t n = 0;
+    for (const auto &v : _busy)
+        n = std::max(n, v.size());
+    return n;
+}
+
+//
+// BandwidthResource
+//
+
+BandwidthResource::BandwidthResource(Engine &engine, std::string name,
+                                     BytesPerTick bw)
+    : _engine(engine), _name(std::move(name)), _bandwidth(bw),
+      _busyTicks(numTrafficTags, 0), _bytes(numTrafficTags, 0)
+{
+    if (bw <= 0.0)
+        fatal("BandwidthResource %s: bandwidth must be positive",
+              _name.c_str());
+}
+
+Tick
+BandwidthResource::duration(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    double d = static_cast<double>(bytes) / _bandwidth;
+    return std::max<Tick>(1, static_cast<Tick>(std::ceil(d)));
+}
+
+Tick
+BandwidthResource::queueDelay() const
+{
+    Tick now = _engine.now();
+    return _busyUntil > now ? _busyUntil - now : 0;
+}
+
+Tick
+BandwidthResource::reserve(std::uint64_t bytes, int tag)
+{
+    return reserveFrom(0, bytes, tag);
+}
+
+Tick
+BandwidthResource::reserveFrom(Tick earliest, std::uint64_t bytes, int tag)
+{
+    Tick now = _engine.now();
+    Tick start = std::max({now, earliest, _busyUntil});
+    Tick dur = duration(bytes);
+    Tick end = start + dur;
+    _busyUntil = end;
+    ++_transfers;
+    if (tag >= 0 && tag < static_cast<int>(_busyTicks.size())) {
+        _busyTicks[static_cast<std::size_t>(tag)] += dur;
+        _bytes[static_cast<std::size_t>(tag)] += bytes;
+    }
+    if (_recorder)
+        _recorder->addBusy(start, end, tag);
+    return end;
+}
+
+Tick
+BandwidthResource::transfer(std::uint64_t bytes, int tag, Callback done)
+{
+    Tick end = reserve(bytes, tag);
+    _engine.scheduleAbs(end, std::move(done));
+    return end;
+}
+
+void
+BandwidthResource::setBandwidth(BytesPerTick bw)
+{
+    if (bw <= 0.0)
+        fatal("BandwidthResource %s: bandwidth must be positive",
+              _name.c_str());
+    _bandwidth = bw;
+}
+
+Tick
+BandwidthResource::busyTicks(int tag) const
+{
+    if (tag < 0 || tag >= static_cast<int>(_busyTicks.size()))
+        return 0;
+    return _busyTicks[static_cast<std::size_t>(tag)];
+}
+
+Tick
+BandwidthResource::totalBusyTicks() const
+{
+    Tick sum = 0;
+    for (Tick t : _busyTicks)
+        sum += t;
+    return sum;
+}
+
+std::uint64_t
+BandwidthResource::bytesMoved(int tag) const
+{
+    if (tag < 0 || tag >= static_cast<int>(_bytes.size()))
+        return 0;
+    return _bytes[static_cast<std::size_t>(tag)];
+}
+
+void
+BandwidthResource::resetStats()
+{
+    _transfers = 0;
+    std::fill(_busyTicks.begin(), _busyTicks.end(), 0);
+    std::fill(_bytes.begin(), _bytes.end(), 0);
+}
+
+//
+// SlotResource
+//
+
+SlotResource::SlotResource(Engine &engine, std::string name, unsigned slots)
+    : _engine(engine), _name(std::move(name)), _capacity(slots), _free(slots)
+{
+    if (slots == 0)
+        fatal("SlotResource %s: capacity must be > 0", _name.c_str());
+}
+
+bool
+SlotResource::tryAcquire()
+{
+    if (_free == 0)
+        return false;
+    --_free;
+    _maxHeld = std::max(_maxHeld, _capacity - _free);
+    return true;
+}
+
+void
+SlotResource::acquire(Callback granted)
+{
+    if (tryAcquire()) {
+        // Run at the current tick but outside the caller's frame to keep
+        // grant ordering FIFO with any queued waiters released this tick.
+        _engine.schedule(0, std::move(granted));
+    } else {
+        _waiters.push_back(std::move(granted));
+    }
+}
+
+void
+SlotResource::release()
+{
+    if (_free == _capacity && _waiters.empty())
+        panic("SlotResource %s: release without acquire", _name.c_str());
+    if (!_waiters.empty()) {
+        // Hand the slot directly to the oldest waiter.
+        Callback cb = std::move(_waiters.front());
+        _waiters.pop_front();
+        _engine.schedule(0, std::move(cb));
+    } else {
+        ++_free;
+    }
+}
+
+} // namespace dssd

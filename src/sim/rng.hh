@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic random-number generation for workloads and wear models.
+ *
+ * Every stochastic component takes an explicit Rng (or seed) so that a
+ * given configuration always reproduces the same trace of events.
+ */
+
+#ifndef DSSD_SIM_RNG_HH
+#define DSSD_SIM_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace dssd
+{
+
+/** A seeded wrapper around std::mt19937_64 with the draws we need. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : _gen(seed) {}
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+        return d(_gen);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo = 0.0, double hi = 1.0)
+    {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(_gen);
+    }
+
+    /** Gaussian with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        std::normal_distribution<double> d(mean, sigma);
+        return d(_gen);
+    }
+
+    /** Exponential with the given mean. */
+    double
+    exponential(double mean)
+    {
+        std::exponential_distribution<double> d(1.0 / mean);
+        return d(_gen);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniformReal() < p;
+    }
+
+    std::mt19937_64 &raw() { return _gen; }
+
+  private:
+    std::mt19937_64 _gen;
+};
+
+} // namespace dssd
+
+#endif // DSSD_SIM_RNG_HH

@@ -1,0 +1,164 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+//
+// SampleStat
+//
+
+void
+SampleStat::sample(double v)
+{
+    _samples.push_back(v);
+    _sum += v;
+    _sortedValid = false;
+}
+
+double
+SampleStat::mean() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return _sum / static_cast<double>(_samples.size());
+}
+
+double
+SampleStat::min() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return *std::min_element(_samples.begin(), _samples.end());
+}
+
+double
+SampleStat::max() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return *std::max_element(_samples.begin(), _samples.end());
+}
+
+double
+SampleStat::percentile(double p) const
+{
+    if (_samples.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("percentile %f out of range", p);
+    if (!_sortedValid) {
+        _sorted = _samples;
+        std::sort(_sorted.begin(), _sorted.end());
+        _sortedValid = true;
+    }
+    // Nearest-rank: smallest value with at least ceil(p/100*N) samples
+    // at or below it.
+    std::size_t n = _sorted.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return _sorted[rank - 1];
+}
+
+double
+SampleStat::stddev() const
+{
+    if (_samples.size() < 2)
+        return 0.0;
+    double m = mean();
+    double acc = 0.0;
+    for (double v : _samples)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(_samples.size()));
+}
+
+void
+SampleStat::reset()
+{
+    _samples.clear();
+    _sorted.clear();
+    _sortedValid = false;
+    _sum = 0.0;
+}
+
+//
+// RateSeries
+//
+
+RateSeries::RateSeries(Tick window, std::string name)
+    : _window(window), _name(std::move(name))
+{
+    if (window == 0)
+        fatal("RateSeries window must be > 0");
+}
+
+void
+RateSeries::add(Tick when, double weight)
+{
+    std::size_t w = static_cast<std::size_t>(when / _window);
+    if (_sums.size() <= w)
+        _sums.resize(w + 1, 0.0);
+    _sums[w] += weight;
+    _total += weight;
+}
+
+std::vector<double>
+RateSeries::ratePerSec() const
+{
+    std::vector<double> out;
+    out.reserve(_sums.size());
+    double window_sec = ticksToSec(_window);
+    for (double s : _sums)
+        out.push_back(s / window_sec);
+    return out;
+}
+
+double
+RateSeries::averageRate(Tick from, Tick to) const
+{
+    if (to <= from)
+        return 0.0;
+    std::size_t w0 = static_cast<std::size_t>(from / _window);
+    std::size_t w1 = static_cast<std::size_t>((to - 1) / _window);
+    double sum = 0.0;
+    for (std::size_t w = w0; w <= w1 && w < _sums.size(); ++w)
+        sum += _sums[w];
+    return sum / ticksToSec(to - from);
+}
+
+//
+// Formatting helpers
+//
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    if (bytes_per_sec >= 1e9)
+        return strformat("%.2f GB/s", bytes_per_sec / 1e9);
+    if (bytes_per_sec >= 1e6)
+        return strformat("%.2f MB/s", bytes_per_sec / 1e6);
+    if (bytes_per_sec >= 1e3)
+        return strformat("%.2f KB/s", bytes_per_sec / 1e3);
+    return strformat("%.2f B/s", bytes_per_sec);
+}
+
+std::string
+formatLatency(double ns)
+{
+    if (ns >= 1e6)
+        return strformat("%.2f ms", ns / 1e6);
+    if (ns >= 1e3)
+        return strformat("%.2f us", ns / 1e3);
+    return strformat("%.0f ns", ns);
+}
+
+} // namespace dssd

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * The simulator models time in integer nanoseconds (Tick). Helpers are
+ * provided to convert between human units (us, ms, MB/s, GB/s) and the
+ * internal representation so that configuration code reads like the
+ * parameter tables in the paper.
+ */
+
+#ifndef DSSD_SIM_TYPES_HH
+#define DSSD_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dssd
+{
+
+/** Simulation time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "never" / unbounded time. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** One microsecond in ticks. */
+constexpr Tick tickUs = 1000;
+
+/** One millisecond in ticks. */
+constexpr Tick tickMs = 1000 * tickUs;
+
+/** One second in ticks. */
+constexpr Tick tickSec = 1000 * tickMs;
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(tickUs));
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(tickMs));
+}
+
+/** Convert ticks to microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickUs);
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickMs);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickSec);
+}
+
+/**
+ * Bandwidth expressed as bytes per tick (i.e., bytes per nanosecond,
+ * which conveniently equals GB/s).
+ */
+using BytesPerTick = double;
+
+/** Convert MB/s (10^6 bytes per second) to bytes-per-tick. */
+constexpr BytesPerTick
+mbPerSec(double mb)
+{
+    return mb * 1e6 / static_cast<double>(tickSec);
+}
+
+/** Convert GB/s (10^9 bytes per second) to bytes-per-tick. */
+constexpr BytesPerTick
+gbPerSec(double gb)
+{
+    return gb * 1e9 / static_cast<double>(tickSec);
+}
+
+/** Convert bytes-per-tick back to GB/s for reporting. */
+constexpr double
+toGbPerSec(BytesPerTick bpt)
+{
+    return bpt * static_cast<double>(tickSec) / 1e9;
+}
+
+/** Common power-of-two sizes. */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+} // namespace dssd
+
+#endif // DSSD_SIM_TYPES_HH

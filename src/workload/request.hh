@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Host I/O request type shared by generators, the queue driver, and
+ * the SSD front-end.
+ */
+
+#ifndef DSSD_WORKLOAD_REQUEST_HH
+#define DSSD_WORKLOAD_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace dssd
+{
+
+/** One host I/O request (byte-addressed, page-aligned by the HIL). */
+struct IoRequest
+{
+    enum class Kind { Read, Write };
+
+    Kind kind = Kind::Write;
+    std::uint64_t offset = 0;  ///< byte offset into the logical space
+    std::uint64_t bytes = 0;   ///< request size in bytes
+    /// Earliest issue time; 0 means "as soon as a queue slot frees"
+    /// (closed-loop). Trace replays may carry absolute timestamps.
+    Tick issueAt = 0;
+
+    bool isRead() const { return kind == Kind::Read; }
+    bool isWrite() const { return kind == Kind::Write; }
+};
+
+} // namespace dssd
+
+#endif // DSSD_WORKLOAD_REQUEST_HH

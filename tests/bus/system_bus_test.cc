@@ -1,0 +1,96 @@
+/** Unit tests for the system bus, DRAM port, and bus interconnects. */
+
+#include <gtest/gtest.h>
+
+#include "bus/system_bus.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(SystemBusTest, TransferAtConfiguredBandwidth)
+{
+    Engine e;
+    SystemBus bus(e, gbPerSec(8.0)); // 8 bytes per ns
+    Tick done = 0;
+    bus.channel().transfer(8192, tagIo, [&] { done = e.now(); });
+    e.run();
+    EXPECT_EQ(done, 1024u);
+}
+
+TEST(SystemBusTest, IoAndGcShareTheChannel)
+{
+    Engine e;
+    SystemBus bus(e, 1.0);
+    Tick io_done = 0, gc_done = 0;
+    bus.channel().transfer(100, tagGc, [&] { gc_done = e.now(); });
+    bus.channel().transfer(100, tagIo, [&] { io_done = e.now(); });
+    e.run();
+    EXPECT_EQ(gc_done, 100u);
+    EXPECT_EQ(io_done, 200u); // I/O queued behind GC: the interference
+}
+
+TEST(SystemBusTest, RecorderSplitsTraffic)
+{
+    Engine e;
+    SystemBus bus(e, 1.0);
+    UtilizationRecorder rec(1000);
+    bus.attachRecorder(&rec);
+    bus.channel().reserve(400, tagIo);
+    bus.channel().reserve(100, tagGc);
+    EXPECT_DOUBLE_EQ(rec.series(tagIo)[0], 0.4);
+    EXPECT_DOUBLE_EQ(rec.series(tagGc)[0], 0.1);
+}
+
+TEST(DramTest, PortIsIndependentOfBus)
+{
+    Engine e;
+    SystemBus bus(e, 1.0);
+    Dram dram(e, 1.0);
+    bus.channel().reserve(1000, tagIo);
+    Tick end = dram.port().reserve(1000, tagIo);
+    EXPECT_EQ(end, 1000u); // no serialization against the bus
+}
+
+TEST(SystemBusInterconnectTest, SendRidesTheSharedBus)
+{
+    Engine e;
+    SystemBus bus(e, 1.0);
+    SystemBusInterconnect ic(bus);
+    Tick done = 0;
+    // Pre-existing I/O backlog delays the copyback transfer.
+    bus.channel().reserve(500, tagIo);
+    ic.send(0, 5, 100, tagGc, [&] { done = e.now(); });
+    e.run();
+    EXPECT_EQ(done, 600u);
+    EXPECT_EQ(ic.bytesDelivered(), 100u);
+}
+
+TEST(DedicatedBusInterconnectTest, SendAvoidsTheSystemBus)
+{
+    Engine e;
+    SystemBus bus(e, 1.0);
+    DedicatedBusInterconnect ic(e, 2.0);
+    bus.channel().reserve(500, tagIo); // irrelevant backlog
+    Tick done = 0;
+    ic.send(0, 1, 100, tagGc, [&] { done = e.now(); });
+    e.run();
+    EXPECT_EQ(done, 50u);
+}
+
+TEST(DedicatedBusInterconnectTest, AllTrafficSerializes)
+{
+    Engine e;
+    DedicatedBusInterconnect ic(e, 1.0);
+    Tick d1 = 0, d2 = 0;
+    ic.send(0, 1, 100, tagGc, [&] { d1 = e.now(); });
+    ic.send(2, 3, 100, tagGc, [&] { d2 = e.now(); });
+    e.run();
+    EXPECT_EQ(d1, 100u);
+    EXPECT_EQ(d2, 200u); // the dSSD_b serialization bottleneck
+    EXPECT_EQ(ic.totalBusyTicks(), 200u);
+}
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,243 @@
+/** Unit tests for the decoupled controller and global copyback. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "controller/decoupled.hh"
+#include "noc/network.hh"
+
+namespace dssd
+{
+namespace
+{
+
+FlashGeometry
+geom()
+{
+    FlashGeometry g;
+    g.channels = 4;
+    g.ways = 2;
+    g.diesPerWay = 1;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 8;
+    g.pagesPerBlock = 16;
+    g.pageBytes = 4 * kKiB;
+    return g;
+}
+
+struct Rig
+{
+    Engine engine;
+    std::vector<std::unique_ptr<FlashChannel>> channels;
+    std::vector<std::unique_ptr<DecoupledController>> ctrls;
+    std::unique_ptr<NocNetwork> noc;
+
+    explicit Rig(unsigned dbuf_slots = 16)
+    {
+        ChannelParams cp;
+        cp.busBandwidth = 1.0;
+        DecoupledParams dp;
+        dp.dbufSlots = dbuf_slots;
+        NocParams np;
+        np.linkBandwidth = 2.0;
+        np.hopLatency = 10;
+        FlashGeometry g = geom();
+        for (unsigned ch = 0; ch < g.channels; ++ch) {
+            channels.push_back(std::make_unique<FlashChannel>(
+                engine, g, ullTiming(), ch, cp));
+            ctrls.push_back(std::make_unique<DecoupledController>(
+                engine, *channels[ch], dp));
+        }
+        noc = std::make_unique<NocNetwork>(
+            engine, std::make_unique<Mesh1D>(g.channels), np);
+        for (unsigned ch = 0; ch < g.channels; ++ch)
+            ctrls[ch]->setInterconnect(noc.get(), ch);
+    }
+};
+
+TEST(DecoupledTest, SameChannelCopybackCompletes)
+{
+    Rig rig;
+    PhysAddr src{}, dst{};
+    dst.block = 3;
+    bool done = false;
+    rig.ctrls[0]->globalCopyback(src, dst, nullptr, tagGc,
+                                 [&] { done = true; });
+    rig.engine.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(rig.ctrls[0]->copybacksCompleted(), 1u);
+    // The page never entered the network.
+    EXPECT_EQ(rig.noc->packetsDelivered(), 0u);
+}
+
+TEST(DecoupledTest, CrossChannelCopybackUsesNoc)
+{
+    Rig rig;
+    PhysAddr src{}, dst{};
+    dst.channel = 3;
+    bool done = false;
+    rig.ctrls[0]->globalCopyback(src, dst, rig.ctrls[3].get(), tagGc,
+                                 [&] { done = true; });
+    rig.engine.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(rig.noc->packetsDelivered(), 1u);
+    EXPECT_EQ(rig.channels[3]->programs(), 1u);
+    EXPECT_EQ(rig.channels[0]->reads(), 1u);
+}
+
+TEST(DecoupledTest, StageMachineProgression)
+{
+    Rig rig;
+    PhysAddr src{}, dst{};
+    dst.channel = 2;
+    rig.ctrls[0]->globalCopyback(src, dst, rig.ctrls[2].get(), tagGc,
+                                 [] {});
+    rig.engine.run();
+    auto &c = *rig.ctrls[0];
+    EXPECT_EQ(c.stageCount(CopybackStage::Issued), 1u);
+    EXPECT_EQ(c.stageCount(CopybackStage::R), 1u);
+    EXPECT_EQ(c.stageCount(CopybackStage::RE), 1u);
+    EXPECT_EQ(c.stageCount(CopybackStage::T), 1u);
+    EXPECT_EQ(c.stageCount(CopybackStage::W), 1u);
+    EXPECT_EQ(c.copybacksInFlight(), 0u);
+}
+
+TEST(DecoupledTest, EccAlwaysChecksTheData)
+{
+    // Footnote 6: even same-die destinations go through ECC (no ONFI
+    // local copyback), so error propagation cannot happen.
+    Rig rig;
+    PhysAddr src{}, dst{};
+    dst.block = 1;
+    rig.ctrls[0]->globalCopyback(src, dst, nullptr, tagGc, [] {});
+    rig.engine.run();
+    EXPECT_EQ(rig.ctrls[0]->ecc().pagesProcessed(), 1u);
+}
+
+TEST(DecoupledTest, CopybackLatencyRecorded)
+{
+    Rig rig;
+    PhysAddr src{}, dst{};
+    dst.channel = 1;
+    rig.ctrls[0]->globalCopyback(src, dst, rig.ctrls[1].get(), tagGc,
+                                 [] {});
+    rig.engine.run();
+    EXPECT_EQ(rig.ctrls[0]->copybackLatency().count(), 1u);
+    // At minimum: read 5us + program 50us.
+    EXPECT_GT(rig.ctrls[0]->copybackLatency().mean(),
+              static_cast<double>(usToTicks(55)));
+}
+
+TEST(DecoupledTest, BreakdownAttributesNocTime)
+{
+    Rig rig;
+    PhysAddr src{}, dst{};
+    dst.channel = 3;
+    LatencyBreakdown bd;
+    rig.ctrls[0]->globalCopyback(src, dst, rig.ctrls[3].get(), tagGc,
+                                 [] {}, &bd);
+    rig.engine.run();
+    EXPECT_GT(bd.noc, 0u);
+    EXPECT_GT(bd.ecc, 0u);
+    EXPECT_GT(bd.flashMem, 0u);
+    EXPECT_EQ(bd.systemBus, 0u); // the whole point of dSSD
+}
+
+TEST(DecoupledTest, DbufBackpressureBoundsConcurrency)
+{
+    Rig rig(2); // 2 dBUF slots total: 1 egress + 1 ingress
+    unsigned done = 0;
+    PhysAddr src{}, dst{};
+    dst.channel = 1;
+    for (int i = 0; i < 8; ++i) {
+        src.page = static_cast<std::uint32_t>(i);
+        dst.page = static_cast<std::uint32_t>(i);
+        rig.ctrls[0]->globalCopyback(src, dst, rig.ctrls[1].get(), tagGc,
+                                     [&] { ++done; });
+    }
+    rig.engine.run();
+    EXPECT_EQ(done, 8u);
+    EXPECT_LE(rig.ctrls[0]->dbufOut().maxHeld(), 1u);
+    EXPECT_LE(rig.ctrls[1]->dbufIn().maxHeld(), 1u);
+}
+
+TEST(DecoupledTest, BidirectionalCopybackStormIsDeadlockFree)
+{
+    // Saturate every controller with cross-channel copybacks in both
+    // directions; the egress/ingress dBUF split must prevent the
+    // cyclic wait.
+    Rig rig(2);
+    unsigned done = 0;
+    const unsigned per_pair = 32;
+    for (unsigned i = 0; i < per_pair; ++i) {
+        for (unsigned ch = 0; ch < 4; ++ch) {
+            PhysAddr src{}, dst{};
+            src.channel = ch;
+            src.page = i % 16;
+            dst.channel = (ch + 1 + i) % 4;
+            dst.page = i % 16;
+            rig.ctrls[ch]->globalCopyback(
+                src, dst, rig.ctrls[dst.channel].get(), tagGc,
+                [&] { ++done; });
+        }
+    }
+    rig.engine.run();
+    EXPECT_EQ(done, per_pair * 4);
+    for (unsigned ch = 0; ch < 4; ++ch)
+        EXPECT_EQ(rig.ctrls[ch]->copybacksInFlight(), 0u) << ch;
+}
+
+TEST(DecoupledTest, RemapRedirectsCommands)
+{
+    Rig rig;
+    FlashGeometry g = geom();
+    PhysAddr orig{};
+    orig.block = 2;
+    PhysAddr repl{};
+    repl.way = 1;
+    repl.block = 5;
+    rig.ctrls[0]->srt().insert(channelBlockId(g, orig),
+                               channelBlockId(g, repl));
+    PhysAddr probe = orig;
+    probe.page = 7;
+    PhysAddr out = rig.ctrls[0]->remap(probe);
+    EXPECT_EQ(out.way, 1u);
+    EXPECT_EQ(out.block, 5u);
+    EXPECT_EQ(out.page, 7u);   // page offset preserved
+    EXPECT_EQ(out.channel, 0u);
+}
+
+TEST(DecoupledTest, RemapPassThroughWhenNoEntry)
+{
+    Rig rig;
+    PhysAddr a{};
+    a.block = 4;
+    a.page = 3;
+    PhysAddr out = rig.ctrls[0]->remap(a);
+    EXPECT_EQ(out.block, 4u);
+    EXPECT_EQ(out.page, 3u);
+}
+
+TEST(DecoupledDeathTest, CrossChannelWithoutControllerPanics)
+{
+    Rig rig;
+    PhysAddr src{}, dst{};
+    dst.channel = 1;
+    EXPECT_DEATH(
+        rig.ctrls[0]->globalCopyback(src, dst, nullptr, tagGc, [] {}),
+        "destination controller");
+}
+
+TEST(DecoupledDeathTest, WrongSourceChannelPanics)
+{
+    Rig rig;
+    PhysAddr src{}, dst{};
+    src.channel = 2;
+    EXPECT_DEATH(
+        rig.ctrls[0]->globalCopyback(src, dst, nullptr, tagGc, [] {}),
+        "source");
+}
+
+} // namespace
+} // namespace dssd

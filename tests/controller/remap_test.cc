@@ -1,0 +1,129 @@
+/** Unit tests for the SRT and RBT hardware tables. */
+
+#include <gtest/gtest.h>
+
+#include "controller/remap.hh"
+
+namespace dssd
+{
+namespace
+{
+
+FlashGeometry
+geom()
+{
+    FlashGeometry g;
+    g.channels = 2;
+    g.ways = 2;
+    g.diesPerWay = 2;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 16;
+    g.pagesPerBlock = 8;
+    return g;
+}
+
+TEST(ChannelBlockIdTest, RoundTrips)
+{
+    FlashGeometry g = geom();
+    PhysAddr a{};
+    a.channel = 1;
+    a.way = 1;
+    a.die = 0;
+    a.plane = 1;
+    a.block = 7;
+    ChannelBlockId id = channelBlockId(g, a);
+    PhysAddr back = channelBlockAddr(g, 1, id);
+    EXPECT_EQ(back.channel, a.channel);
+    EXPECT_EQ(back.way, a.way);
+    EXPECT_EQ(back.die, a.die);
+    EXPECT_EQ(back.plane, a.plane);
+    EXPECT_EQ(back.block, a.block);
+}
+
+TEST(ChannelBlockIdTest, DistinctBlocksDistinctIds)
+{
+    FlashGeometry g = geom();
+    std::set<ChannelBlockId> ids;
+    PhysAddr a{};
+    for (a.way = 0; a.way < g.ways; ++a.way)
+        for (a.die = 0; a.die < g.diesPerWay; ++a.die)
+            for (a.plane = 0; a.plane < g.planesPerDie; ++a.plane)
+                for (a.block = 0; a.block < g.blocksPerPlane; ++a.block)
+                    ids.insert(channelBlockId(g, a));
+    EXPECT_EQ(ids.size(),
+              static_cast<std::size_t>(g.ways * g.diesPerWay *
+                                       g.planesPerDie * g.blocksPerPlane));
+}
+
+TEST(RbtTest, FifoOrder)
+{
+    RecycleBlockTable rbt;
+    rbt.add(10);
+    rbt.add(20);
+    rbt.add(30);
+    EXPECT_EQ(rbt.size(), 3u);
+    EXPECT_EQ(rbt.take(), 10u);
+    EXPECT_EQ(rbt.take(), 20u);
+    EXPECT_EQ(rbt.size(), 1u);
+    EXPECT_EQ(rbt.taken(), 2u);
+    EXPECT_EQ(rbt.highWater(), 3u);
+}
+
+TEST(RbtTest, StartsEmpty)
+{
+    RecycleBlockTable rbt;
+    EXPECT_TRUE(rbt.empty());
+    EXPECT_EQ(rbt.size(), 0u);
+}
+
+TEST(SrtTest, InsertAndLookup)
+{
+    SuperblockRemapTable srt(4);
+    EXPECT_TRUE(srt.insert(5, 99));
+    auto hit = srt.lookup(5);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 99u);
+    EXPECT_FALSE(srt.lookup(6).has_value());
+}
+
+TEST(SrtTest, CapacityLimitEnforced)
+{
+    SuperblockRemapTable srt(2);
+    EXPECT_TRUE(srt.insert(1, 10));
+    EXPECT_TRUE(srt.insert(2, 20));
+    EXPECT_TRUE(srt.full());
+    EXPECT_FALSE(srt.insert(3, 30));
+    EXPECT_EQ(srt.activeEntries(), 2u);
+}
+
+TEST(SrtTest, EraseFreesCapacity)
+{
+    SuperblockRemapTable srt(1);
+    EXPECT_TRUE(srt.insert(1, 10));
+    EXPECT_FALSE(srt.insert(2, 20));
+    EXPECT_TRUE(srt.erase(1));
+    EXPECT_FALSE(srt.erase(1));
+    EXPECT_TRUE(srt.insert(2, 20));
+    EXPECT_EQ(srt.highWater(), 1u);
+    EXPECT_EQ(srt.inserts(), 2u);
+}
+
+TEST(SrtTest, DuplicateSourceRejected)
+{
+    SuperblockRemapTable srt(8);
+    EXPECT_TRUE(srt.insert(1, 10));
+    EXPECT_FALSE(srt.insert(1, 11));
+    EXPECT_EQ(*srt.lookup(1), 10u);
+}
+
+TEST(SrtTest, ZeroCapacityMeansUnbounded)
+{
+    SuperblockRemapTable srt(0);
+    for (ChannelBlockId i = 0; i < 10000; ++i)
+        EXPECT_TRUE(srt.insert(i, i + 1));
+    EXPECT_FALSE(srt.full());
+    EXPECT_EQ(srt.activeEntries(), 10000u);
+}
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,97 @@
+/** Unit tests for configuration and bandwidth accounting (Table 2). */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(ConfigTest, ArchNames)
+{
+    EXPECT_STREQ(archName(ArchKind::Baseline), "Baseline");
+    EXPECT_STREQ(archName(ArchKind::BW), "BW");
+    EXPECT_STREQ(archName(ArchKind::DSSD), "dSSD");
+    EXPECT_STREQ(archName(ArchKind::DSSDBus), "dSSD_b");
+    EXPECT_STREQ(archName(ArchKind::DSSDNoc), "dSSD_f");
+}
+
+TEST(ConfigTest, DecoupledClassification)
+{
+    EXPECT_FALSE(isDecoupled(ArchKind::Baseline));
+    EXPECT_FALSE(isDecoupled(ArchKind::BW));
+    EXPECT_TRUE(isDecoupled(ArchKind::DSSD));
+    EXPECT_TRUE(isDecoupled(ArchKind::DSSDBus));
+    EXPECT_TRUE(isDecoupled(ArchKind::DSSDNoc));
+}
+
+TEST(ConfigTest, BaselineBusBandwidthIsBase)
+{
+    SsdConfig c = makeConfig(ArchKind::Baseline);
+    EXPECT_DOUBLE_EQ(toGbPerSec(c.effectiveSystemBusBandwidth()), 8.0);
+}
+
+TEST(ConfigTest, BwAndDssdWidenTheSystemBus)
+{
+    SsdConfig bw = makeConfig(ArchKind::BW);
+    EXPECT_DOUBLE_EQ(toGbPerSec(bw.effectiveSystemBusBandwidth()), 10.0);
+    SsdConfig d = makeConfig(ArchKind::DSSD);
+    EXPECT_DOUBLE_EQ(toGbPerSec(d.effectiveSystemBusBandwidth()), 10.0);
+}
+
+TEST(ConfigTest, DedicatedConfigsKeepBaseBusAndGetExtraInterconnect)
+{
+    for (ArchKind k : {ArchKind::DSSDBus, ArchKind::DSSDNoc}) {
+        SsdConfig c = makeConfig(k);
+        EXPECT_DOUBLE_EQ(toGbPerSec(c.effectiveSystemBusBandwidth()),
+                         8.0);
+        EXPECT_DOUBLE_EQ(toGbPerSec(c.interconnectBandwidth()), 2.0);
+    }
+}
+
+TEST(ConfigTest, TotalOnChipBandwidthEqualAcrossNonBaseline)
+{
+    // The fair-comparison constraint of Fig 7.
+    for (ArchKind k : {ArchKind::BW, ArchKind::DSSD, ArchKind::DSSDBus,
+                       ArchKind::DSSDNoc}) {
+        SsdConfig c = makeConfig(k);
+        double total;
+        if (k == ArchKind::BW || k == ArchKind::DSSD)
+            total = toGbPerSec(c.effectiveSystemBusBandwidth());
+        else
+            total = toGbPerSec(c.effectiveSystemBusBandwidth()) +
+                    toGbPerSec(c.interconnectBandwidth());
+        EXPECT_DOUBLE_EQ(total, 10.0) << archName(k);
+    }
+}
+
+TEST(ConfigTest, Table1Defaults)
+{
+    SsdConfig c = makeConfig(ArchKind::Baseline, false);
+    EXPECT_EQ(c.geom.channels, 8u);
+    EXPECT_EQ(c.geom.ways, 8u);
+    EXPECT_EQ(c.geom.planesPerDie, 8u);
+    EXPECT_EQ(c.geom.blocksPerPlane, 1384u);
+    EXPECT_EQ(c.geom.pagesPerBlock, 384u);
+    EXPECT_DOUBLE_EQ(toGbPerSec(c.systemBusBandwidth), 8.0);
+    EXPECT_DOUBLE_EQ(toGbPerSec(c.dramBandwidth), 8.0);
+    EXPECT_DOUBLE_EQ(toGbPerSec(c.channel.busBandwidth), 1.0);
+    EXPECT_DOUBLE_EQ(c.overProvision, 0.07);
+    EXPECT_EQ(c.timing.readMin, usToTicks(5));
+}
+
+TEST(ConfigTest, ReducedGeometryKeepsRatios)
+{
+    FlashGeometry full = paperUllGeometry();
+    FlashGeometry red = reducedUllGeometry();
+    EXPECT_EQ(red.channels, full.channels);
+    EXPECT_EQ(red.ways, full.ways);
+    EXPECT_EQ(red.planesPerDie, full.planesPerDie);
+    EXPECT_EQ(red.pageBytes, full.pageBytes);
+    EXPECT_LT(red.totalPages(), full.totalPages());
+}
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,269 @@
+/** Unit tests for the SSD top-level datapaths. */
+
+#include <gtest/gtest.h>
+
+#include "core/gc.hh"
+#include "core/ssd.hh"
+
+namespace dssd
+{
+namespace
+{
+
+SsdConfig
+testConfig(ArchKind arch)
+{
+    SsdConfig c = makeConfig(arch);
+    c.geom.channels = 4;
+    c.geom.ways = 2;
+    c.geom.diesPerWay = 1;
+    c.geom.planesPerDie = 2;
+    c.geom.blocksPerPlane = 16;
+    c.geom.pagesPerBlock = 8;
+    c.writeBuffer.capacityPages = 64;
+    return c;
+}
+
+TEST(SsdTest, ConstructsEveryArch)
+{
+    for (ArchKind k : {ArchKind::Baseline, ArchKind::BW, ArchKind::DSSD,
+                       ArchKind::DSSDBus, ArchKind::DSSDNoc}) {
+        Engine e;
+        Ssd ssd(e, testConfig(k));
+        EXPECT_EQ(ssd.channelCount(), 4u) << archName(k);
+        if (isDecoupled(k)) {
+            EXPECT_NE(ssd.decoupledController(0), nullptr);
+            EXPECT_NE(ssd.interconnect(), nullptr);
+        } else {
+            EXPECT_EQ(ssd.decoupledController(0), nullptr);
+            EXPECT_EQ(ssd.interconnect(), nullptr);
+        }
+        EXPECT_EQ(ssd.noc() != nullptr, k == ArchKind::DSSDNoc);
+    }
+}
+
+TEST(SsdTest, NocBisectionMatchesExtraBandwidth)
+{
+    Engine e;
+    Ssd ssd(e, testConfig(ArchKind::DSSDNoc));
+    ASSERT_NE(ssd.noc(), nullptr);
+    double link = toGbPerSec(ssd.noc()->params().linkBandwidth);
+    double bisection = link * ssd.noc()->topology().bisectionLinks();
+    EXPECT_DOUBLE_EQ(bisection,
+                     toGbPerSec(ssd.config().interconnectBandwidth()));
+}
+
+TEST(SsdTest, WritePageBufferedCompletesWithoutFlash)
+{
+    Engine e;
+    Ssd ssd(e, testConfig(ArchKind::Baseline));
+    bool done = false;
+    ssd.writePage(0, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    // Buffered write: ack after DRAM, no flash program yet.
+    EXPECT_EQ(ssd.channel(0).programs(), 0u);
+    EXPECT_TRUE(ssd.writeBuffer().readHit(0));
+}
+
+TEST(SsdTest, ReadMissGoesToFlash)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::AlwaysMiss;
+    Engine e;
+    Ssd ssd(e, c);
+    ssd.prefill(0.5, 0.0);
+    bool done = false;
+    ssd.readPage(0, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    std::uint64_t reads = 0;
+    for (unsigned ch = 0; ch < ssd.channelCount(); ++ch)
+        reads += ssd.channel(ch).reads();
+    EXPECT_EQ(reads, 1u);
+    // Miss path crossed the system bus once.
+    EXPECT_GT(ssd.systemBus().channel().busyTicks(tagIo), 0u);
+}
+
+TEST(SsdTest, ReadHitServedByDram)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::AlwaysHit;
+    Engine e;
+    Ssd ssd(e, c);
+    bool done = false;
+    ssd.readPage(0, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_GT(ssd.dram().port().busyTicks(tagIo), 0u);
+    std::uint64_t reads = 0;
+    for (unsigned ch = 0; ch < ssd.channelCount(); ++ch)
+        reads += ssd.channel(ch).reads();
+    EXPECT_EQ(reads, 0u);
+}
+
+TEST(SsdTest, ReadUnwrittenPageCompletesInstantly)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::AlwaysMiss;
+    Engine e;
+    Ssd ssd(e, c);
+    bool done = false;
+    ssd.readPage(5, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ssd.channel(0).reads(), 0u);
+}
+
+TEST(SsdTest, DirectWriteProgramsFlash)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::AlwaysMiss;
+    Engine e;
+    Ssd ssd(e, c);
+    bool done = false;
+    ssd.writePage(9, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    std::uint64_t programs = 0;
+    for (unsigned ch = 0; ch < ssd.channelCount(); ++ch)
+        programs += ssd.channel(ch).programs();
+    EXPECT_EQ(programs, 1u);
+    EXPECT_TRUE(ssd.mapping().translate(9).has_value());
+}
+
+TEST(SsdTest, BufferedWritesFlushAtWatermark)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.capacityPages = 16;
+    Engine e;
+    Ssd ssd(e, c);
+    unsigned done = 0;
+    for (Lpn l = 0; l < 15; ++l)
+        ssd.writePage(l, [&] { ++done; });
+    e.run();
+    EXPECT_EQ(done, 15u);
+    EXPECT_GT(ssd.flushedPages(), 0u);
+    std::uint64_t programs = 0;
+    for (unsigned ch = 0; ch < ssd.channelCount(); ++ch)
+        programs += ssd.channel(ch).programs();
+    EXPECT_EQ(programs, ssd.flushedPages());
+}
+
+TEST(SsdTest, SubmitSplitsRequestIntoPages)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::AlwaysMiss;
+    Engine e;
+    Ssd ssd(e, c);
+    IoRequest r;
+    r.kind = IoRequest::Kind::Write;
+    r.offset = 0;
+    r.bytes = 32 * kKiB; // 8 pages
+    bool done = false;
+    ssd.submit(r, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    std::uint64_t programs = 0;
+    for (unsigned ch = 0; ch < ssd.channelCount(); ++ch)
+        programs += ssd.channel(ch).programs();
+    EXPECT_EQ(programs, 8u);
+    EXPECT_EQ(ssd.hostWrites(), 8u);
+}
+
+TEST(SsdTest, UnalignedRequestCoversStraddledPages)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    Engine e;
+    Ssd ssd(e, c);
+    IoRequest r;
+    r.kind = IoRequest::Kind::Write;
+    r.offset = 2 * kKiB;   // middle of page 0
+    r.bytes = 4 * kKiB;    // spills into page 1
+    bool done = false;
+    ssd.submit(r, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ssd.hostWrites(), 2u);
+}
+
+TEST(SsdTest, GcCopyBaselineUsesBusTwiceAndDramTwice)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    Engine e;
+    Ssd ssd(e, c);
+    ssd.prefill(0.5, 0.0);
+    PhysAddr src = ssd.mapping().geometry().pageAddr(
+        *ssd.mapping().translate(0));
+    PhysAddr dst = ssd.mapping().allocateInUnit(0, 0);
+    bool done = false;
+    ssd.gcCopyPage(src, dst, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    std::uint64_t page = c.geom.pageBytes;
+    EXPECT_EQ(ssd.systemBus().channel().bytesMoved(tagGc), 2 * page);
+    EXPECT_EQ(ssd.dram().port().bytesMoved(tagGc), 2 * page);
+}
+
+TEST(SsdTest, GcCopyDssdNeverTouchesFrontEnd)
+{
+    for (ArchKind k :
+         {ArchKind::DSSDBus, ArchKind::DSSDNoc}) {
+        SsdConfig c = testConfig(k);
+        Engine e;
+        Ssd ssd(e, c);
+        ssd.prefill(0.5, 0.0);
+        PhysAddr src = ssd.mapping().geometry().pageAddr(
+            *ssd.mapping().translate(0));
+        PhysAddr dst = ssd.mapping().allocateInUnit(0, 12);
+        bool done = false;
+        ssd.gcCopyPage(src, dst, [&] { done = true; });
+        e.run();
+        EXPECT_TRUE(done) << archName(k);
+        EXPECT_EQ(ssd.systemBus().channel().bytesMoved(tagGc), 0u)
+            << archName(k);
+        EXPECT_EQ(ssd.dram().port().bytesMoved(tagGc), 0u)
+            << archName(k);
+    }
+}
+
+TEST(SsdTest, GcCopyDssdVariantRidesSystemBusOnce)
+{
+    SsdConfig c = testConfig(ArchKind::DSSD);
+    Engine e;
+    Ssd ssd(e, c);
+    ssd.prefill(0.5, 0.0);
+    PhysAddr src = ssd.mapping().geometry().pageAddr(
+        *ssd.mapping().translate(0));
+    // Cross-channel destination so the interconnect is used.
+    PhysAddr dst = ssd.mapping().allocateInUnit(0, 12);
+    ASSERT_NE(ssd.mapping().unitOf(dst) / 4, src.channel);
+    bool done = false;
+    ssd.gcCopyPage(src, dst, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    // One bus crossing (ctrl to ctrl), not two, and no DRAM.
+    EXPECT_EQ(ssd.systemBus().channel().bytesMoved(tagGc),
+              c.geom.pageBytes);
+    EXPECT_EQ(ssd.dram().port().bytesMoved(tagGc), 0u);
+}
+
+TEST(SsdTest, IoBreakdownAccumulates)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::AlwaysMiss;
+    Engine e;
+    Ssd ssd(e, c);
+    ssd.prefill(0.5, 0.0);
+    for (Lpn l = 0; l < 4; ++l)
+        ssd.readPage(l, [] {});
+    e.run();
+    EXPECT_EQ(ssd.ioBreakdown().count, 4u);
+    LatencyBreakdown m = ssd.ioBreakdown().mean();
+    EXPECT_GT(m.flashMem, 0u);
+    EXPECT_GT(m.flashBus, 0u);
+    EXPECT_GT(m.systemBus, 0u);
+}
+
+} // namespace
+} // namespace dssd

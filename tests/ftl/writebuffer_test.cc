@@ -1,0 +1,116 @@
+/** Unit tests for the DRAM write-buffer model. */
+
+#include <gtest/gtest.h>
+
+#include "ftl/writebuffer.hh"
+
+namespace dssd
+{
+namespace
+{
+
+WriteBufferParams
+params()
+{
+    WriteBufferParams p;
+    p.capacityPages = 10;
+    p.mode = BufferMode::Real;
+    p.flushHighWatermark = 0.8;
+    p.flushLowWatermark = 0.5;
+    return p;
+}
+
+TEST(WriteBufferTest, MissThenHitAfterInsert)
+{
+    WriteBuffer wb(params());
+    EXPECT_FALSE(wb.readHit(5));
+    EXPECT_FALSE(wb.insert(5));
+    EXPECT_TRUE(wb.readHit(5));
+}
+
+TEST(WriteBufferTest, OverwriteHitDoesNotGrow)
+{
+    WriteBuffer wb(params());
+    wb.insert(1);
+    EXPECT_TRUE(wb.insert(1));
+    EXPECT_EQ(wb.occupancy(), 1u);
+}
+
+TEST(WriteBufferTest, FlushWatermarks)
+{
+    WriteBuffer wb(params());
+    for (Lpn l = 0; l < 8; ++l)
+        wb.insert(l);
+    EXPECT_FALSE(wb.flushNeeded()); // 8 == 0.8*10, not above
+    wb.insert(8);
+    EXPECT_TRUE(wb.flushNeeded());
+    auto drained = wb.drainForFlush(4);
+    EXPECT_EQ(drained.size(), 4u);
+    EXPECT_EQ(wb.occupancy(), 5u);
+    EXPECT_TRUE(wb.flushSatisfied());
+}
+
+TEST(WriteBufferTest, DrainIsFifoOldestFirst)
+{
+    WriteBuffer wb(params());
+    wb.insert(10);
+    wb.insert(20);
+    wb.insert(30);
+    auto d = wb.drainForFlush(2);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0], 10u);
+    EXPECT_EQ(d[1], 20u);
+    EXPECT_FALSE(wb.readHit(10));
+    EXPECT_TRUE(wb.readHit(30));
+}
+
+TEST(WriteBufferTest, AlwaysHitModeIgnoresResidency)
+{
+    WriteBufferParams p = params();
+    p.mode = BufferMode::AlwaysHit;
+    WriteBuffer wb(p);
+    EXPECT_TRUE(wb.readHit(999));
+}
+
+TEST(WriteBufferTest, AlwaysMissModeIgnoresResidency)
+{
+    WriteBufferParams p = params();
+    p.mode = BufferMode::AlwaysMiss;
+    WriteBuffer wb(p);
+    wb.insert(7);
+    EXPECT_FALSE(wb.readHit(7));
+}
+
+TEST(WriteBufferTest, CapacityOverflowDropsOldest)
+{
+    WriteBuffer wb(params());
+    for (Lpn l = 0; l < 12; ++l)
+        wb.insert(l);
+    EXPECT_EQ(wb.occupancy(), 10u);
+    EXPECT_FALSE(wb.readHit(0));
+    EXPECT_TRUE(wb.readHit(11));
+}
+
+TEST(WriteBufferTest, EvictRemovesSpecificPage)
+{
+    WriteBuffer wb(params());
+    wb.insert(1);
+    wb.insert(2);
+    wb.evict(1);
+    EXPECT_FALSE(wb.readHit(1));
+    EXPECT_TRUE(wb.readHit(2));
+    EXPECT_EQ(wb.occupancy(), 1u);
+}
+
+TEST(WriteBufferTest, ProbeStats)
+{
+    WriteBuffer wb(params());
+    wb.recordProbe(true);
+    wb.recordProbe(true);
+    wb.recordProbe(false);
+    EXPECT_EQ(wb.hits(), 2u);
+    EXPECT_EQ(wb.misses(), 1u);
+}
+
+} // namespace
+} // namespace dssd

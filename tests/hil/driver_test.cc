@@ -1,0 +1,162 @@
+/** Unit tests for the host queue driver. */
+
+#include <gtest/gtest.h>
+
+#include "hil/driver.hh"
+
+namespace dssd
+{
+namespace
+{
+
+/** A fake SSD that completes each request after a fixed delay. */
+struct FakeSsd
+{
+    Engine &engine;
+    Tick serviceTime;
+    unsigned inFlight = 0;
+    unsigned maxInFlight = 0;
+
+    void
+    submit(const IoRequest &, Engine::Callback done)
+    {
+        ++inFlight;
+        maxInFlight = std::max(maxInFlight, inFlight);
+        engine.schedule(serviceTime, [this, done = std::move(done)] {
+            --inFlight;
+            done();
+        });
+    }
+};
+
+TEST(QueueDriverTest, CompletesAllRequests)
+{
+    Engine e;
+    FakeSsd ssd{e, 100};
+    SyntheticParams p;
+    p.count = 50;
+    SyntheticGenerator gen(p);
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        ssd.submit(r, std::move(cb));
+                    },
+                    8);
+    bool finished = false;
+    drv.onFinished([&] { finished = true; });
+    drv.start();
+    e.run();
+    EXPECT_TRUE(finished);
+    EXPECT_TRUE(drv.finished());
+    EXPECT_EQ(drv.completed(), 50u);
+    EXPECT_EQ(drv.outstanding(), 0u);
+}
+
+TEST(QueueDriverTest, RespectsQueueDepth)
+{
+    Engine e;
+    FakeSsd ssd{e, 1000};
+    SyntheticParams p;
+    p.count = 100;
+    SyntheticGenerator gen(p);
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        ssd.submit(r, std::move(cb));
+                    },
+                    16);
+    drv.start();
+    e.run();
+    EXPECT_EQ(ssd.maxInFlight, 16u);
+}
+
+TEST(QueueDriverTest, LatencyStatsMatchServiceTime)
+{
+    Engine e;
+    FakeSsd ssd{e, 500};
+    SyntheticParams p;
+    p.count = 10;
+    p.readRatio = 1.0;
+    SyntheticGenerator gen(p);
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        ssd.submit(r, std::move(cb));
+                    },
+                    1); // QD 1: no queueing delay
+    drv.start();
+    e.run();
+    EXPECT_EQ(drv.readLatency().count(), 10u);
+    EXPECT_DOUBLE_EQ(drv.readLatency().mean(), 500.0);
+    EXPECT_EQ(drv.writeLatency().count(), 0u);
+}
+
+TEST(QueueDriverTest, BandwidthSeriesAccumulatesBytes)
+{
+    Engine e;
+    FakeSsd ssd{e, 10};
+    SyntheticParams p;
+    p.count = 8;
+    p.requestBytes = 4 * kKiB;
+    SyntheticGenerator gen(p);
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        ssd.submit(r, std::move(cb));
+                    },
+                    4);
+    drv.start();
+    e.run();
+    EXPECT_DOUBLE_EQ(drv.ioBytes().total(), 8.0 * 4 * kKiB);
+}
+
+TEST(QueueDriverTest, TimestampedRequestsWait)
+{
+    Engine e;
+    FakeSsd ssd{e, 1};
+    // A tiny trace with a request at t = 5 ms.
+    struct OneShot : Generator
+    {
+        int n = 0;
+        std::string nm = "oneshot";
+        std::optional<IoRequest> next() override
+        {
+            if (n++)
+                return std::nullopt;
+            IoRequest r;
+            r.issueAt = 5 * tickMs;
+            r.bytes = 4096;
+            return r;
+        }
+        const std::string &name() const override { return nm; }
+    } gen;
+    Tick completed_at = 0;
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        ssd.submit(r, std::move(cb));
+                    },
+                    4);
+    drv.onFinished([&] { completed_at = e.now(); });
+    drv.start();
+    e.run();
+    EXPECT_GE(completed_at, 5 * tickMs);
+}
+
+TEST(QueueDriverTest, StopHaltsIssuing)
+{
+    Engine e;
+    FakeSsd ssd{e, 100};
+    SyntheticParams p;
+    p.count = 0; // unbounded
+    SyntheticGenerator gen(p);
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        ssd.submit(r, std::move(cb));
+                    },
+                    4);
+    drv.start();
+    e.runUntil(10 * tickMs);
+    drv.stop();
+    e.run();
+    EXPECT_TRUE(drv.finished());
+    EXPECT_GT(drv.completed(), 0u);
+}
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,114 @@
+/** Unit tests for flash geometry and physical addressing. */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "nand/geometry.hh"
+
+namespace dssd
+{
+namespace
+{
+
+FlashGeometry
+smallGeom()
+{
+    FlashGeometry g;
+    g.channels = 2;
+    g.ways = 2;
+    g.diesPerWay = 2;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 4;
+    g.pagesPerBlock = 8;
+    g.pageBytes = 4 * kKiB;
+    return g;
+}
+
+TEST(GeometryTest, DerivedCounts)
+{
+    FlashGeometry g = smallGeom();
+    EXPECT_EQ(g.diesPerChannel(), 4u);
+    EXPECT_EQ(g.totalDies(), 8u);
+    EXPECT_EQ(g.blocksPerDie(), 8u);
+    EXPECT_EQ(g.pagesPerDie(), 64u);
+    EXPECT_EQ(g.totalBlocks(), 64u);
+    EXPECT_EQ(g.totalPages(), 512u);
+    EXPECT_EQ(g.capacityBytes(), 512u * 4 * kKiB);
+}
+
+TEST(GeometryTest, PaperUllGeometryMatchesTable1)
+{
+    FlashGeometry g = paperUllGeometry();
+    EXPECT_EQ(g.channels, 8u);
+    EXPECT_EQ(g.ways, 8u);
+    EXPECT_EQ(g.diesPerWay, 1u);
+    EXPECT_EQ(g.planesPerDie, 8u);
+    EXPECT_EQ(g.blocksPerPlane, 1384u);
+    EXPECT_EQ(g.pagesPerBlock, 384u);
+    EXPECT_EQ(g.pageBytes, 4 * kKiB);
+}
+
+TEST(GeometryTest, PaperTlcGeometryMatchesFootnote10)
+{
+    FlashGeometry g = paperTlcGeometry();
+    EXPECT_EQ(g.channels, 8u);
+    EXPECT_EQ(g.ways, 4u);
+    EXPECT_EQ(g.diesPerWay, 2u);
+    EXPECT_EQ(g.planesPerDie, 2u);
+    EXPECT_EQ(g.pagesPerBlock, 32u);
+    EXPECT_EQ(g.pageBytes, 16 * kKiB);
+}
+
+TEST(GeometryTest, PageIndexRoundTripsEveryPage)
+{
+    FlashGeometry g = smallGeom();
+    for (std::uint64_t i = 0; i < g.totalPages(); ++i) {
+        PhysAddr a = g.pageAddr(i);
+        EXPECT_EQ(g.pageIndex(a), i);
+        EXPECT_LT(a.channel, g.channels);
+        EXPECT_LT(a.way, g.ways);
+        EXPECT_LT(a.die, g.diesPerWay);
+        EXPECT_LT(a.plane, g.planesPerDie);
+        EXPECT_LT(a.block, g.blocksPerPlane);
+        EXPECT_LT(a.page, g.pagesPerBlock);
+    }
+}
+
+TEST(GeometryTest, PageIndexIsDense)
+{
+    FlashGeometry g = smallGeom();
+    PhysAddr a{};
+    std::uint64_t prev = g.pageIndex(a);
+    EXPECT_EQ(prev, 0u);
+    a.page = 1;
+    EXPECT_EQ(g.pageIndex(a), 1u);
+}
+
+TEST(GeometryTest, DieIndexFlattens)
+{
+    FlashGeometry g = smallGeom();
+    PhysAddr a{};
+    a.channel = 1;
+    a.way = 1;
+    a.die = 1;
+    // (1*2 + 1)*2 + 1 = 7
+    EXPECT_EQ(g.dieIndex(a), 7u);
+    EXPECT_EQ(g.dieIndexInChannel(a), 3u);
+}
+
+TEST(GeometryTest, MultiPlaneBytes)
+{
+    FlashGeometry g = smallGeom();
+    EXPECT_EQ(g.multiPlaneBytes(1), 4 * kKiB);
+    EXPECT_EQ(g.multiPlaneBytes(2), 8 * kKiB);
+}
+
+TEST(GeometryDeathTest, ZeroDimensionIsFatal)
+{
+    FlashGeometry g = smallGeom();
+    g.channels = 0;
+    EXPECT_DEATH(g.validate(), "non-zero");
+}
+
+} // namespace
+} // namespace dssd

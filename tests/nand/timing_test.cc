@@ -1,0 +1,71 @@
+/** Unit tests for NAND timing parameter sets. */
+
+#include <gtest/gtest.h>
+
+#include "nand/timing.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(TimingTest, UllMatchesTable1)
+{
+    NandTiming t = ullTiming();
+    EXPECT_EQ(t.readMin, usToTicks(5));
+    EXPECT_EQ(t.readMax, usToTicks(5));
+    EXPECT_EQ(t.programMin, usToTicks(50));
+    EXPECT_EQ(t.programMax, usToTicks(50));
+    EXPECT_EQ(t.erase, msToTicks(1));
+}
+
+TEST(TimingTest, TlcMatchesTable1)
+{
+    NandTiming t = tlcTiming();
+    EXPECT_EQ(t.readMin, usToTicks(60));
+    EXPECT_EQ(t.readMax, usToTicks(95));
+    EXPECT_EQ(t.programMin, usToTicks(200));
+    EXPECT_EQ(t.programMax, usToTicks(500));
+    EXPECT_EQ(t.erase, msToTicks(2));
+}
+
+TEST(TimingTest, UllLatencyIsUniform)
+{
+    NandTiming t = ullTiming();
+    for (std::uint32_t p = 0; p < 10; ++p)
+        EXPECT_EQ(t.readLatency(p, 384), usToTicks(5));
+}
+
+TEST(TimingTest, TlcLatencySpansPublishedRange)
+{
+    NandTiming t = tlcTiming();
+    Tick lo = maxTick, hi = 0;
+    for (std::uint32_t p = 0; p < 32; ++p) {
+        Tick r = t.readLatency(p, 32);
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+        EXPECT_GE(r, t.readMin);
+        EXPECT_LE(r, t.readMax);
+    }
+    EXPECT_EQ(lo, t.readMin);
+    EXPECT_EQ(hi, t.readMax);
+}
+
+TEST(TimingTest, TlcLatencyIsDeterministicPerPage)
+{
+    NandTiming t = tlcTiming();
+    for (std::uint32_t p = 0; p < 32; ++p)
+        EXPECT_EQ(t.programLatency(p, 32), t.programLatency(p, 32));
+}
+
+TEST(TimingTest, UnitConversions)
+{
+    EXPECT_EQ(usToTicks(5), 5000u);
+    EXPECT_EQ(msToTicks(1), 1000000u);
+    EXPECT_DOUBLE_EQ(ticksToUs(5000), 5.0);
+    EXPECT_DOUBLE_EQ(toGbPerSec(gbPerSec(8.0)), 8.0);
+    EXPECT_DOUBLE_EQ(mbPerSec(1000.0), gbPerSec(1.0));
+}
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,66 @@
+/** Unit tests for the Sec 6.5 area-overhead model. */
+
+#include <gtest/gtest.h>
+
+#include "overhead/area.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(AreaTest, MatchesPaperPercentages)
+{
+    AreaParams p;
+    AreaReport r = computeArea(p);
+    // "approximately 1.5% overhead of the entire SSD controller"
+    EXPECT_NEAR(r.eccPct, 1.5, 0.1);
+    // "approximately 0.25% area overhead"
+    EXPECT_NEAR(r.routerPct, 0.25, 0.01);
+    // "an additional 2.46% area overhead"
+    EXPECT_NEAR(r.dbufPct, 2.46, 0.01);
+    EXPECT_NEAR(r.totalPct, 1.5 + 0.25 + 2.46, 0.2);
+}
+
+TEST(AreaTest, SrtTableIsFourKiB)
+{
+    AreaParams p;
+    p.srtEntries = 1024;
+    p.srtEntryBits = 32;
+    AreaReport r = computeArea(p);
+    // "the SRT table overhead is approximately 4kB"
+    EXPECT_DOUBLE_EQ(r.srtBytesPerController, 4096.0);
+}
+
+TEST(AreaTest, RbtTinyWithoutReservation)
+{
+    AreaParams p;
+    p.reservedFraction = 0.0;
+    AreaReport r = computeArea(p);
+    // "approximately 32 bits for each decoupled controller"
+    EXPECT_DOUBLE_EQ(r.rbtBytesPerController, 4.0);
+}
+
+TEST(AreaTest, ReservRbtAboutOneKiBPerChannel)
+{
+    AreaParams p;
+    p.reservedFraction = 0.07;
+    p.blocksPerChannel = 11072 / 4; // per-way share: ~2768 blocks
+    AreaReport r = computeArea(p);
+    // "around 1KB per channel for 7%"
+    EXPECT_NEAR(r.rbtBytesPerController, 1024.0, 300.0);
+}
+
+TEST(AreaTest, ScalesWithChannelCount)
+{
+    AreaParams p8;
+    AreaParams p16 = p8;
+    p16.channels = 16;
+    AreaReport r8 = computeArea(p8);
+    AreaReport r16 = computeArea(p16);
+    EXPECT_NEAR(r16.eccPct, 2 * r8.eccPct, 1e-9);
+    EXPECT_NEAR(r16.routerPct, 2 * r8.routerPct, 1e-9);
+}
+
+} // namespace
+} // namespace dssd

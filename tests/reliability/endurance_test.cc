@@ -1,0 +1,175 @@
+/** Unit tests for the endurance simulator (dynamic superblocks). */
+
+#include <gtest/gtest.h>
+
+#include "reliability/endurance.hh"
+
+namespace dssd
+{
+namespace
+{
+
+EnduranceParams
+base()
+{
+    EnduranceParams p;
+    p.channels = 8;
+    p.superblocks = 256;
+    p.pagesPerBlock = 32;
+    p.pageBytes = 16 * kKiB;
+    // Scaled-down wear keeps tests fast; sigma/mean ratio matches the
+    // paper's (826.9 / 5578 = 0.148).
+    p.wear.peMean = 500.0;
+    p.wear.peSigma = 74.0;
+    p.stopBadFraction = 0.5;
+    p.seed = 11;
+    return p;
+}
+
+TEST(EnduranceTest, BaselineProducesMonotoneCurve)
+{
+    EnduranceParams p = base();
+    p.scheme = SuperblockScheme::Baseline;
+    EnduranceResult r = EnduranceSim(p).run();
+    ASSERT_FALSE(r.curve.empty());
+    for (std::size_t i = 1; i < r.curve.size(); ++i) {
+        EXPECT_GE(r.curve[i].dataWrittenBytes,
+                  r.curve[i - 1].dataWrittenBytes);
+        EXPECT_EQ(r.curve[i].badSuperblocks,
+                  r.curve[i - 1].badSuperblocks + 1);
+    }
+    EXPECT_EQ(r.remapEvents, 0u);
+}
+
+TEST(EnduranceTest, RecycledFirstDeathMatchesBaseline)
+{
+    // Sec 5.3: "dynamic superblock does not delay the occurrence of
+    // the first bad superblock" — a superblock must be sacrificed.
+    EnduranceParams p = base();
+    p.scheme = SuperblockScheme::Baseline;
+    double base_first = EnduranceSim(p).run().dataUntilFirstBad();
+    p.scheme = SuperblockScheme::Recycled;
+    double rec_first = EnduranceSim(p).run().dataUntilFirstBad();
+    EXPECT_DOUBLE_EQ(base_first, rec_first);
+}
+
+TEST(EnduranceTest, RecycledExtendsLifetime)
+{
+    EnduranceParams p = base();
+    p.scheme = SuperblockScheme::Baseline;
+    EnduranceResult rb = EnduranceSim(p).run();
+    p.scheme = SuperblockScheme::Recycled;
+    EnduranceResult rr = EnduranceSim(p).run();
+    // At a small bad-superblock fraction (10%), recycling must win.
+    double d_base = rb.dataUntilBadFraction(0.10, p.superblocks);
+    double d_rec = rr.dataUntilBadFraction(0.10, p.superblocks);
+    EXPECT_GT(d_rec, d_base);
+    EXPECT_GT(rr.remapEvents, 0u);
+}
+
+TEST(EnduranceTest, ReservDelaysFirstDeathSubstantially)
+{
+    EnduranceParams p = base();
+    p.scheme = SuperblockScheme::Recycled;
+    double rec_first = EnduranceSim(p).run().dataUntilFirstBad();
+    p.scheme = SuperblockScheme::Reserv;
+    p.reservedFraction = 0.07;
+    double res_first = EnduranceSim(p).run().dataUntilFirstBad();
+    EXPECT_GT(res_first, rec_first * 1.2);
+}
+
+TEST(EnduranceTest, WasOutperformsRecycledOnEndurance)
+{
+    // WAS groups similar-endurance blocks in software (Sec 6.4: "WAS
+    // is able to achieve higher endurance").
+    EnduranceParams p = base();
+    p.scheme = SuperblockScheme::Recycled;
+    EnduranceResult rec = EnduranceSim(p).run();
+    p.scheme = SuperblockScheme::Was;
+    EnduranceResult was = EnduranceSim(p).run();
+    EXPECT_GT(was.dataUntilBadFraction(0.25, p.superblocks),
+              rec.dataUntilBadFraction(0.25, p.superblocks));
+}
+
+TEST(EnduranceTest, SrtCapacityLimitsRecycling)
+{
+    EnduranceParams p = base();
+    p.scheme = SuperblockScheme::Recycled;
+    p.srtCapacityPerChannel = 0; // unbounded
+    EnduranceResult unb = EnduranceSim(p).run();
+    p.srtCapacityPerChannel = 2; // tiny SRT
+    EnduranceResult cap = EnduranceSim(p).run();
+    EXPECT_GT(cap.srtRejections, 0u);
+    EXPECT_LE(cap.remapEvents, unb.remapEvents);
+    EXPECT_LE(cap.dataUntilBadFraction(0.25, p.superblocks),
+              unb.dataUntilBadFraction(0.25, p.superblocks));
+}
+
+TEST(EnduranceTest, SrtActivitySaturates)
+{
+    // Fig 16(b): active entries stop growing once no static
+    // superblocks remain.
+    EnduranceParams p = base();
+    p.scheme = SuperblockScheme::Recycled;
+    p.stopBadFraction = 0.9;
+    EnduranceResult r = EnduranceSim(p).run();
+    ASSERT_FALSE(r.srtActivity.empty());
+    std::size_t peak = 0;
+    for (const auto &a : r.srtActivity)
+        peak = std::max(peak, a.activeEntries);
+    EXPECT_EQ(peak, r.srtHighWater);
+    EXPECT_LE(peak, static_cast<std::size_t>(p.superblocks));
+}
+
+TEST(EnduranceTest, HigherVariationHurtsBaselineMore)
+{
+    // Fig 14(b): the benefit of RECYCLED grows with block-wear sigma.
+    auto gain = [](double sigma) {
+        EnduranceParams p = base();
+        p.wear.peSigma = sigma;
+        p.scheme = SuperblockScheme::Baseline;
+        double b = EnduranceSim(p).run().dataUntilBadFraction(0.10, 256);
+        p.scheme = SuperblockScheme::Recycled;
+        double r = EnduranceSim(p).run().dataUntilBadFraction(0.10, 256);
+        return r / b;
+    };
+    EXPECT_GT(gain(100.0), gain(25.0));
+}
+
+TEST(EnduranceTest, DeterministicForSeed)
+{
+    EnduranceParams p = base();
+    p.scheme = SuperblockScheme::Reserv;
+    EnduranceResult a = EnduranceSim(p).run();
+    EnduranceResult b = EnduranceSim(p).run();
+    EXPECT_EQ(a.curve.size(), b.curve.size());
+    EXPECT_DOUBLE_EQ(a.totalDataWritten, b.totalDataWritten);
+    EXPECT_EQ(a.remapEvents, b.remapEvents);
+}
+
+TEST(EnduranceTest, SchemeNames)
+{
+    EXPECT_STREQ(schemeName(SuperblockScheme::Baseline), "BASELINE");
+    EXPECT_STREQ(schemeName(SuperblockScheme::Recycled), "RECYCLED");
+    EXPECT_STREQ(schemeName(SuperblockScheme::Reserv), "RESERV");
+    EXPECT_STREQ(schemeName(SuperblockScheme::Was), "WAS");
+}
+
+TEST(WearModelTest, LimitsArepositiveAndNearMean)
+{
+    WearModel w;
+    w.peMean = 1000;
+    w.peSigma = 100;
+    Rng rng(3);
+    double sum = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        std::uint32_t l = w.sampleLimit(rng);
+        EXPECT_GE(l, 1u);
+        sum += l;
+    }
+    EXPECT_NEAR(sum / n, 1000.0, 10.0);
+}
+
+} // namespace
+} // namespace dssd

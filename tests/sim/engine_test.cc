@@ -1,0 +1,120 @@
+/** Unit tests for the discrete-event engine. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(EngineTest, StartsAtTimeZero)
+{
+    Engine e;
+    EXPECT_EQ(e.now(), 0u);
+    EXPECT_EQ(e.pendingEvents(), 0u);
+}
+
+TEST(EngineTest, ScheduleAdvancesClock)
+{
+    Engine e;
+    Tick seen = 0;
+    e.schedule(100, [&] { seen = e.now(); });
+    e.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(EngineTest, EventsFireInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(300, [&] { order.push_back(3); });
+    e.schedule(100, [&] { order.push_back(1); });
+    e.schedule(200, [&] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, SameTickEventsFireFifo)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        e.schedule(50, [&, i] { order.push_back(i); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, EventsMayScheduleMoreEvents)
+{
+    Engine e;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            e.schedule(10, chain);
+    };
+    e.schedule(10, chain);
+    e.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundary)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(100, [&] { ++fired; });
+    e.schedule(200, [&] { ++fired; });
+    e.schedule(300, [&] { ++fired; });
+    e.runUntil(200);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(e.pendingEvents(), 1u);
+    e.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineTest, StepReturnsFalseWhenEmpty)
+{
+    Engine e;
+    EXPECT_FALSE(e.step());
+    e.schedule(1, [] {});
+    EXPECT_TRUE(e.step());
+    EXPECT_FALSE(e.step());
+}
+
+TEST(EngineTest, ZeroDelayFiresAtCurrentTick)
+{
+    Engine e;
+    Tick when = 1;
+    e.schedule(40, [&] {
+        e.schedule(0, [&] { when = e.now(); });
+    });
+    e.run();
+    EXPECT_EQ(when, 40u);
+}
+
+TEST(EngineTest, ExecutedEventsCounts)
+{
+    Engine e;
+    for (int i = 0; i < 7; ++i)
+        e.schedule(static_cast<Tick>(i), [] {});
+    e.run();
+    EXPECT_EQ(e.executedEvents(), 7u);
+}
+
+TEST(EngineDeathTest, SchedulingIntoPastPanics)
+{
+    Engine e;
+    e.schedule(100, [&] {
+        EXPECT_DEATH(e.scheduleAbs(50, [] {}), "past");
+    });
+    e.run();
+}
+
+} // namespace
+} // namespace dssd

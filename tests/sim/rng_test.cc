@@ -1,0 +1,60 @@
+/** Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniformInt(0, 1u << 30) == b.uniformInt(0, 1u << 30))
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(RngTest, GaussianMeanConverges)
+{
+    Rng r(5);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.gaussian(100.0, 15.0);
+    EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+} // namespace
+} // namespace dssd

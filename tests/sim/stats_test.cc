@@ -1,0 +1,124 @@
+/** Unit tests for statistics collection. */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(SampleStatTest, MeanMinMax)
+{
+    SampleStat s("lat");
+    s.sample(10);
+    s.sample(20);
+    s.sample(30);
+    EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(s.min(), 10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 30.0);
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SampleStatTest, EmptyStatIsZero)
+{
+    SampleStat s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+}
+
+TEST(SampleStatTest, ExactPercentilesNearestRank)
+{
+    SampleStat s;
+    for (int i = 1; i <= 100; ++i)
+        s.sample(i);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+}
+
+TEST(SampleStatTest, PercentileCacheInvalidatedBySample)
+{
+    SampleStat s;
+    s.sample(5);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 5.0);
+    s.sample(50);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 50.0);
+}
+
+TEST(SampleStatTest, TailDominatedByOutlier)
+{
+    SampleStat s;
+    for (int i = 0; i < 99; ++i)
+        s.sample(1.0);
+    s.sample(1000.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99.5), 1000.0);
+}
+
+TEST(SampleStatTest, StddevOfConstantIsZero)
+{
+    SampleStat s;
+    s.sample(7);
+    s.sample(7);
+    s.sample(7);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStatTest, ResetClearsEverything)
+{
+    SampleStat s;
+    s.sample(1);
+    s.sample(2);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RateSeriesTest, WindowsAccumulate)
+{
+    RateSeries rs(1000);
+    rs.add(10, 4096);
+    rs.add(900, 4096);
+    rs.add(1100, 4096);
+    ASSERT_EQ(rs.windows().size(), 2u);
+    EXPECT_DOUBLE_EQ(rs.windows()[0], 8192.0);
+    EXPECT_DOUBLE_EQ(rs.windows()[1], 4096.0);
+    EXPECT_DOUBLE_EQ(rs.total(), 3 * 4096.0);
+}
+
+TEST(RateSeriesTest, RatePerSecond)
+{
+    RateSeries rs(tickMs); // 1 ms windows
+    rs.add(0, 1e6);        // 1 MB in the first millisecond
+    auto rate = rs.ratePerSec();
+    ASSERT_EQ(rate.size(), 1u);
+    EXPECT_DOUBLE_EQ(rate[0], 1e9); // = 1 GB/s
+}
+
+TEST(RateSeriesTest, AverageRateOverRange)
+{
+    RateSeries rs(tickMs);
+    rs.add(0, 1000);
+    rs.add(tickMs, 3000);
+    // 4000 units over 2 ms -> 2,000,000 units/s.
+    EXPECT_DOUBLE_EQ(rs.averageRate(0, 2 * tickMs), 2e6);
+}
+
+TEST(FormatTest, Bandwidth)
+{
+    EXPECT_EQ(formatBandwidth(2.5e9), "2.50 GB/s");
+    EXPECT_EQ(formatBandwidth(51.2e6), "51.20 MB/s");
+}
+
+TEST(FormatTest, Latency)
+{
+    EXPECT_EQ(formatLatency(5000.0), "5.00 us");
+    EXPECT_EQ(formatLatency(1.5e6), "1.50 ms");
+    EXPECT_EQ(formatLatency(42.0), "42 ns");
+}
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,187 @@
+/** Unit tests for workload generators and trace synthesizers. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/generator.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(SyntheticTest, SequentialOffsetsAdvance)
+{
+    SyntheticParams p;
+    p.sequential = true;
+    p.requestBytes = 4 * kKiB;
+    p.footprintBytes = 64 * kKiB;
+    p.count = 20;
+    SyntheticGenerator g(p);
+    std::uint64_t expect = 0;
+    for (int i = 0; i < 16; ++i) {
+        auto r = g.next();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->offset, expect);
+        expect = (expect + 4 * kKiB) % (64 * kKiB);
+    }
+}
+
+TEST(SyntheticTest, CountBoundsOutput)
+{
+    SyntheticParams p;
+    p.count = 3;
+    SyntheticGenerator g(p);
+    EXPECT_TRUE(g.next().has_value());
+    EXPECT_TRUE(g.next().has_value());
+    EXPECT_TRUE(g.next().has_value());
+    EXPECT_FALSE(g.next().has_value());
+}
+
+TEST(SyntheticTest, ReadRatioHonored)
+{
+    SyntheticParams p;
+    p.readRatio = 0.7;
+    p.count = 10000;
+    p.sequential = false;
+    SyntheticGenerator g(p);
+    int reads = 0;
+    while (auto r = g.next())
+        reads += r->isRead();
+    EXPECT_NEAR(reads / 10000.0, 0.7, 0.03);
+}
+
+TEST(SyntheticTest, RandomOffsetsAlignedAndInRange)
+{
+    SyntheticParams p;
+    p.sequential = false;
+    p.requestBytes = 8 * kKiB;
+    p.footprintBytes = 1 * kMiB;
+    p.count = 1000;
+    SyntheticGenerator g(p);
+    while (auto r = g.next()) {
+        EXPECT_EQ(r->offset % (8 * kKiB), 0u);
+        EXPECT_LE(r->offset + r->bytes, 1 * kMiB);
+    }
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed)
+{
+    SyntheticParams p;
+    p.sequential = false;
+    p.readRatio = 0.5;
+    p.count = 100;
+    SyntheticGenerator a(p), b(p);
+    while (true) {
+        auto ra = a.next(), rb = b.next();
+        ASSERT_EQ(ra.has_value(), rb.has_value());
+        if (!ra)
+            break;
+        EXPECT_EQ(ra->offset, rb->offset);
+        EXPECT_EQ(ra->kind, rb->kind);
+    }
+}
+
+TEST(TraceProfileTest, KnownNamesResolve)
+{
+    auto names = knownTraceNames();
+    EXPECT_GE(names.size(), 15u);
+    for (const auto &n : names) {
+        TraceProfile p = traceProfile(n);
+        EXPECT_EQ(p.name, n);
+        EXPECT_GE(p.readRatio, 0.0);
+        EXPECT_LE(p.readRatio, 1.0);
+    }
+}
+
+TEST(TraceProfileTest, Prn0IsWriteIntensive)
+{
+    TraceProfile p = traceProfile("prn_0");
+    EXPECT_LT(p.readRatio, 0.5);
+    EXPECT_FALSE(isReadIntensive(p));
+}
+
+TEST(TraceProfileTest, Usr2AndHm1AreReadIntensive)
+{
+    EXPECT_TRUE(isReadIntensive(traceProfile("usr_2")));
+    EXPECT_TRUE(isReadIntensive(traceProfile("hm_1")));
+    // ...but not purely reads: "these workloads contain some fraction
+    // of write operations" (Sec 6.4).
+    EXPECT_LT(traceProfile("usr_2").readRatio, 1.0);
+}
+
+TEST(TraceProfileDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH((void)traceProfile("no_such_trace"), "unknown trace");
+}
+
+TEST(TraceSynthesizerTest, MatchesProfileReadRatio)
+{
+    TraceSynthesizer g(traceProfile("usr_2"), 256 * kMiB, 20000);
+    int reads = 0, total = 0;
+    while (auto r = g.next()) {
+        reads += r->isRead();
+        ++total;
+    }
+    EXPECT_EQ(total, 20000);
+    EXPECT_NEAR(reads / 20000.0, traceProfile("usr_2").readRatio, 0.02);
+}
+
+TEST(TraceSynthesizerTest, Src12HasLargeWrites)
+{
+    TraceSynthesizer g(traceProfile("src1_2"), 256 * kMiB, 5000);
+    double wbytes = 0;
+    int writes = 0;
+    while (auto r = g.next()) {
+        if (r->isWrite()) {
+            wbytes += static_cast<double>(r->bytes);
+            ++writes;
+        }
+    }
+    ASSERT_GT(writes, 0);
+    EXPECT_GE(wbytes / writes, 48.0 * kKiB); // large write sizes
+}
+
+TEST(TraceSynthesizerTest, OffsetsPageAlignedWithinFootprint)
+{
+    TraceSynthesizer g(traceProfile("prn_0"), 64 * kMiB, 5000);
+    while (auto r = g.next()) {
+        EXPECT_EQ(r->offset % (4 * kKiB), 0u);
+        EXPECT_LE(r->offset + r->bytes, 64 * kMiB);
+    }
+}
+
+TEST(TraceFileLoaderTest, ParsesAndReplays)
+{
+    const char *path = "/tmp/dssd_test_trace.txt";
+    {
+        std::ofstream out(path);
+        out << "# comment line\n";
+        out << "0.0 W 0 4096\n";
+        out << "100.5 R 8192 8192\n";
+    }
+    TraceFileLoader g(path);
+    EXPECT_EQ(g.size(), 2u);
+    auto r1 = g.next();
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_TRUE(r1->isWrite());
+    EXPECT_EQ(r1->offset, 0u);
+    auto r2 = g.next();
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_TRUE(r2->isRead());
+    EXPECT_EQ(r2->bytes, 8192u);
+    EXPECT_EQ(r2->issueAt, usToTicks(100.5));
+    EXPECT_FALSE(g.next().has_value());
+    std::remove(path);
+}
+
+TEST(TraceFileLoaderDeathTest, MissingFileIsFatal)
+{
+    EXPECT_DEATH(TraceFileLoader("/nonexistent/trace.txt"),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * dssd_sim — command-line front-end for the simulator.
+ *
+ * Runs any architecture / GC policy / workload combination and prints
+ * the full statistics block (bandwidth, latency profile, per-component
+ * breakdown, bus utilization, GC activity). Useful for exploring
+ * configurations beyond the per-figure benches.
+ *
+ * Examples:
+ *   dssd_sim --arch=dssd_f --req-kb=128 --window-ms=50
+ *   dssd_sim --arch=baseline --policy=tinytail --trace=prn_0
+ *   dssd_sim --arch=dssd_b --read-ratio=0.7 --random --buffer=real
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/harness.hh"
+
+using namespace dssd;
+using namespace dssd::bench;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "usage: dssd_sim [options]\n"
+        "  --arch=A        baseline|bw|dssd|dssd_b|dssd_f (default dssd_f)\n"
+        "  --policy=P      pagc|preemptive|tinytail (default pagc)\n"
+        "  --trace=NAME    replay a named trace profile (prn_0, ...)\n"
+        "  --req-kb=N      synthetic request size in KB (default 4)\n"
+        "  --read-ratio=R  fraction of reads (default 0)\n"
+        "  --random        random offsets (default sequential)\n"
+        "  --buffer=B      real|hit|miss (default miss)\n"
+        "  --qd=N          queue depth (default 64)\n"
+        "  --window-ms=N   measurement window (default 30)\n"
+        "  --channels=N --ways=N --planes=N   geometry (8/4/8)\n"
+        "  --blocks=N --pages=N               per-plane geometry (16/16)\n"
+        "  --tlc           TLC timing and 16 KB pages (default ULL)\n"
+        "  --topology=T    mesh|ring|crossbar for dSSD_f (default mesh)\n"
+        "  --factor=F      on-chip bandwidth factor (default 1.25)\n"
+        "  --no-gc         do not force GC during the window\n"
+        "  --srt-remaps=N  pre-populate N SRT remaps per channel\n"
+        "  --seed=N\n");
+    std::exit(1);
+}
+
+bool
+flagValue(const char *arg, const char *name, const char **out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+ArchKind
+parseArch(const std::string &s)
+{
+    if (s == "baseline")
+        return ArchKind::Baseline;
+    if (s == "bw")
+        return ArchKind::BW;
+    if (s == "dssd")
+        return ArchKind::DSSD;
+    if (s == "dssd_b")
+        return ArchKind::DSSDBus;
+    if (s == "dssd_f")
+        return ArchKind::DSSDNoc;
+    fatal("unknown arch '%s'", s.c_str());
+}
+
+GcPolicy
+parsePolicy(const std::string &s)
+{
+    if (s == "pagc")
+        return GcPolicy::Parallel;
+    if (s == "preemptive")
+        return GcPolicy::Preemptive;
+    if (s == "tinytail")
+        return GcPolicy::TinyTail;
+    fatal("unknown policy '%s'", s.c_str());
+}
+
+BufferMode
+parseBuffer(const std::string &s)
+{
+    if (s == "real")
+        return BufferMode::Real;
+    if (s == "hit")
+        return BufferMode::AlwaysHit;
+    if (s == "miss")
+        return BufferMode::AlwaysMiss;
+    fatal("unknown buffer mode '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExpParams p;
+    p.arch = ArchKind::DSSDNoc;
+    std::string trace;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *v = nullptr;
+        if (flagValue(argv[i], "--arch", &v))
+            p.arch = parseArch(v);
+        else if (flagValue(argv[i], "--policy", &v))
+            p.gcPolicy = parsePolicy(v);
+        else if (flagValue(argv[i], "--trace", &v))
+            trace = v;
+        else if (flagValue(argv[i], "--req-kb", &v))
+            p.requestBytes = std::strtoull(v, nullptr, 10) * kKiB;
+        else if (flagValue(argv[i], "--read-ratio", &v))
+            p.readRatio = std::strtod(v, nullptr);
+        else if (std::strcmp(argv[i], "--random") == 0)
+            p.sequential = false;
+        else if (flagValue(argv[i], "--buffer", &v))
+            p.bufferMode = parseBuffer(v);
+        else if (flagValue(argv[i], "--qd", &v))
+            p.queueDepth = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--window-ms", &v))
+            p.window = msToTicks(std::strtod(v, nullptr));
+        else if (flagValue(argv[i], "--channels", &v))
+            p.channels = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--ways", &v))
+            p.ways = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--planes", &v))
+            p.planes = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--blocks", &v))
+            p.blocksPerPlane =
+                static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--pages", &v))
+            p.pagesPerBlock =
+                static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (std::strcmp(argv[i], "--tlc") == 0)
+            p.tlc = true;
+        else if (flagValue(argv[i], "--topology", &v))
+            p.nocTopology = v;
+        else if (flagValue(argv[i], "--factor", &v))
+            p.onChipFactor = std::strtod(v, nullptr);
+        else if (std::strcmp(argv[i], "--no-gc") == 0)
+            p.runGc = false;
+        else if (flagValue(argv[i], "--srt-remaps", &v))
+            p.srtRemapsPerChannel =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--seed", &v))
+            p.seed = std::strtoull(v, nullptr, 10);
+        else
+            usage();
+    }
+    if (!trace.empty())
+        p.traceName = trace.c_str();
+
+    std::printf("dssd_sim: %s, %ux%ux%u %s, %s%s, QD %u, window %.0f ms, "
+                "GC %s (%s)\n",
+                archName(p.arch), p.channels, p.ways, p.planes,
+                p.tlc ? "TLC" : "ULL",
+                p.traceName ? p.traceName
+                            : strformat("%.0f%%rd %s %lluKB",
+                                        100 * p.readRatio,
+                                        p.sequential ? "seq" : "rand",
+                                        (unsigned long long)(
+                                            p.requestBytes / kKiB))
+                                  .c_str(),
+                "", p.queueDepth, ticksToMs(p.window),
+                p.runGc ? "on" : "off", gcPolicyName(p.gcPolicy));
+
+    ExpResult r = runExperiment(p);
+
+    std::printf("\nI/O bandwidth      : %s (%llu requests)\n",
+                formatBandwidth(r.ioBytesPerSec).c_str(),
+                static_cast<unsigned long long>(r.ioCompleted));
+    std::printf("latency avg/p99/p99.9 : %.1f / %.1f / %.1f us\n",
+                r.avgLatencyUs, r.p99LatencyUs, r.p999LatencyUs);
+    std::printf("GC                 : %llu pages moved, %.0f pages/s\n",
+                static_cast<unsigned long long>(r.gcPagesMoved),
+                r.gcPagesPerSec);
+    std::printf("system bus util    : I/O %.1f%%, GC %.1f%%\n",
+                100 * r.busIoUtil, 100 * r.busGcUtil);
+    LatencyBreakdown &io = r.ioBreakdown;
+    std::printf("I/O breakdown (us) : flash %.1f, fbus %.1f, sbus %.1f, "
+                "dram %.1f, ecc %.1f, noc %.1f, fw %.1f\n",
+                ticksToUs(io.flashMem), ticksToUs(io.flashBus),
+                ticksToUs(io.systemBus), ticksToUs(io.dram),
+                ticksToUs(io.ecc), ticksToUs(io.noc),
+                ticksToUs(io.other));
+    LatencyBreakdown &cb = r.cbBreakdown;
+    std::printf("copyback breakdown : flash %.1f, fbus %.1f, sbus %.1f, "
+                "dram %.1f, ecc %.1f, noc %.1f\n",
+                ticksToUs(cb.flashMem), ticksToUs(cb.flashBus),
+                ticksToUs(cb.systemBus), ticksToUs(cb.dram),
+                ticksToUs(cb.ecc), ticksToUs(cb.noc));
+    return 0;
+}

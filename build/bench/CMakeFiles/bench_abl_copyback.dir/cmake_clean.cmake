@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_copyback.dir/abl_copyback.cc.o"
+  "CMakeFiles/bench_abl_copyback.dir/abl_copyback.cc.o.d"
+  "CMakeFiles/bench_abl_copyback.dir/harness.cc.o"
+  "CMakeFiles/bench_abl_copyback.dir/harness.cc.o.d"
+  "bench_abl_copyback"
+  "bench_abl_copyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_copyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dsm.dir/abl_dsm.cc.o"
+  "CMakeFiles/bench_abl_dsm.dir/abl_dsm.cc.o.d"
+  "CMakeFiles/bench_abl_dsm.dir/harness.cc.o"
+  "CMakeFiles/bench_abl_dsm.dir/harness.cc.o.d"
+  "bench_abl_dsm"
+  "bench_abl_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_main.dir/fig07_main.cc.o"
+  "CMakeFiles/bench_fig07_main.dir/fig07_main.cc.o.d"
+  "CMakeFiles/bench_fig07_main.dir/harness.cc.o"
+  "CMakeFiles/bench_fig07_main.dir/harness.cc.o.d"
+  "bench_fig07_main"
+  "bench_fig07_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

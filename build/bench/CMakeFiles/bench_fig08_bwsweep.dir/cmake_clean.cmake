@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_bwsweep.dir/fig08_bwsweep.cc.o"
+  "CMakeFiles/bench_fig08_bwsweep.dir/fig08_bwsweep.cc.o.d"
+  "CMakeFiles/bench_fig08_bwsweep.dir/harness.cc.o"
+  "CMakeFiles/bench_fig08_bwsweep.dir/harness.cc.o.d"
+  "bench_fig08_bwsweep"
+  "bench_fig08_bwsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_bwsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

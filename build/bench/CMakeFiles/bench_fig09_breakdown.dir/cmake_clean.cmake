@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_breakdown.dir/fig09_breakdown.cc.o"
+  "CMakeFiles/bench_fig09_breakdown.dir/fig09_breakdown.cc.o.d"
+  "CMakeFiles/bench_fig09_breakdown.dir/harness.cc.o"
+  "CMakeFiles/bench_fig09_breakdown.dir/harness.cc.o.d"
+  "bench_fig09_breakdown"
+  "bench_fig09_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

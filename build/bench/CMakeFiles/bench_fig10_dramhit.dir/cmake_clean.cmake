@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dramhit.dir/fig10_dramhit.cc.o"
+  "CMakeFiles/bench_fig10_dramhit.dir/fig10_dramhit.cc.o.d"
+  "CMakeFiles/bench_fig10_dramhit.dir/harness.cc.o"
+  "CMakeFiles/bench_fig10_dramhit.dir/harness.cc.o.d"
+  "bench_fig10_dramhit"
+  "bench_fig10_dramhit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dramhit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

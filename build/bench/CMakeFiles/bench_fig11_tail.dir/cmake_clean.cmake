@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_tail.dir/fig11_tail.cc.o"
+  "CMakeFiles/bench_fig11_tail.dir/fig11_tail.cc.o.d"
+  "CMakeFiles/bench_fig11_tail.dir/harness.cc.o"
+  "CMakeFiles/bench_fig11_tail.dir/harness.cc.o.d"
+  "bench_fig11_tail"
+  "bench_fig11_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

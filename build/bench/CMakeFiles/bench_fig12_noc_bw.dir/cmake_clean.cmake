@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_noc_bw.dir/fig12_noc_bw.cc.o"
+  "CMakeFiles/bench_fig12_noc_bw.dir/fig12_noc_bw.cc.o.d"
+  "CMakeFiles/bench_fig12_noc_bw.dir/harness.cc.o"
+  "CMakeFiles/bench_fig12_noc_bw.dir/harness.cc.o.d"
+  "bench_fig12_noc_bw"
+  "bench_fig12_noc_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_noc_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

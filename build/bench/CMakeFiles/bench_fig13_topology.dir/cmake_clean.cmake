@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_topology.dir/fig13_topology.cc.o"
+  "CMakeFiles/bench_fig13_topology.dir/fig13_topology.cc.o.d"
+  "CMakeFiles/bench_fig13_topology.dir/harness.cc.o"
+  "CMakeFiles/bench_fig13_topology.dir/harness.cc.o.d"
+  "bench_fig13_topology"
+  "bench_fig13_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

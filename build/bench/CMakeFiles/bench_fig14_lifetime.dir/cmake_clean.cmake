@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_lifetime.dir/fig14_lifetime.cc.o"
+  "CMakeFiles/bench_fig14_lifetime.dir/fig14_lifetime.cc.o.d"
+  "CMakeFiles/bench_fig14_lifetime.dir/harness.cc.o"
+  "CMakeFiles/bench_fig14_lifetime.dir/harness.cc.o.d"
+  "bench_fig14_lifetime"
+  "bench_fig14_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_srt.dir/fig15_srt.cc.o"
+  "CMakeFiles/bench_fig15_srt.dir/fig15_srt.cc.o.d"
+  "CMakeFiles/bench_fig15_srt.dir/harness.cc.o"
+  "CMakeFiles/bench_fig15_srt.dir/harness.cc.o.d"
+  "bench_fig15_srt"
+  "bench_fig15_srt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_srt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

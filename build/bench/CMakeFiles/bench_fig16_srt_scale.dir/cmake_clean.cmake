@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_srt_scale.dir/fig16_srt_scale.cc.o"
+  "CMakeFiles/bench_fig16_srt_scale.dir/fig16_srt_scale.cc.o.d"
+  "CMakeFiles/bench_fig16_srt_scale.dir/harness.cc.o"
+  "CMakeFiles/bench_fig16_srt_scale.dir/harness.cc.o.d"
+  "bench_fig16_srt_scale"
+  "bench_fig16_srt_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_srt_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_config.dir/harness.cc.o"
+  "CMakeFiles/bench_tab01_config.dir/harness.cc.o.d"
+  "CMakeFiles/bench_tab01_config.dir/tab01_config.cc.o"
+  "CMakeFiles/bench_tab01_config.dir/tab01_config.cc.o.d"
+  "bench_tab01_config"
+  "bench_tab01_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_configs.dir/harness.cc.o"
+  "CMakeFiles/bench_tab02_configs.dir/harness.cc.o.d"
+  "CMakeFiles/bench_tab02_configs.dir/tab02_configs.cc.o"
+  "CMakeFiles/bench_tab02_configs.dir/tab02_configs.cc.o.d"
+  "bench_tab02_configs"
+  "bench_tab02_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_comparison.dir/harness.cc.o"
+  "CMakeFiles/bench_tab03_comparison.dir/harness.cc.o.d"
+  "CMakeFiles/bench_tab03_comparison.dir/tab03_comparison.cc.o"
+  "CMakeFiles/bench_tab03_comparison.dir/tab03_comparison.cc.o.d"
+  "bench_tab03_comparison"
+  "bench_tab03_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_overhead.dir/harness.cc.o"
+  "CMakeFiles/bench_tab04_overhead.dir/harness.cc.o.d"
+  "CMakeFiles/bench_tab04_overhead.dir/tab04_overhead.cc.o"
+  "CMakeFiles/bench_tab04_overhead.dir/tab04_overhead.cc.o.d"
+  "bench_tab04_overhead"
+  "bench_tab04_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

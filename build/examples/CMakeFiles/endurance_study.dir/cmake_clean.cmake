@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endurance_study.dir/endurance_study.cpp.o"
+  "CMakeFiles/endurance_study.dir/endurance_study.cpp.o.d"
+  "endurance_study"
+  "endurance_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endurance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

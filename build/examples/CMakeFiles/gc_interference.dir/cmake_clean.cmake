@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_interference.dir/gc_interference.cpp.o"
+  "CMakeFiles/gc_interference.dir/gc_interference.cpp.o.d"
+  "gc_interference"
+  "gc_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

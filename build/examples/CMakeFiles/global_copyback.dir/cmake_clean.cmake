@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_copyback.dir/global_copyback.cpp.o"
+  "CMakeFiles/global_copyback.dir/global_copyback.cpp.o.d"
+  "global_copyback"
+  "global_copyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_copyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("nand")
+subdirs("bus")
+subdirs("noc")
+subdirs("ecc")
+subdirs("controller")
+subdirs("ftl")
+subdirs("hil")
+subdirs("workload")
+subdirs("reliability")
+subdirs("overhead")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_bus.dir/system_bus.cc.o"
+  "CMakeFiles/dssd_bus.dir/system_bus.cc.o.d"
+  "libdssd_bus.a"
+  "libdssd_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

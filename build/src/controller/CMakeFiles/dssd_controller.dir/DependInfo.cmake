@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/channel.cc" "src/controller/CMakeFiles/dssd_controller.dir/channel.cc.o" "gcc" "src/controller/CMakeFiles/dssd_controller.dir/channel.cc.o.d"
+  "/root/repo/src/controller/decoupled.cc" "src/controller/CMakeFiles/dssd_controller.dir/decoupled.cc.o" "gcc" "src/controller/CMakeFiles/dssd_controller.dir/decoupled.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/dssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dssd_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/dssd_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_controller.dir/channel.cc.o"
+  "CMakeFiles/dssd_controller.dir/channel.cc.o.d"
+  "CMakeFiles/dssd_controller.dir/decoupled.cc.o"
+  "CMakeFiles/dssd_controller.dir/decoupled.cc.o.d"
+  "libdssd_controller.a"
+  "libdssd_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_core.dir/config.cc.o"
+  "CMakeFiles/dssd_core.dir/config.cc.o.d"
+  "CMakeFiles/dssd_core.dir/dsm.cc.o"
+  "CMakeFiles/dssd_core.dir/dsm.cc.o.d"
+  "CMakeFiles/dssd_core.dir/gc.cc.o"
+  "CMakeFiles/dssd_core.dir/gc.cc.o.d"
+  "CMakeFiles/dssd_core.dir/ssd.cc.o"
+  "CMakeFiles/dssd_core.dir/ssd.cc.o.d"
+  "libdssd_core.a"
+  "libdssd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdssd_core.a"
+)

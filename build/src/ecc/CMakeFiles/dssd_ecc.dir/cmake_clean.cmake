@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_ecc.dir/ecc.cc.o"
+  "CMakeFiles/dssd_ecc.dir/ecc.cc.o.d"
+  "libdssd_ecc.a"
+  "libdssd_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

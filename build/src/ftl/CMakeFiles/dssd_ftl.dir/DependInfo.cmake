@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/mapping.cc" "src/ftl/CMakeFiles/dssd_ftl.dir/mapping.cc.o" "gcc" "src/ftl/CMakeFiles/dssd_ftl.dir/mapping.cc.o.d"
+  "/root/repo/src/ftl/superblock.cc" "src/ftl/CMakeFiles/dssd_ftl.dir/superblock.cc.o" "gcc" "src/ftl/CMakeFiles/dssd_ftl.dir/superblock.cc.o.d"
+  "/root/repo/src/ftl/writebuffer.cc" "src/ftl/CMakeFiles/dssd_ftl.dir/writebuffer.cc.o" "gcc" "src/ftl/CMakeFiles/dssd_ftl.dir/writebuffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/dssd_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_ftl.dir/mapping.cc.o"
+  "CMakeFiles/dssd_ftl.dir/mapping.cc.o.d"
+  "CMakeFiles/dssd_ftl.dir/superblock.cc.o"
+  "CMakeFiles/dssd_ftl.dir/superblock.cc.o.d"
+  "CMakeFiles/dssd_ftl.dir/writebuffer.cc.o"
+  "CMakeFiles/dssd_ftl.dir/writebuffer.cc.o.d"
+  "libdssd_ftl.a"
+  "libdssd_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

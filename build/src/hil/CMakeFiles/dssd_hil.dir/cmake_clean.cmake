@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_hil.dir/driver.cc.o"
+  "CMakeFiles/dssd_hil.dir/driver.cc.o.d"
+  "libdssd_hil.a"
+  "libdssd_hil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_hil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_nand.dir/die.cc.o"
+  "CMakeFiles/dssd_nand.dir/die.cc.o.d"
+  "libdssd_nand.a"
+  "libdssd_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

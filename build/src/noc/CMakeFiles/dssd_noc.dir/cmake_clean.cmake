@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_noc.dir/network.cc.o"
+  "CMakeFiles/dssd_noc.dir/network.cc.o.d"
+  "CMakeFiles/dssd_noc.dir/topology.cc.o"
+  "CMakeFiles/dssd_noc.dir/topology.cc.o.d"
+  "libdssd_noc.a"
+  "libdssd_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_overhead.dir/area.cc.o"
+  "CMakeFiles/dssd_overhead.dir/area.cc.o.d"
+  "libdssd_overhead.a"
+  "libdssd_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_reliability.dir/endurance.cc.o"
+  "CMakeFiles/dssd_reliability.dir/endurance.cc.o.d"
+  "libdssd_reliability.a"
+  "libdssd_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_sim.dir/engine.cc.o"
+  "CMakeFiles/dssd_sim.dir/engine.cc.o.d"
+  "CMakeFiles/dssd_sim.dir/log.cc.o"
+  "CMakeFiles/dssd_sim.dir/log.cc.o.d"
+  "CMakeFiles/dssd_sim.dir/resource.cc.o"
+  "CMakeFiles/dssd_sim.dir/resource.cc.o.d"
+  "CMakeFiles/dssd_sim.dir/stats.cc.o"
+  "CMakeFiles/dssd_sim.dir/stats.cc.o.d"
+  "libdssd_sim.a"
+  "libdssd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

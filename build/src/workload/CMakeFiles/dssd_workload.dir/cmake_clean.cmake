@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_workload.dir/generator.cc.o"
+  "CMakeFiles/dssd_workload.dir/generator.cc.o.d"
+  "libdssd_workload.a"
+  "libdssd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftl.dir/ftl/mapping_test.cc.o"
+  "CMakeFiles/test_ftl.dir/ftl/mapping_test.cc.o.d"
+  "CMakeFiles/test_ftl.dir/ftl/superblock_test.cc.o"
+  "CMakeFiles/test_ftl.dir/ftl/superblock_test.cc.o.d"
+  "CMakeFiles/test_ftl.dir/ftl/writebuffer_test.cc.o"
+  "CMakeFiles/test_ftl.dir/ftl/writebuffer_test.cc.o.d"
+  "test_ftl"
+  "test_ftl.pdb"
+  "test_ftl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hil.dir/hil/driver_test.cc.o"
+  "CMakeFiles/test_hil.dir/hil/driver_test.cc.o.d"
+  "test_hil"
+  "test_hil.pdb"
+  "test_hil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nand.dir/nand/die_test.cc.o"
+  "CMakeFiles/test_nand.dir/nand/die_test.cc.o.d"
+  "CMakeFiles/test_nand.dir/nand/geometry_test.cc.o"
+  "CMakeFiles/test_nand.dir/nand/geometry_test.cc.o.d"
+  "CMakeFiles/test_nand.dir/nand/timing_test.cc.o"
+  "CMakeFiles/test_nand.dir/nand/timing_test.cc.o.d"
+  "test_nand"
+  "test_nand.pdb"
+  "test_nand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noc/network_test.cc" "tests/CMakeFiles/test_noc.dir/noc/network_test.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/network_test.cc.o.d"
+  "/root/repo/tests/noc/topology_test.cc" "tests/CMakeFiles/test_noc.dir/noc/topology_test.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/dssd_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/overhead/CMakeFiles/dssd_overhead.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dssd_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/dssd_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dssd_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/dssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/dssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/dssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/hil/CMakeFiles/dssd_hil.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dssd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dssd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssd_cli.dir/__/bench/harness.cc.o"
+  "CMakeFiles/dssd_cli.dir/__/bench/harness.cc.o.d"
+  "CMakeFiles/dssd_cli.dir/dssd_sim.cc.o"
+  "CMakeFiles/dssd_cli.dir/dssd_sim.cc.o.d"
+  "dssd_sim"
+  "dssd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,11 +3,17 @@
  * Fig 12: GC performance as the fNoC router-channel bandwidth is
  * varied (expressed as a ratio to the 1 GB/s flash-channel bandwidth),
  * for (a) different channel counts and (b) different ways per channel.
+ *
+ * Both grids are batched through the parallel sweep runner; printing
+ * happens afterwards in sweep order, so the tables are identical for
+ * any --threads value.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.hh"
+#include "sim/log.hh"
 
 using namespace dssd;
 using namespace dssd::bench;
@@ -15,9 +21,9 @@ using namespace dssd::bench;
 namespace
 {
 
-double
-gcPerf(unsigned channels, unsigned ways, double ratio,
-       std::uint64_t seed)
+ExpParams
+gcParams(unsigned channels, unsigned ways, double ratio,
+         std::uint64_t seed)
 {
     ExpParams p;
     p.arch = ArchKind::DSSDNoc;
@@ -31,8 +37,7 @@ gcPerf(unsigned channels, unsigned ways, double ratio,
     p.window = 40 * tickMs;
     p.gcVictims = 4;
     p.seed = seed;
-    ExpResult r = runExperiment(p);
-    return r.gcPagesPerSec;
+    return p;
 }
 
 } // namespace
@@ -42,17 +47,35 @@ main(int argc, char **argv)
 {
     BenchOpts o = BenchOpts::parse(argc, argv);
     const double ratios[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+    const unsigned chans[] = {4u, 8u, 16u};
+    const unsigned ways[] = {1u, 2u, 4u, 8u};
 
+    // One batch covers both sub-figures.
+    std::vector<ExpParams> ps;
+    for (double ratio : ratios)
+        for (unsigned ch : chans)
+            ps.push_back(gcParams(ch, 1, ratio, o.seed));
+    std::size_t part_b = ps.size();
+    for (double ratio : ratios)
+        for (unsigned w : ways)
+            ps.push_back(gcParams(8, w, ratio, o.seed));
+    std::vector<ExpResult> rs = runExperiments(ps, o.resolvedThreads());
+
+    JsonSeriesWriter json;
     banner("Fig 12(a)",
            "GC performance vs router-channel bandwidth, by #channels");
     std::printf("%-10s", "ratio");
-    for (unsigned ch : {4u, 8u, 16u})
+    for (unsigned ch : chans)
         std::printf("  %8uch", ch);
     std::printf("   (GC pages/s)\n");
+    std::size_t idx = 0;
     for (double ratio : ratios) {
         std::printf("x%-9.2f", ratio);
-        for (unsigned ch : {4u, 8u, 16u})
-            std::printf("  %10.0f", gcPerf(ch, 1, ratio, o.seed));
+        for (unsigned ch : chans) {
+            double v = rs[idx++].gcPagesPerSec;
+            std::printf("  %10.0f", v);
+            json.add(strformat("a/%uch", ch), v);
+        }
         std::printf("\n");
     }
 
@@ -61,16 +84,21 @@ main(int argc, char **argv)
            "GC performance vs router-channel bandwidth, by ways "
            "(8 channels)");
     std::printf("%-10s", "ratio");
-    for (unsigned w : {1u, 2u, 4u, 8u})
+    for (unsigned w : ways)
         std::printf("  %7uway", w);
     std::printf("   (GC pages/s)\n");
+    idx = part_b;
     for (double ratio : ratios) {
         std::printf("x%-9.2f", ratio);
-        for (unsigned w : {1u, 2u, 4u, 8u})
-            std::printf("  %10.0f", gcPerf(8, w, ratio, o.seed));
+        for (unsigned w : ways) {
+            double v = rs[idx++].gcPagesPerSec;
+            std::printf("  %10.0f", v);
+            json.add(strformat("b/%uway", w), v);
+        }
         std::printf("\n");
     }
     std::printf("\nExpected shape: saturation near x2 for 8 channels "
                 "(bisection = N/2 x flash-channel bandwidth).\n");
+    json.writeIfRequested(o, "fig12_noc_bw");
     return 0;
 }

@@ -1,8 +1,11 @@
 #include "bench/harness.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <thread>
+
 #include <memory>
 
 #include "sim/log.hh"
@@ -16,16 +19,41 @@ BenchOpts
 BenchOpts::parse(int argc, char **argv)
 {
     BenchOpts o;
+    auto value = [&](const char *name, int &i) -> const char * {
+        std::size_t n = std::strlen(name);
+        if (std::strncmp(argv[i], name, n) != 0)
+            return nullptr;
+        if (argv[i][n] == '=')
+            return argv[i] + n + 1;
+        if (argv[i][n] == '\0' && i + 1 < argc)
+            return argv[++i];
+        return nullptr;
+    };
     for (int i = 1; i < argc; ++i) {
+        const char *v;
         if (std::strcmp(argv[i], "--full") == 0)
             o.full = true;
-        else if (std::strncmp(argv[i], "--seed=", 7) == 0)
-            o.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        else if ((v = value("--seed", i)))
+            o.seed = std::strtoull(v, nullptr, 10);
+        else if ((v = value("--threads", i)))
+            o.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if ((v = value("--json", i)))
+            o.json = v;
         else
-            fatal("unknown option '%s' (supported: --full --seed=N)",
+            fatal("unknown option '%s' (supported: --full --seed=N "
+                  "--threads=N --json=FILE)",
                   argv[i]);
     }
     return o;
+}
+
+unsigned
+BenchOpts::resolvedThreads() const
+{
+    if (threads > 0)
+        return threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
 void
@@ -213,6 +241,88 @@ runExperiment(const ExpParams &p)
     r.ioBreakdown = ssd.ioBreakdown().mean();
     r.cbBreakdown = ssd.copybackBreakdown().mean();
     return r;
+}
+
+void
+parallelFor(std::size_t n, unsigned threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? hw : 1;
+    }
+    std::size_t workers = std::min<std::size_t>(threads, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1))
+                fn(i);
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+std::vector<ExpResult>
+runExperiments(const std::vector<ExpParams> &ps, unsigned threads)
+{
+    std::vector<ExpResult> out(ps.size());
+    parallelFor(ps.size(), threads,
+                [&](std::size_t i) { out[i] = runExperiment(ps[i]); });
+    return out;
+}
+
+//
+// JsonSeriesWriter
+//
+
+void
+JsonSeriesWriter::add(const std::string &name, double v)
+{
+    for (std::size_t i = 0; i < _order.size(); ++i) {
+        if (_order[i] == name) {
+            _series[i].push_back(v);
+            return;
+        }
+    }
+    _order.push_back(name);
+    _series.push_back({v});
+}
+
+void
+JsonSeriesWriter::write(const std::string &path,
+                        const std::string &bench) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open --json file '%s'", path.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"series\": {",
+                 bench.c_str());
+    for (std::size_t i = 0; i < _order.size(); ++i) {
+        std::fprintf(f, "%s\n    \"%s\": [", i ? "," : "",
+                     _order[i].c_str());
+        for (std::size_t j = 0; j < _series[i].size(); ++j)
+            std::fprintf(f, "%s%.17g", j ? ", " : "", _series[i][j]);
+        std::fprintf(f, "]");
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+}
+
+void
+JsonSeriesWriter::writeIfRequested(const BenchOpts &opts,
+                                   const std::string &bench) const
+{
+    if (!opts.json.empty())
+        write(opts.json, bench);
 }
 
 } // namespace bench

@@ -14,6 +14,8 @@
 #ifndef DSSD_BENCH_HARNESS_HH
 #define DSSD_BENCH_HARNESS_HH
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,8 +34,15 @@ struct BenchOpts
 {
     bool full = false;   ///< use the paper's full geometry
     std::uint64_t seed = 1;
+    /// Worker threads for sweep fan-out (0 = hardware_concurrency).
+    unsigned threads = 0;
+    /// When non-empty, also emit the bench's series to this JSON file.
+    std::string json;
 
     static BenchOpts parse(int argc, char **argv);
+
+    /** Resolved thread count (never 0). */
+    unsigned resolvedThreads() const;
 };
 
 /** Print a bench banner naming the figure/table being regenerated. */
@@ -125,6 +134,51 @@ SsdConfig makeExpConfig(const ExpParams &p);
 
 /** Run one interference experiment to completion. */
 ExpResult runExperiment(const ExpParams &p);
+
+/**
+ * Run a batch of independent experiments across a worker pool.
+ *
+ * Each experiment owns its Engine/Ssd/Generator, so points are
+ * embarrassingly parallel; results come back in input order and are
+ * identical for any thread count (each point is seeded by its params,
+ * not by scheduling).
+ *
+ * @param threads Worker count; 0 picks hardware_concurrency.
+ */
+std::vector<ExpResult> runExperiments(const std::vector<ExpParams> &ps,
+                                      unsigned threads);
+
+/**
+ * Generic deterministic fan-out: invoke @p fn(i) for i in [0, n) on up
+ * to @p threads workers (0 = hardware_concurrency). @p fn must only
+ * touch state owned by iteration i.
+ */
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Collects named numeric series and writes them as one JSON document
+ * ({"bench": id, "series": {name: [v, ...]}}), preserving insertion
+ * order. Benches feed it the same values they print so sweeps leave a
+ * machine-readable trail next to the human tables.
+ */
+class JsonSeriesWriter
+{
+  public:
+    /** Append @p v to series @p name (creating it on first use). */
+    void add(const std::string &name, double v);
+
+    /** Write the document to @p path; fatal()s if the file can't be opened. */
+    void write(const std::string &path, const std::string &bench) const;
+
+    /** Convenience: write only when the bench was given --json. */
+    void writeIfRequested(const BenchOpts &opts,
+                          const std::string &bench) const;
+
+  private:
+    std::vector<std::string> _order;
+    std::vector<std::vector<double>> _series;
+};
 
 /** Pretty horizontal rule. */
 void rule();

@@ -1,40 +1,199 @@
 #include "sim/engine.hh"
 
-#include <utility>
+#include <algorithm>
+#include <bit>
 
 #include "sim/log.hh"
 
 namespace dssd
 {
 
-void
-Engine::schedule(Tick delay, Callback cb)
+Engine::Engine() = default;
+
+Engine::~Engine()
 {
-    scheduleAbs(_now + delay, std::move(cb));
+    // Destroy the callables of events that never fired. The pool chunks
+    // themselves are freed by the unique_ptrs.
+    for (std::size_t idx = 0; idx < _buckets.size(); ++idx) {
+        for (Event *ev = _buckets[idx].head; ev;) {
+            Event *next = ev->next;
+            ev->manage(ev->storage, EventOp::Destroy);
+            ev = next;
+        }
+    }
+    for (Event *ev : _far)
+        ev->manage(ev->storage, EventOp::Destroy);
 }
 
 void
-Engine::scheduleAbs(Tick when, Callback cb)
+Engine::growPool()
+{
+    auto chunk = std::make_unique<Event[]>(kChunkEvents);
+    for (std::size_t i = kChunkEvents; i-- > 0;)
+        release(&chunk[i]);
+    _poolCapacity += kChunkEvents;
+    _chunks.push_back(std::move(chunk));
+}
+
+Engine::Event *
+Engine::prepare(Tick when)
 {
     if (when < _now)
         panic("scheduleAbs into the past: when=%llu now=%llu",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_now));
-    _queue.push(Event{when, _nextSeq++, std::move(cb)});
+    if (!_freeList)
+        growPool();
+    Event *ev = _freeList;
+    _freeList = ev->next;
+    ev->when = when;
+    ev->seq = _nextSeq++;
+    ev->next = nullptr;
+    return ev;
+}
+
+void
+Engine::appendToBucket(std::size_t idx, Event *ev)
+{
+    if (idx >= _buckets.size()) {
+        _buckets.resize(idx + 1);
+        _bitmap.resize((_buckets.size() + 63) / 64, 0);
+    }
+    Bucket &b = _buckets[idx];
+    if (b.tail)
+        b.tail->next = ev;
+    else
+        b.head = ev;
+    b.tail = ev;
+    _bitmap[idx / 64] |= std::uint64_t{1} << (idx % 64);
+    ++_nearCount;
+    if (idx < _cursor)
+        _cursor = idx;
+}
+
+void
+Engine::insert(Event *ev)
+{
+    ++_pending;
+    if (ev->when - _windowStart < kMaxBuckets) {
+        appendToBucket(static_cast<std::size_t>(ev->when - _windowStart), ev);
+        return;
+    }
+    _far.push_back(ev);
+    std::push_heap(_far.begin(), _far.end(), [](const Event *a, const Event *b) {
+        if (a->when != b->when)
+            return a->when > b->when;
+        return a->seq > b->seq;
+    });
+}
+
+std::size_t
+Engine::scanBuckets(std::size_t from)
+{
+    std::size_t nwords = _bitmap.size();
+    std::size_t word = from / 64;
+    if (word >= nwords)
+        return kNoBucket;
+    std::uint64_t w = _bitmap[word] & (~std::uint64_t{0} << (from % 64));
+    while (true) {
+        if (w)
+            return word * 64 +
+                   static_cast<std::size_t>(std::countr_zero(w));
+        if (++word >= nwords)
+            return kNoBucket;
+        w = _bitmap[word];
+    }
+}
+
+void
+Engine::rotateWindow()
+{
+    // Precondition: the calendar is empty, the far heap is not, and its
+    // top lies within a window starting at _now. Rebase the window at
+    // _now — never ahead of it, so callbacks and post-runUntil callers
+    // can still schedule at any tick >= now() into the calendar — and
+    // drain every far event that falls inside it, in (when, seq) order
+    // so per-tick FIFOs stay seq-sorted.
+    auto later = [](const Event *a, const Event *b) {
+        if (a->when != b->when)
+            return a->when > b->when;
+        return a->seq > b->seq;
+    };
+    _windowStart = _now;
+    _cursor = 0;
+    while (!_far.empty() &&
+           _far.front()->when - _windowStart < kMaxBuckets) {
+        std::pop_heap(_far.begin(), _far.end(), later);
+        Event *ev = _far.back();
+        _far.pop_back();
+        ev->next = nullptr;
+        appendToBucket(static_cast<std::size_t>(ev->when - _windowStart),
+                       ev);
+    }
+}
+
+Engine::Event *
+Engine::popMin()
+{
+    if (_nearCount == 0) {
+        if (_far.empty())
+            return nullptr;
+        if (_far.front()->when - _now >= kMaxBuckets) {
+            // Sparse region: the next event is beyond any window rooted
+            // at now, so pop straight off the heap.
+            auto later = [](const Event *a, const Event *b) {
+                if (a->when != b->when)
+                    return a->when > b->when;
+                return a->seq > b->seq;
+            };
+            std::pop_heap(_far.begin(), _far.end(), later);
+            Event *ev = _far.back();
+            _far.pop_back();
+            --_pending;
+            return ev;
+        }
+        rotateWindow();
+    }
+    std::size_t idx = scanBuckets(_cursor);
+    // _nearCount > 0 guarantees a set bit.
+    _cursor = idx;
+    Bucket &b = _buckets[idx];
+    Event *ev = b.head;
+    b.head = ev->next;
+    if (!b.head) {
+        b.tail = nullptr;
+        _bitmap[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+    }
+    --_nearCount;
+    --_pending;
+    return ev;
+}
+
+Tick
+Engine::nextEventTick()
+{
+    if (_nearCount == 0) {
+        if (_far.empty())
+            return maxTick;
+        if (_far.front()->when - _now >= kMaxBuckets)
+            return _far.front()->when;
+        rotateWindow();
+    }
+    return _windowStart + scanBuckets(_cursor);
 }
 
 bool
 Engine::step()
 {
-    if (_queue.empty())
+    Event *ev = popMin();
+    if (!ev)
         return false;
-    // Move the callback out before popping so that the event may
-    // safely schedule new events (which mutate the queue).
-    Event ev = _queue.top();
-    _queue.pop();
-    _now = ev.when;
+    _now = ev->when;
     ++_executed;
-    ev.cb();
+    // Run the callback in place, then recycle the node: the event is
+    // already detached, so anything it schedules allocates other nodes.
+    ev->manage(ev->storage, EventOp::InvokeDestroy);
+    release(ev);
     return true;
 }
 
@@ -48,7 +207,7 @@ Engine::run()
 void
 Engine::runUntil(Tick until)
 {
-    while (!_queue.empty() && _queue.top().when <= until)
+    while (nextEventTick() <= until)
         step();
 }
 

@@ -6,14 +6,25 @@
  * components hold a reference to the Engine and schedule callbacks at
  * future ticks. Events scheduled for the same tick fire in FIFO order
  * (insertion order), which keeps simulations deterministic.
+ *
+ * The hot path is allocation-free: events are fixed-size pooled nodes
+ * with the callback stored inline (no std::function, no per-event heap
+ * allocation), and the queue is two-level — a calendar of one-tick
+ * near-future buckets backed by a far-future binary heap. Events pop
+ * in exact (when, seq) order, so schedules are bit-identical to the
+ * old priority-queue engine.
  */
 
 #ifndef DSSD_SIM_ENGINE_HH
 #define DSSD_SIM_ENGINE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -34,23 +45,52 @@ namespace dssd
 class Engine
 {
   public:
+    /**
+     * Completion-callback type used by module APIs (e.g. Ssd::submit).
+     * The engine itself never wraps scheduled callables in this: any
+     * callable small enough for the inline event buffer is stored
+     * directly.
+     */
     using Callback = std::function<void()>;
 
-    Engine() = default;
+    /** Inline storage per event; callables must fit (checked at compile time). */
+    static constexpr std::size_t kInlineCallbackBytes = 128;
+
+    Engine();
+    ~Engine();
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
 
     /** Current simulation time. */
     Tick now() const { return _now; }
 
-    /** Schedule @p cb to run @p delay ticks from now. */
-    void schedule(Tick delay, Callback cb);
+    /** Schedule @p fn to run @p delay ticks from now. */
+    template <typename F>
+    void
+    schedule(Tick delay, F &&fn)
+    {
+        scheduleAbs(_now + delay, std::forward<F>(fn));
+    }
 
     /**
-     * Schedule @p cb at absolute time @p when.
+     * Schedule @p fn at absolute time @p when.
      * @pre when >= now()
      */
-    void scheduleAbs(Tick when, Callback cb);
+    template <typename F>
+    void
+    scheduleAbs(Tick when, F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kInlineCallbackBytes,
+                      "event callback exceeds inline storage; shrink the "
+                      "capture or raise Engine::kInlineCallbackBytes");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned event callback");
+        Event *ev = prepare(when);
+        ::new (static_cast<void *>(ev->storage)) Fn(std::forward<F>(fn));
+        ev->manage = &manageImpl<Fn>;
+        insert(ev);
+    }
 
     /**
      * Execute the next pending event.
@@ -69,34 +109,94 @@ class Engine
     void runUntil(Tick until);
 
     /** Number of events waiting in the queue. */
-    std::size_t pendingEvents() const { return _queue.size(); }
+    std::size_t pendingEvents() const { return _pending; }
 
     /** Total number of events executed since construction. */
     std::uint64_t executedEvents() const { return _executed; }
 
+    /**
+     * Total event nodes owned by the pool (free + in flight). Grows in
+     * chunks on demand and never shrinks; a steady-state simulation
+     * stops growing it once the free list covers the peak event
+     * population.
+     */
+    std::size_t poolCapacity() const { return _poolCapacity; }
+
   private:
+    enum class EventOp { InvokeDestroy, Destroy };
+
     struct Event
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        Event *next;
+        /** Type-erased callable ops on @ref storage. */
+        void (*manage)(void *storage, EventOp op);
+        alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
     };
 
-    struct Later
+    static_assert(sizeof(Event) == 160,
+                  "event node layout drifted; keep it compact — header "
+                  "plus inline callback storage, nothing else");
+
+    template <typename Fn>
+    static void
+    manageImpl(void *storage, EventOp op)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        Fn *fn = std::launder(reinterpret_cast<Fn *>(storage));
+        if (op == EventOp::InvokeDestroy)
+            (*fn)();
+        fn->~Fn();
+    }
+
+    /** Intrusive FIFO of events at one tick. */
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
     };
+
+    /** Allocate a pool node stamped with @p when and the next seq. */
+    Event *prepare(Tick when);
+    /** File a prepared node into the near buckets or the far heap. */
+    void insert(Event *ev);
+    /** Detach the earliest (when, seq) event; null when empty. */
+    Event *popMin();
+    /** Tick of the earliest pending event, or maxTick when empty. */
+    Tick nextEventTick();
+    /** Move the near window to the earliest far event and drain. */
+    void rotateWindow();
+    /** Index of the first non-empty bucket from @p from, or npos. */
+    std::size_t scanBuckets(std::size_t from);
+    void appendToBucket(std::size_t idx, Event *ev);
+    void growPool();
+    void release(Event *ev) { ev->next = _freeList; _freeList = ev; }
+
+    /** Near-future calendar width in ticks (buckets allocate lazily). */
+    static constexpr std::size_t kMaxBuckets = 8192;
+    static constexpr std::size_t kChunkEvents = 512;
+    static constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
 
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> _queue;
+    std::size_t _pending = 0;
+
+    // Near-future calendar: bucket i holds tick _windowStart + i.
+    Tick _windowStart = 0;
+    std::size_t _cursor = 0;     ///< first possibly non-empty bucket
+    std::size_t _nearCount = 0;  ///< events currently in buckets
+    std::vector<Bucket> _buckets;
+    std::vector<std::uint64_t> _bitmap; ///< occupancy, one bit per bucket
+
+    // Far-future events (when >= _windowStart + kMaxBuckets): binary
+    // min-heap ordered by (when, seq).
+    std::vector<Event *> _far;
+
+    // Free-list event pool, backed by chunk allocations.
+    Event *_freeList = nullptr;
+    std::size_t _poolCapacity = 0;
+    std::vector<std::unique_ptr<Event[]>> _chunks;
 };
 
 } // namespace dssd

@@ -16,9 +16,23 @@ namespace dssd
 void
 SampleStat::sample(double v)
 {
+    // Reserve ahead in large steps so steady sampling amortizes to a
+    // handful of reallocations over a whole run.
+    if (_samples.size() == _samples.capacity())
+        _samples.reserve(
+            _samples.empty() ? 1024 : _samples.capacity() * 2);
+    if (_samples.empty()) {
+        _min = v;
+        _max = v;
+    } else {
+        if (v < _min)
+            _min = v;
+        if (v > _max)
+            _max = v;
+    }
     _samples.push_back(v);
     _sum += v;
-    _sortedValid = false;
+    _scratchValid = false;
 }
 
 double
@@ -34,7 +48,7 @@ SampleStat::min() const
 {
     if (_samples.empty())
         return 0.0;
-    return *std::min_element(_samples.begin(), _samples.end());
+    return _min;
 }
 
 double
@@ -42,7 +56,7 @@ SampleStat::max() const
 {
     if (_samples.empty())
         return 0.0;
-    return *std::max_element(_samples.begin(), _samples.end());
+    return _max;
 }
 
 double
@@ -52,21 +66,23 @@ SampleStat::percentile(double p) const
         return 0.0;
     if (p < 0.0 || p > 100.0)
         panic("percentile %f out of range", p);
-    if (!_sortedValid) {
-        _sorted = _samples;
-        std::sort(_sorted.begin(), _sorted.end());
-        _sortedValid = true;
+    if (!_scratchValid) {
+        _scratch = _samples;
+        _scratchValid = true;
     }
     // Nearest-rank: smallest value with at least ceil(p/100*N) samples
-    // at or below it.
-    std::size_t n = _sorted.size();
+    // at or below it. Selection, not a full sort: each query is O(n),
+    // and the partially ordered scratch persists across queries.
+    std::size_t n = _scratch.size();
     std::size_t rank = static_cast<std::size_t>(
         std::ceil(p / 100.0 * static_cast<double>(n)));
     if (rank == 0)
         rank = 1;
     if (rank > n)
         rank = n;
-    return _sorted[rank - 1];
+    auto nth = _scratch.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+    std::nth_element(_scratch.begin(), nth, _scratch.end());
+    return *nth;
 }
 
 double
@@ -85,9 +101,11 @@ void
 SampleStat::reset()
 {
     _samples.clear();
-    _sorted.clear();
-    _sortedValid = false;
+    _scratch.clear();
+    _scratchValid = false;
     _sum = 0.0;
+    _min = 0.0;
+    _max = 0.0;
 }
 
 //

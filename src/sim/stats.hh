@@ -35,9 +35,15 @@ class Counter
 /**
  * A distribution of samples with exact order statistics.
  *
- * Samples are stored verbatim; percentile() sorts a scratch copy on
- * demand (cached until the next sample). Exact percentiles matter here:
- * the paper's headline results are p99/p99.9 tail latencies.
+ * Samples are stored verbatim with reserve-ahead growth; percentile()
+ * runs nth_element selection on a cached scratch copy (refreshed lazily
+ * after new samples) instead of fully sorting. Exact percentiles matter
+ * here: the paper's headline results are p99/p99.9 tail latencies.
+ * mean()/min()/max() are O(1) streaming accumulators, so per-window
+ * bookkeeping never touches the sample vector.
+ *
+ * On an empty distribution every accessor deterministically returns
+ * 0.0 (never reads the backing storage).
  */
 class SampleStat
 {
@@ -45,6 +51,9 @@ class SampleStat
     explicit SampleStat(std::string name = "") : _name(std::move(name)) {}
 
     void sample(double v);
+
+    /** Pre-size storage for @p n samples (optional; growth is automatic). */
+    void reserve(std::size_t n) { _samples.reserve(n); }
 
     std::uint64_t count() const { return _samples.size(); }
     double sum() const { return _sum; }
@@ -68,9 +77,11 @@ class SampleStat
   private:
     std::string _name;
     std::vector<double> _samples;
-    mutable std::vector<double> _sorted;
-    mutable bool _sortedValid = false;
+    mutable std::vector<double> _scratch; ///< selection workspace
+    mutable bool _scratchValid = false;
     double _sum = 0.0;
+    double _min = 0.0; ///< streaming; valid iff !_samples.empty()
+    double _max = 0.0;
 };
 
 /**

@@ -1,0 +1,139 @@
+/** Unit tests for the bench harness: parallel sweep runner + options. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench/harness.hh"
+
+namespace dssd
+{
+namespace bench
+{
+namespace
+{
+
+/** Small, fast experiment point that still moves I/O and GC. */
+ExpParams
+tinyParams(std::uint64_t seed)
+{
+    ExpParams p;
+    p.arch = ArchKind::DSSDNoc;
+    p.channels = 4;
+    p.ways = 2;
+    p.planes = 2;
+    p.blocksPerPlane = 8;
+    p.pagesPerBlock = 8;
+    p.window = 2 * tickMs;
+    p.seed = seed;
+    return p;
+}
+
+bool
+sameResult(const ExpResult &a, const ExpResult &b)
+{
+    return a.ioBytesPerSec == b.ioBytesPerSec &&
+           a.gcPagesPerSec == b.gcPagesPerSec &&
+           a.avgLatencyUs == b.avgLatencyUs &&
+           a.p99LatencyUs == b.p99LatencyUs &&
+           a.p999LatencyUs == b.p999LatencyUs &&
+           a.ioCompleted == b.ioCompleted &&
+           a.gcPagesMoved == b.gcPagesMoved &&
+           a.ioBwSeries == b.ioBwSeries &&
+           a.busIoSeries == b.busIoSeries;
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h = 0;
+    parallelFor(hits.size(), 4, [&](std::size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroThreadsMeansHardwareConcurrency)
+{
+    std::atomic<int> count{0};
+    parallelFor(10, 0, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(RunExperimentsTest, SingleAndMultiThreadResultsAreIdentical)
+{
+    std::vector<ExpParams> ps;
+    for (std::uint64_t s = 1; s <= 5; ++s)
+        ps.push_back(tinyParams(s));
+
+    std::vector<ExpResult> seq = runExperiments(ps, 1);
+    std::vector<ExpResult> par = runExperiments(ps, 4);
+    ASSERT_EQ(seq.size(), ps.size());
+    ASSERT_EQ(par.size(), ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        EXPECT_TRUE(sameResult(seq[i], par[i]))
+            << "experiment " << i << " diverged across thread counts";
+        // ... and both match a direct single run of the same point.
+        ExpResult direct = runExperiment(ps[i]);
+        EXPECT_TRUE(sameResult(seq[i], direct))
+            << "experiment " << i << " diverged from a direct run";
+    }
+}
+
+TEST(RunExperimentsTest, ResultsComeBackInInputOrder)
+{
+    // Distinct seeds give distinct results; order must follow input.
+    std::vector<ExpParams> ps = {tinyParams(3), tinyParams(1),
+                                 tinyParams(2)};
+    std::vector<ExpResult> rs = runExperiments(ps, 3);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        ExpResult direct = runExperiment(ps[i]);
+        EXPECT_TRUE(sameResult(rs[i], direct)) << "slot " << i;
+    }
+}
+
+TEST(BenchOptsTest, ParsesThreadsAndJsonInBothForms)
+{
+    const char *argv1[] = {"bench", "--threads=7", "--json=/tmp/x.json",
+                           "--seed=9"};
+    BenchOpts o1 = BenchOpts::parse(4, const_cast<char **>(argv1));
+    EXPECT_EQ(o1.threads, 7u);
+    EXPECT_EQ(o1.json, "/tmp/x.json");
+    EXPECT_EQ(o1.seed, 9u);
+
+    const char *argv2[] = {"bench", "--threads", "3", "--json",
+                           "out.json", "--full"};
+    BenchOpts o2 = BenchOpts::parse(6, const_cast<char **>(argv2));
+    EXPECT_EQ(o2.threads, 3u);
+    EXPECT_EQ(o2.json, "out.json");
+    EXPECT_TRUE(o2.full);
+    EXPECT_GE(o2.resolvedThreads(), 1u);
+}
+
+TEST(JsonSeriesWriterTest, WritesOrderedSeries)
+{
+    JsonSeriesWriter w;
+    w.add("a/io", 1.5);
+    w.add("b/gc", 2.0);
+    w.add("a/io", 2.5);
+    std::string path = testing::TempDir() + "harness_json_test.json";
+    w.write(path, "unit");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string doc = ss.str();
+    EXPECT_NE(doc.find("\"bench\": \"unit\""), std::string::npos);
+    EXPECT_NE(doc.find("\"a/io\": [1.5, 2.5]"), std::string::npos);
+    EXPECT_NE(doc.find("\"b/gc\": [2]"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace bench
+} // namespace dssd

@@ -23,9 +23,65 @@ TEST(SampleStatTest, MeanMinMax)
 
 TEST(SampleStatTest, EmptyStatIsZero)
 {
+    // Every accessor must be safe and deterministically 0.0 on an
+    // empty distribution (no reads of the backing storage).
     SampleStat s;
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
     EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleStatTest, EmptyAfterResetIsZero)
+{
+    SampleStat s;
+    s.sample(42.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SampleStatTest, StreamingMinMaxTracksNegatives)
+{
+    SampleStat s;
+    s.sample(-5);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), -5.0);
+    s.sample(-20);
+    s.sample(3);
+    EXPECT_DOUBLE_EQ(s.min(), -20.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    // min/max survive reset + refill.
+    s.reset();
+    s.sample(1);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 1.0);
+}
+
+TEST(SampleStatTest, InterleavedPercentileQueriesStayExact)
+{
+    // The selection scratch persists across queries and must be
+    // refreshed when samples arrive between them.
+    SampleStat s;
+    for (int i = 1; i <= 1000; ++i)
+        s.sample(1001 - i);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 990.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 500.0);
+    // 99.9/100*1000 rounds up past 999 in binary floating point, so
+    // nearest-rank lands on the maximum (same as the seed behavior).
+    EXPECT_DOUBLE_EQ(s.percentile(99.9), 1000.0);
+    for (int i = 0; i < 10; ++i)
+        s.sample(2000 + i);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 2009.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 505.0);
 }
 
 TEST(SampleStatTest, ExactPercentilesNearestRank)

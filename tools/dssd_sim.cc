@@ -47,7 +47,9 @@ usage()
         "  --factor=F      on-chip bandwidth factor (default 1.25)\n"
         "  --no-gc         do not force GC during the window\n"
         "  --srt-remaps=N  pre-populate N SRT remaps per channel\n"
-        "  --seed=N\n");
+        "  --seed=N\n"
+        "  --seeds=N       replicate over seeds seed..seed+N-1\n"
+        "  --threads=N     worker threads for --seeds (default: all)\n");
     std::exit(1);
 }
 
@@ -110,6 +112,8 @@ main(int argc, char **argv)
     ExpParams p;
     p.arch = ArchKind::DSSDNoc;
     std::string trace;
+    unsigned seeds = 1;
+    unsigned threads = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *v = nullptr;
@@ -154,13 +158,40 @@ main(int argc, char **argv)
         else if (flagValue(argv[i], "--srt-remaps", &v))
             p.srtRemapsPerChannel =
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--seeds", &v))
+            seeds = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (flagValue(argv[i], "--seed", &v))
             p.seed = std::strtoull(v, nullptr, 10);
+        else if (flagValue(argv[i], "--threads", &v))
+            threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else
             usage();
     }
     if (!trace.empty())
         p.traceName = trace.c_str();
+
+    if (seeds > 1) {
+        // Seed-replication mode: fan the runs over the worker pool and
+        // summarize per seed (results are printed in seed order and
+        // independent of the thread count).
+        std::vector<ExpParams> ps(seeds, p);
+        for (unsigned i = 0; i < seeds; ++i)
+            ps[i].seed = p.seed + i;
+        std::vector<ExpResult> rs = runExperiments(ps, threads);
+        std::printf("dssd_sim: %s, %u seeds starting at %llu\n",
+                    archName(p.arch), seeds,
+                    static_cast<unsigned long long>(p.seed));
+        std::printf("%-6s  %12s  %10s  %10s  %10s\n", "seed", "BW",
+                    "avg(us)", "p99(us)", "p99.9(us)");
+        for (unsigned i = 0; i < seeds; ++i) {
+            const ExpResult &r = rs[i];
+            std::printf("%-6llu  %12s  %10.1f  %10.1f  %10.1f\n",
+                        static_cast<unsigned long long>(ps[i].seed),
+                        formatBandwidth(r.ioBytesPerSec).c_str(),
+                        r.avgLatencyUs, r.p99LatencyUs, r.p999LatencyUs);
+        }
+        return 0;
+    }
 
     std::printf("dssd_sim: %s, %ux%ux%u %s, %s%s, QD %u, window %.0f ms, "
                 "GC %s (%s)\n",

@@ -16,6 +16,7 @@ FlashChannel::FlashChannel(Engine &engine, const FlashGeometry &geom,
       _pageBuffer(engine, strformat("page-buffer-ch%u", channel_id),
                   params.pageBufferSlots)
 {
+    _dies.reserve(_geom.diesPerChannel());
     for (std::uint32_t i = 0; i < _geom.diesPerChannel(); ++i)
         _dies.push_back(std::make_unique<FlashDie>(engine, geom, timing));
 }

@@ -4,10 +4,31 @@
 #include <memory>
 #include <utility>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace dssd
 {
+
+const char *
+copybackStageName(CopybackStage stage)
+{
+    switch (stage) {
+      case CopybackStage::Issued:
+        return "Issued";
+      case CopybackStage::R:
+        return "R";
+      case CopybackStage::RE:
+        return "RE";
+      case CopybackStage::T:
+        return "T";
+      case CopybackStage::W:
+        return "W";
+      case CopybackStage::numStages:
+        break;
+    }
+    return "?";
+}
 
 /** In-flight global copyback bookkeeping. */
 struct DecoupledController::Copyback
@@ -51,6 +72,69 @@ std::uint64_t
 DecoupledController::stageCount(CopybackStage stage) const
 {
     return _stageCounts[static_cast<std::size_t>(stage)];
+}
+
+void
+DecoupledController::audit(AuditReport &r) const
+{
+    // The per-command status machine only ever advances Issued -> R ->
+    // RE -> T -> W, so the cumulative counters must be monotone along
+    // that order: a command counted at stage N was counted at N-1.
+    constexpr auto n = static_cast<std::size_t>(CopybackStage::numStages);
+    for (std::size_t s = 1; s < n; ++s) {
+        if (_stageCounts[s] > _stageCounts[s - 1]) {
+            r.fail("channel %u copyback status machine: %llu commands "
+                   "reached stage %s but only %llu reached %s",
+                   _channel.channelId(),
+                   static_cast<unsigned long long>(_stageCounts[s]),
+                   copybackStageName(static_cast<CopybackStage>(s)),
+                   static_cast<unsigned long long>(_stageCounts[s - 1]),
+                   copybackStageName(static_cast<CopybackStage>(s - 1)));
+        }
+    }
+    std::uint64_t issued =
+        _stageCounts[static_cast<std::size_t>(CopybackStage::Issued)];
+    std::uint64_t written =
+        _stageCounts[static_cast<std::size_t>(CopybackStage::W)];
+    if (written != _completed) {
+        r.fail("channel %u: %llu copybacks reached W but %llu "
+               "completed",
+               _channel.channelId(),
+               static_cast<unsigned long long>(written),
+               static_cast<unsigned long long>(_completed));
+    }
+    if (_inFlight != issued - written) {
+        r.fail("channel %u: %llu copybacks in flight but issued %llu - "
+               "written %llu = %llu",
+               _channel.channelId(),
+               static_cast<unsigned long long>(_inFlight),
+               static_cast<unsigned long long>(issued),
+               static_cast<unsigned long long>(written),
+               static_cast<unsigned long long>(issued - written));
+    }
+
+    // dBUF slot accounting.
+    if (_dbufOut.freeSlots() > _dbufOut.capacity()) {
+        r.fail("channel %u egress dBUF: %u free slots exceed capacity "
+               "%u",
+               _channel.channelId(), _dbufOut.freeSlots(),
+               _dbufOut.capacity());
+    }
+    if (_dbufIn.freeSlots() > _dbufIn.capacity()) {
+        r.fail("channel %u ingress dBUF: %u free slots exceed capacity "
+               "%u",
+               _channel.channelId(), _dbufIn.freeSlots(),
+               _dbufIn.capacity());
+    }
+    if (_inFlight == 0 && _dbufOut.freeSlots() != _dbufOut.capacity()) {
+        r.fail("channel %u egress dBUF leak: %u of %u slots held with "
+               "no copyback in flight",
+               _channel.channelId(),
+               _dbufOut.capacity() - _dbufOut.freeSlots(),
+               _dbufOut.capacity());
+    }
+
+    auditRemapTables(_srt, _rbt, r);
 }
 
 PhysAddr

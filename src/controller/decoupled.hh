@@ -44,6 +44,8 @@ enum class CopybackStage : int
     numStages = 5,
 };
 
+const char *copybackStageName(CopybackStage stage);
+
 /** Configuration of a decoupled controller. */
 struct DecoupledParams
 {
@@ -112,6 +114,15 @@ class DecoupledController
 
     /** Copyback end-to-end latency distribution (ticks). */
     const SampleStat &copybackLatency() const { return _latency; }
+
+    /**
+     * Cross-check this controller's invariants: legality of the
+     * global-copyback status machine (stage counters monotone along
+     * Issued ≥ R ≥ RE ≥ T ≥ W, in-flight algebra), dBUF slot
+     * accounting, and the SRT/RBT consistency rules of
+     * auditRemapTables(). See sim/audit.hh.
+     */
+    void audit(AuditReport &report) const;
 
   private:
     struct Copyback;

@@ -1,0 +1,74 @@
+#include "controller/remap.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/audit.hh"
+
+namespace dssd
+{
+
+std::vector<std::pair<ChannelBlockId, ChannelBlockId>>
+SuperblockRemapTable::entriesSorted() const
+{
+    std::vector<std::pair<ChannelBlockId, ChannelBlockId>> out;
+    out.reserve(_map.size());
+    // The only sanctioned walk of the hash map: the result is sorted
+    // before anyone can observe it. lint:allow unordered-iteration
+    for (const auto &kv : _map)
+        out.emplace_back(kv.first, kv.second);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+auditRemapTables(const SuperblockRemapTable &srt,
+                 const RecycleBlockTable &rbt, AuditReport &r)
+{
+    auto entries = srt.entriesSorted();
+
+    if (srt.capacity() != 0 && entries.size() > srt.capacity()) {
+        r.fail("SRT holds %zu entries beyond its capacity %zu",
+               entries.size(), srt.capacity());
+    }
+    if (entries.size() > srt.highWater()) {
+        r.fail("SRT high-water %zu below current size %zu",
+               srt.highWater(), entries.size());
+    }
+
+    std::unordered_set<ChannelBlockId> targets;
+    targets.reserve(entries.size());
+    for (const auto &[from, to] : entries) {
+        if (from == to)
+            r.fail("SRT self-remap: block %u mapped to itself", from);
+        if (!targets.insert(to).second) {
+            r.fail("SRT injectivity: replacement block %u serves two "
+                   "remapped sources",
+                   to);
+        }
+    }
+    for (const auto &[from, to] : entries) {
+        if (targets.count(from)) {
+            r.fail("SRT remap chain: source block %u is also an "
+                   "active replacement",
+                   from);
+        }
+    }
+
+    std::unordered_set<ChannelBlockId> binned;
+    for (ChannelBlockId b : rbt.contents()) {
+        if (!binned.insert(b).second)
+            r.fail("RBT holds block %u twice", b);
+        if (targets.count(b)) {
+            r.fail("block %u is an active SRT replacement and also "
+                   "sits in the RBT",
+                   b);
+        }
+    }
+    if (rbt.size() > rbt.highWater()) {
+        r.fail("RBT high-water %zu below current size %zu",
+               rbt.highWater(), rbt.size());
+    }
+}
+
+} // namespace dssd

@@ -21,11 +21,15 @@
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "nand/geometry.hh"
 
 namespace dssd
 {
+
+class AuditReport;
 
 /** Flat block id within one channel. */
 using ChannelBlockId = std::uint32_t;
@@ -88,6 +92,15 @@ class RecycleBlockTable
     std::size_t highWater() const { return _highWater; }
     std::uint64_t taken() const { return _taken; }
 
+    /**
+     * Snapshot of the queued blocks in FIFO (take) order. The deque
+     * order is insertion order, so this is deterministic across runs.
+     */
+    std::vector<ChannelBlockId> contents() const
+    {
+        return {_blocks.begin(), _blocks.end()};
+    }
+
   private:
     std::deque<ChannelBlockId> _blocks;
     std::size_t _highWater = 0;
@@ -121,7 +134,7 @@ class SuperblockRemapTable
     bool
     insert(ChannelBlockId from, ChannelBlockId to)
     {
-        if (full() || _map.count(from))
+        if (full() || _map.contains(from))
             return false;
         _map.emplace(from, to);
         ++_inserts;
@@ -152,12 +165,34 @@ class SuperblockRemapTable
     std::size_t highWater() const { return _highWater; }
     std::uint64_t inserts() const { return _inserts; }
 
+    /**
+     * Stable snapshot of the active remappings: (from, to) pairs
+     * sorted by source id. Anything that iterates the table — stats
+     * printing, auditing, cross-run comparison — must go through this:
+     * the hash map's own iteration order depends on its rehash history
+     * and may never leak into simulation results or output
+     * (tools/lint/dssd_lint.py enforces the ban on direct iteration).
+     */
+    std::vector<std::pair<ChannelBlockId, ChannelBlockId>>
+    entriesSorted() const;
+
   private:
     std::size_t _capacity;
     std::unordered_map<ChannelBlockId, ChannelBlockId> _map;
     std::size_t _highWater = 0;
     std::uint64_t _inserts = 0;
 };
+
+/**
+ * Cross-check one controller's remap-table pair: SRT injectivity (no
+ * two sources share a replacement), no self-remaps, no remap chains
+ * (a replacement block is never itself a remapped source), capacity
+ * and high-water accounting, and SRT∩RBT emptiness (a block cannot be
+ * an active replacement and sit in the recycling bin at once). See
+ * sim/audit.hh.
+ */
+void auditRemapTables(const SuperblockRemapTable &srt,
+                      const RecycleBlockTable &rbt, AuditReport &report);
 
 } // namespace dssd
 

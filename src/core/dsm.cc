@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace dssd
@@ -58,6 +59,36 @@ DynamicSuperblockEngine::DynamicSuperblockEngine(Ssd &ssd,
                 dc->rbt().add(channelBlockId(g, a));
             }
         }
+    }
+
+    // DSSD_AUDIT builds: fold this engine's state into the SSD's
+    // periodic invariant audit for as long as the engine lives.
+    if ((_auditor = _ssd.auditor())) {
+        _auditIds.push_back(_auditor->addCheck(
+            "dsm.superblocks",
+            [this](AuditReport &r) { _map.audit(r); }));
+        _auditIds.push_back(_auditor->addCheck(
+            "dsm.stats", [this](AuditReport &r) {
+                if (_stats.curve.size() != _stats.deadSuperblocks) {
+                    r.fail("death curve has %zu points for %u dead "
+                           "superblocks",
+                           _stats.curve.size(), _stats.deadSuperblocks);
+                }
+                if (_map.deadSuperblocks() != _stats.deadSuperblocks) {
+                    r.fail("mapping reports %u dead superblocks, stats "
+                           "counted %u",
+                           _map.deadSuperblocks(),
+                           _stats.deadSuperblocks);
+                }
+            }));
+    }
+}
+
+DynamicSuperblockEngine::~DynamicSuperblockEngine()
+{
+    if (_auditor) {
+        for (std::size_t id : _auditIds)
+            _auditor->removeCheck(id);
     }
 }
 

@@ -87,6 +87,12 @@ class DynamicSuperblockEngine
     DynamicSuperblockEngine(Ssd &ssd, SuperblockMapping &map,
                             const DsmParams &params);
 
+    ~DynamicSuperblockEngine();
+
+    DynamicSuperblockEngine(const DynamicSuperblockEngine &) = delete;
+    DynamicSuperblockEngine &
+    operator=(const DynamicSuperblockEngine &) = delete;
+
     /**
      * Run wear cycles round-robin over the live superblocks until
      * @p max_cycles cycles have executed or fewer than two live
@@ -129,6 +135,9 @@ class DynamicSuperblockEngine
     SuperblockMapping &_map;
     DsmParams _params;
     Rng _rng;
+    /// Auditor the DSM checks were registered with (DSSD_AUDIT builds).
+    Auditor *_auditor = nullptr;
+    std::vector<std::size_t> _auditIds;
     /// _wear[channel][block-id-in-channel]
     std::vector<std::vector<Wear>> _wear;
     DsmStats _stats;

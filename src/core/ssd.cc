@@ -1,5 +1,6 @@
 #include "core/ssd.hh"
 
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -38,6 +39,7 @@ Ssd::Ssd(Engine &engine, const SsdConfig &config)
     _systemBus->attachRecorder(_busRecorder.get());
     _dram = std::make_unique<Dram>(engine, _config.dramBandwidth);
 
+    _channels.reserve(_config.geom.channels);
     for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
         _channels.push_back(std::make_unique<FlashChannel>(
             engine, _config.geom, _config.timing, ch, _config.channel));
@@ -46,6 +48,7 @@ Ssd::Ssd(Engine &engine, const SsdConfig &config)
     if (isDecoupled(_config.arch)) {
         DecoupledParams dp = _config.decoupled;
         dp.ecc = _config.ecc;
+        _decoupled.reserve(_config.geom.channels);
         for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
             _decoupled.push_back(std::make_unique<DecoupledController>(
                 engine, *_channels[ch], dp));
@@ -94,9 +97,47 @@ Ssd::Ssd(Engine &engine, const SsdConfig &config)
 
     _writeBuffer = std::make_unique<WriteBuffer>(_config.writeBuffer);
     _gc = std::make_unique<GcEngine>(*this, _config.gc);
+
+#ifdef DSSD_AUDIT
+    // Debug-gated invariant auditing: cross-check the model every N
+    // executed events and abort on the first violation. The interval
+    // trades detection latency against audit cost (each run walks the
+    // whole mapping).
+    _auditor = std::make_unique<Auditor>(AuditMode::Abort);
+    registerAudits(*_auditor);
+    std::uint64_t every = 65536;
+    // Read-only env probe at construction; nothing in the simulator
+    // calls setenv, so the mt-unsafe concern does not apply.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (const char *env = std::getenv("DSSD_AUDIT_EVERY"))
+        every = std::strtoull(env, nullptr, 10);
+    if (every != 0)
+        _auditor->attach(_engine, every);
+#endif
 }
 
 Ssd::~Ssd() = default;
+
+void
+Ssd::registerAudits(Auditor &auditor)
+{
+    auditor.addCheck("ftl.mapping", [this](AuditReport &r) {
+        _mapping->audit(r);
+    });
+    auditor.addCheck("ftl.writebuffer", [this](AuditReport &r) {
+        _writeBuffer->audit(r);
+    });
+    for (auto &dc : _decoupled) {
+        auditor.addCheck(
+            strformat("controller.ch%u", dc->channel().channelId()),
+            [c = dc.get()](AuditReport &r) { c->audit(r); });
+    }
+    if (_noc) {
+        auditor.addCheck("noc.network", [n = _noc](AuditReport &r) {
+            n->audit(r);
+        });
+    }
+}
 
 FlashChannel &
 Ssd::channel(unsigned ch)
@@ -245,8 +286,6 @@ Ssd::writePageInternal(Lpn lpn, Callback done)
         --_ioOutstanding;
         cb();
     };
-
-    std::uint64_t page = _config.geom.pageBytes;
 
     if (_writeBuffer->mode() != BufferMode::AlwaysMiss) {
         bufferedWrite(lpn, bd, std::move(finish));

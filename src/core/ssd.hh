@@ -28,6 +28,7 @@
 #include "ftl/mapping.hh"
 #include "ftl/writebuffer.hh"
 #include "noc/network.hh"
+#include "sim/audit.hh"
 #include "sim/engine.hh"
 #include "sim/rng.hh"
 #include "workload/request.hh"
@@ -106,6 +107,22 @@ class Ssd
     /** Windowed system-bus utilization (Fig 2(c,d), Fig 7(b)). */
     UtilizationRecorder &busRecorder() { return *_busRecorder; }
 
+    /**
+     * Register this SSD's invariant checks with @p auditor: FTL
+     * mapping bijectivity, write-buffer residency, each decoupled
+     * controller's copyback/SRT/RBT consistency, and fNoC packet and
+     * credit conservation. The auditor must not outlive this Ssd.
+     */
+    void registerAudits(Auditor &auditor);
+
+    /**
+     * The automatically attached auditor of DSSD_AUDIT builds; null
+     * otherwise. DSSD_AUDIT_EVERY in the environment overrides the
+     * audit interval (executed events between runs; 0 disables the
+     * periodic hook).
+     */
+    Auditor *auditor() { return _auditor.get(); }
+
     /** Host page operations currently in flight. */
     unsigned ioOutstanding() const { return _ioOutstanding; }
 
@@ -171,6 +188,7 @@ class Ssd
     std::unique_ptr<PageMapping> _mapping;
     std::unique_ptr<WriteBuffer> _writeBuffer;
     std::unique_ptr<GcEngine> _gc;
+    std::unique_ptr<Auditor> _auditor;
 
     unsigned _ioOutstanding = 0;
     bool _flushActive = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace dssd
@@ -396,6 +397,128 @@ PageMapping::waf() const
         return 1.0;
     return static_cast<double>(_hostWrites + _gcRelocations) /
            static_cast<double>(_hostWrites);
+}
+
+void
+PageMapping::audit(AuditReport &r) const
+{
+    // L2P -> P2L: every mapped LPN's physical page must point back.
+    for (Lpn l = 0; l < _lpnCount; ++l) {
+        Ppn p = _l2p[l];
+        if (p == invalidPpn)
+            continue;
+        if (p >= _p2l.size()) {
+            r.fail("L2P bijectivity: L2P[lpn %llu] = ppn %llu is out of "
+                   "range (%zu physical pages)",
+                   static_cast<unsigned long long>(l),
+                   static_cast<unsigned long long>(p), _p2l.size());
+            continue;
+        }
+        if (_p2l[p] != l) {
+            r.fail("L2P bijectivity: L2P[lpn %llu] = ppn %llu but "
+                   "P2L[ppn %llu] = lpn %llu",
+                   static_cast<unsigned long long>(l),
+                   static_cast<unsigned long long>(p),
+                   static_cast<unsigned long long>(p),
+                   static_cast<unsigned long long>(_p2l[p]));
+        }
+    }
+
+    // P2L -> L2P: every reverse entry must be the current forward map.
+    for (Ppn p = 0; p < _p2l.size(); ++p) {
+        Lpn l = _p2l[p];
+        if (l == invalidLpn)
+            continue;
+        if (l >= _lpnCount || _l2p[l] != p) {
+            r.fail("P2L bijectivity: P2L[ppn %llu] = lpn %llu but "
+                   "L2P[lpn] = ppn %llu",
+                   static_cast<unsigned long long>(p),
+                   static_cast<unsigned long long>(l),
+                   static_cast<unsigned long long>(
+                       l < _lpnCount ? _l2p[l] : invalidPpn));
+        }
+    }
+
+    // Per-block bookkeeping and the global valid-page total.
+    std::uint64_t valid_total = 0;
+    for (std::uint32_t un = 0; un < _unitCount; ++un) {
+        const Unit &u = _units[un];
+        std::uint32_t free_flags = 0;
+        for (std::uint32_t b = 0; b < u.blocks.size(); ++b) {
+            const BlockState &bs = u.blocks[b];
+            std::uint32_t count = 0;
+            PhysAddr a = unitBlockAddr(un, b);
+            for (std::uint32_t pg = 0; pg < _geom.pagesPerBlock; ++pg) {
+                if (!bs.valid[pg])
+                    continue;
+                ++count;
+                if (pg >= bs.writePtr) {
+                    r.fail("unit %u block %u: page %u valid beyond "
+                           "write pointer %u",
+                           un, b, pg, bs.writePtr);
+                }
+                a.page = pg;
+                if (_p2l[_geom.pageIndex(a)] == invalidLpn) {
+                    r.fail("unit %u block %u: page %u valid but has "
+                           "no reverse mapping",
+                           un, b, pg);
+                }
+            }
+            if (count != bs.validCount) {
+                r.fail("unit %u block %u: validCount %u != %u valid "
+                       "bits",
+                       un, b, bs.validCount, count);
+            }
+            valid_total += bs.validCount;
+            if (bs.writePtr > _geom.pagesPerBlock) {
+                r.fail("unit %u block %u: write pointer %u beyond "
+                       "block size %u",
+                       un, b, bs.writePtr, _geom.pagesPerBlock);
+            }
+            if (bs.isFree && bs.isBad)
+                r.fail("unit %u block %u: both free and bad", un, b);
+            if (bs.isFree && (bs.validCount != 0 || bs.writePtr != 0)) {
+                r.fail("unit %u block %u: on the free list with %u "
+                       "valid pages, write pointer %u",
+                       un, b, bs.validCount, bs.writePtr);
+            }
+            if (bs.isFree)
+                ++free_flags;
+        }
+        if (free_flags != u.freeList.size()) {
+            r.fail("unit %u: %zu free-list entries but %u blocks "
+                   "flagged free",
+                   un, u.freeList.size(), free_flags);
+        }
+        std::vector<bool> seen(u.blocks.size(), false);
+        for (std::uint32_t b : u.freeList) {
+            if (b >= u.blocks.size()) {
+                r.fail("unit %u: free-list entry %u out of range", un, b);
+                continue;
+            }
+            if (seen[b])
+                r.fail("unit %u: block %u on the free list twice", un, b);
+            seen[b] = true;
+            if (!u.blocks[b].isFree)
+                r.fail("unit %u: free-list block %u not flagged free",
+                       un, b);
+        }
+        if (u.hasActive) {
+            if (u.activeBlock >= u.blocks.size()) {
+                r.fail("unit %u: active block %u out of range", un,
+                       u.activeBlock);
+            } else if (u.blocks[u.activeBlock].isFree ||
+                       u.blocks[u.activeBlock].isBad) {
+                r.fail("unit %u: active block %u is free or bad", un,
+                       u.activeBlock);
+            }
+        }
+    }
+    if (valid_total != _validPages) {
+        r.fail("valid-page total %llu != %llu summed over blocks",
+               static_cast<unsigned long long>(_validPages),
+               static_cast<unsigned long long>(valid_total));
+    }
 }
 
 } // namespace dssd

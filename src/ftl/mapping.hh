@@ -25,6 +25,8 @@
 namespace dssd
 {
 
+class AuditReport;
+
 /** Logical page number. */
 using Lpn = std::uint64_t;
 /** Physical page number (flat index, see FlashGeometry::pageIndex). */
@@ -179,6 +181,19 @@ class PageMapping
 
     /** Write amplification factor so far. */
     double waf() const;
+
+    /**
+     * Cross-check every internal invariant: L2P↔P2L bijectivity,
+     * per-block valid bitmaps vs counters, free-list consistency and
+     * the global valid-page total. See sim/audit.hh.
+     */
+    void audit(AuditReport &report) const;
+
+    /**
+     * Fault-injection hook for auditor tests ONLY: overwrite the L2P
+     * entry of @p lpn with @p ppn, bypassing all bookkeeping.
+     */
+    void debugCorruptL2p(Lpn lpn, Ppn ppn) { _l2p.at(lpn) = ppn; }
 
   private:
     struct Unit

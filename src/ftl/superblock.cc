@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace dssd
@@ -278,6 +279,142 @@ const SuperblockInfo &
 SuperblockMapping::info(std::uint32_t sb) const
 {
     return _sbs[sb];
+}
+
+void
+SuperblockMapping::audit(AuditReport &r) const
+{
+    // L2P -> P2L bijectivity.
+    for (Lpn l = 0; l < _lpnCount; ++l) {
+        Ppn p = _l2p[l];
+        if (p == invalidPpn)
+            continue;
+        if (p >= _p2l.size()) {
+            r.fail("L2P bijectivity: L2P[lpn %llu] = slot %llu out of "
+                   "range (%zu slots)",
+                   static_cast<unsigned long long>(l),
+                   static_cast<unsigned long long>(p), _p2l.size());
+            continue;
+        }
+        if (_p2l[p] != l) {
+            r.fail("L2P bijectivity: L2P[lpn %llu] = slot %llu but "
+                   "P2L[slot] = lpn %llu",
+                   static_cast<unsigned long long>(l),
+                   static_cast<unsigned long long>(p),
+                   static_cast<unsigned long long>(_p2l[p]));
+        }
+    }
+    for (Ppn p = 0; p < _p2l.size(); ++p) {
+        Lpn l = _p2l[p];
+        if (l == invalidLpn)
+            continue;
+        if (l >= _lpnCount || _l2p[l] != p) {
+            r.fail("P2L bijectivity: P2L[slot %llu] = lpn %llu but "
+                   "L2P[lpn] = slot %llu",
+                   static_cast<unsigned long long>(p),
+                   static_cast<unsigned long long>(l),
+                   static_cast<unsigned long long>(
+                       l < _lpnCount ? _l2p[l] : invalidPpn));
+        }
+    }
+
+    // Per-superblock counters, state legality and global totals.
+    std::uint64_t valid_total = 0;
+    std::uint32_t dead = 0;
+    std::uint32_t reserved = 0;
+    std::vector<bool> on_free_list(_sbs.size(), false);
+    for (std::uint32_t s : _freeList) {
+        if (s >= _sbs.size()) {
+            r.fail("free-list entry %u out of range", s);
+            continue;
+        }
+        if (on_free_list[s])
+            r.fail("superblock %u on the free list twice", s);
+        on_free_list[s] = true;
+    }
+    for (std::uint32_t s = 0; s < _sbs.size(); ++s) {
+        const SuperblockInfo &sb = _sbs[s];
+        std::uint32_t count = 0;
+        Ppn base = static_cast<Ppn>(s) * _pagesPerSb;
+        for (std::uint32_t slot = 0; slot < _pagesPerSb; ++slot) {
+            if (!sb.valid[slot])
+                continue;
+            ++count;
+            if (slot >= sb.writePtr) {
+                r.fail("superblock %u: slot %u valid beyond write "
+                       "pointer %u",
+                       s, slot, sb.writePtr);
+            }
+            if (_p2l[base + slot] == invalidLpn) {
+                r.fail("superblock %u: slot %u valid but has no "
+                       "reverse mapping",
+                       s, slot);
+            }
+        }
+        if (count != sb.validCount) {
+            r.fail("superblock %u: validCount %u != %u valid bits", s,
+                   sb.validCount, count);
+        }
+        valid_total += sb.validCount;
+        if (sb.writePtr > _pagesPerSb) {
+            r.fail("superblock %u: write pointer %u beyond capacity %u",
+                   s, sb.writePtr, _pagesPerSb);
+        }
+
+        bool expect_free = sb.state == SuperblockState::Free;
+        if (on_free_list[s] != expect_free) {
+            r.fail("superblock %u: state %d %s the free list", s,
+                   static_cast<int>(sb.state),
+                   on_free_list[s] ? "but on" : "but missing from");
+        }
+        switch (sb.state) {
+          case SuperblockState::Free:
+            if (sb.validCount != 0 || sb.writePtr != 0) {
+                r.fail("superblock %u: Free with %u valid pages, "
+                       "write pointer %u",
+                       s, sb.validCount, sb.writePtr);
+            }
+            break;
+          case SuperblockState::Active:
+            if (!_hasActive || _active != s) {
+                r.fail("superblock %u: Active but the mapping's "
+                       "active superblock is %u",
+                       s, _hasActive ? _active : ~0u);
+            }
+            break;
+          case SuperblockState::Full:
+            break;
+          case SuperblockState::Dead:
+            ++dead;
+            if (sb.validCount != 0)
+                r.fail("superblock %u: Dead with %u valid pages", s,
+                       sb.validCount);
+            break;
+          case SuperblockState::Reserved:
+            ++reserved;
+            if (sb.validCount != 0)
+                r.fail("superblock %u: Reserved with %u valid pages",
+                       s, sb.validCount);
+            break;
+        }
+    }
+    if (_hasActive &&
+        (_active >= _sbs.size() ||
+         _sbs[_active].state != SuperblockState::Active)) {
+        r.fail("active superblock %u is not in the Active state",
+               _active);
+    }
+    if (dead != _dead)
+        r.fail("dead total %u != %u counted superblocks", _dead, dead);
+    if (reserved != _reserved) {
+        r.fail("reserved total %u != %u counted superblocks", _reserved,
+               reserved);
+    }
+    if (valid_total != _validPages) {
+        r.fail("valid-page total %llu != %llu summed over superblocks",
+               static_cast<unsigned long long>(_validPages),
+               static_cast<unsigned long long>(valid_total));
+    }
 }
 
 } // namespace dssd

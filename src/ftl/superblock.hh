@@ -140,6 +140,20 @@ class SuperblockMapping
     std::uint64_t hostWrites() const { return _hostWrites; }
     std::uint64_t erases() const { return _erases; }
 
+    /**
+     * Cross-check every internal invariant: L2P↔P2L bijectivity,
+     * per-superblock valid bitmaps vs counters, state legality
+     * (Free/Active/Full/Dead/Reserved) against the free list and the
+     * dead/reserved totals. See sim/audit.hh.
+     */
+    void audit(AuditReport &report) const;
+
+    /**
+     * Fault-injection hook for auditor tests ONLY: overwrite the L2P
+     * entry of @p lpn with @p ppn, bypassing all bookkeeping.
+     */
+    void debugCorruptL2p(Lpn lpn, Ppn ppn) { _l2p.at(lpn) = ppn; }
+
   private:
     void openActive();
 

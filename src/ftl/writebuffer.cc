@@ -1,7 +1,9 @@
 #include "ftl/writebuffer.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace dssd
@@ -93,6 +95,34 @@ WriteBuffer::recordProbe(bool hit)
         ++_hits;
     else
         ++_misses;
+}
+
+void
+WriteBuffer::audit(AuditReport &r) const
+{
+    if (_fifo.size() != _resident.size()) {
+        r.fail("write buffer: FIFO holds %zu pages but %zu are "
+               "resident",
+               _fifo.size(), _resident.size());
+    }
+    if (_fifo.size() > _params.capacityPages) {
+        r.fail("write buffer: %zu pages exceed capacity %llu",
+               _fifo.size(),
+               static_cast<unsigned long long>(_params.capacityPages));
+    }
+    std::unordered_set<Lpn> seen;
+    seen.reserve(_fifo.size());
+    for (Lpn l : _fifo) {
+        if (!seen.insert(l).second) {
+            r.fail("write buffer: lpn %llu queued twice",
+                   static_cast<unsigned long long>(l));
+        }
+        if (!_resident.count(l)) {
+            r.fail("write buffer: queued lpn %llu not in the "
+                   "residency set",
+                   static_cast<unsigned long long>(l));
+        }
+    }
 }
 
 } // namespace dssd

@@ -81,6 +81,13 @@ class WriteBuffer
     /** Record a read probe outcome (for hit-rate stats). */
     void recordProbe(bool hit);
 
+    /**
+     * Cross-check the FIFO against the residency set: same size, no
+     * duplicate FIFO entries, every queued LPN resident. See
+     * sim/audit.hh.
+     */
+    void audit(AuditReport &report) const;
+
   private:
     WriteBufferParams _params;
     std::deque<Lpn> _fifo;

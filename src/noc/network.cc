@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace dssd
@@ -32,11 +33,13 @@ NocNetwork::NocNetwork(Engine &engine, std::unique_ptr<Topology> topo,
 {
     if (_params.linkBandwidth <= 0.0)
         fatal("NocNetwork: link bandwidth must be positive");
+    _links.reserve(_topo->numLinks());
     for (unsigned l = 0; l < _topo->numLinks(); ++l) {
         _links.push_back(std::make_unique<BandwidthResource>(
             _engine, strformat("%s-link%u", _topo->name().c_str(), l),
             _params.linkBandwidth));
     }
+    _buffers.reserve(static_cast<std::size_t>(_topo->numLinks()) * 2);
     for (unsigned l = 0; l < _topo->numLinks(); ++l) {
         for (unsigned vc = 0; vc < 2; ++vc) {
             _buffers.push_back(std::make_unique<SlotResource>(
@@ -68,6 +71,7 @@ NocNetwork::send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
     t->injectTime = _engine.now();
     t->done = std::move(done);
     ++_inFlight;
+    ++_packetsInjected;
 
     if (t->route.empty()) {
         // Degenerate src == dst injection: loop through the local NI.
@@ -196,6 +200,49 @@ NocNetwork::setLinkBandwidth(BytesPerTick bw)
     _params.linkBandwidth = bw;
     for (auto &l : _links)
         l->setBandwidth(bw);
+}
+
+void
+NocNetwork::audit(AuditReport &r) const
+{
+    // Packet conservation: every injected packet is either still in
+    // the network or was delivered, never duplicated or dropped.
+    if (_packetsInjected != _packetsDelivered + _inFlight) {
+        r.fail("packet conservation: %llu injected != %llu delivered "
+               "+ %llu in flight",
+               static_cast<unsigned long long>(_packetsInjected),
+               static_cast<unsigned long long>(_packetsDelivered),
+               static_cast<unsigned long long>(_inFlight));
+    }
+    if (_bytesDelivered <
+        _packetsDelivered * _params.headerBytes) {
+        r.fail("delivered %llu bytes for %llu packets, below the "
+               "header overhead alone",
+               static_cast<unsigned long long>(_bytesDelivered),
+               static_cast<unsigned long long>(_packetsDelivered));
+    }
+
+    // Credit conservation at each router input buffer.
+    for (const auto &buf : _buffers) {
+        if (buf->freeSlots() > buf->capacity()) {
+            r.fail("credit overflow: buffer %s reports %u free slots "
+                   "of %u",
+                   buf->name().c_str(), buf->freeSlots(),
+                   buf->capacity());
+        }
+        if (_inFlight == 0 && buf->freeSlots() != buf->capacity()) {
+            r.fail("credit leak: buffer %s holds %u credits with no "
+                   "packet in flight",
+                   buf->name().c_str(),
+                   buf->capacity() - buf->freeSlots());
+        }
+    }
+}
+
+void
+NocNetwork::debugDropCredit(unsigned link, unsigned vc)
+{
+    buffer(link, vc).tryAcquire();
 }
 
 } // namespace dssd

@@ -32,6 +32,8 @@
 namespace dssd
 {
 
+class AuditReport;
+
 /** Tunables for the fNoC (Fig 12/13 sweep these). */
 struct NocParams
 {
@@ -65,6 +67,7 @@ class NocNetwork : public Interconnect
 
     std::uint64_t packetsDelivered() const { return _packetsDelivered; }
     std::uint64_t packetsInFlight() const { return _inFlight; }
+    std::uint64_t packetsInjected() const { return _packetsInjected; }
 
     /** End-to-end packet latency distribution (ticks). */
     const SampleStat &latency() const { return _latency; }
@@ -77,6 +80,21 @@ class NocNetwork : public Interconnect
 
     /** Change every link's bandwidth (used by the Fig 12 sweeps). */
     void setLinkBandwidth(BytesPerTick bw);
+
+    /**
+     * Cross-check flit/credit conservation: injected packets equal
+     * delivered plus in-flight, input-buffer credit counts never
+     * exceed their capacity, and an idle network (nothing in flight)
+     * holds every credit free. See sim/audit.hh.
+     */
+    void audit(AuditReport &report) const;
+
+    /**
+     * Fault-injection hook for auditor tests ONLY: silently consume
+     * one input-buffer credit on @p link / @p vc, as a lost credit
+     * release would.
+     */
+    void debugDropCredit(unsigned link, unsigned vc);
 
   private:
     struct Transit;
@@ -106,6 +124,7 @@ class NocNetwork : public Interconnect
     std::uint64_t _packetsDelivered = 0;
     std::uint64_t _bytesDelivered = 0;
     std::uint64_t _inFlight = 0;
+    std::uint64_t _packetsInjected = 0;
 };
 
 } // namespace dssd

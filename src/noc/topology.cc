@@ -1,5 +1,7 @@
 #include "noc/topology.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace dssd
@@ -33,6 +35,7 @@ Mesh1D::Mesh1D(unsigned k) : _k(k), _name("mesh1d")
     if (k < 2)
         fatal("Mesh1D needs at least 2 nodes");
     // Forward links 0..k-2: n -> n+1; backward links k-1..2k-3: n -> n-1.
+    _links.reserve(2 * (static_cast<std::size_t>(k) - 1));
     for (unsigned n = 0; n + 1 < k; ++n)
         _links.push_back({static_cast<unsigned>(_links.size()), n, n + 1});
     for (unsigned n = 1; n < k; ++n)
@@ -53,6 +56,7 @@ Mesh1D::route(unsigned src, unsigned dst) const
     if (src >= _k || dst >= _k)
         panic("Mesh1D route out of range: %u -> %u", src, dst);
     std::vector<unsigned> r;
+    r.reserve(src < dst ? dst - src : src - dst);
     unsigned n = src;
     while (n < dst) {
         r.push_back(hopLink(n, false));
@@ -74,6 +78,7 @@ Ring::Ring(unsigned k) : _k(k), _name("ring")
     if (k < 3)
         fatal("Ring needs at least 3 nodes");
     // Clockwise links 0..k-1: n -> (n+1)%k; counter-clockwise k..2k-1.
+    _links.reserve(2 * static_cast<std::size_t>(k));
     for (unsigned n = 0; n < k; ++n)
         _links.push_back({n, n, (n + 1) % k});
     for (unsigned n = 0; n < k; ++n)
@@ -90,6 +95,7 @@ Ring::route(unsigned src, unsigned dst) const
         return r;
     unsigned cw = (dst + _k - src) % _k;
     unsigned ccw = _k - cw;
+    r.reserve(std::min(cw, ccw));
     unsigned n = src;
     if (cw <= ccw) {
         for (unsigned i = 0; i < cw; ++i) {
@@ -115,6 +121,7 @@ Crossbar::Crossbar(unsigned k) : _k(k), _name("crossbar")
         fatal("Crossbar needs at least 2 nodes");
     // Output ports 0..k-1 (node -> switch), input ports k..2k-1
     // (switch -> node). The 'from'/'to' fields both name the node.
+    _links.reserve(2 * static_cast<std::size_t>(k));
     for (unsigned n = 0; n < k; ++n)
         _links.push_back({n, n, n});
     for (unsigned n = 0; n < k; ++n)

@@ -1,0 +1,89 @@
+#include "sim/audit.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+void
+AuditReport::fail(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    ++_failures;
+    _auditor.recordFailure(_check, buf);
+}
+
+Auditor::~Auditor()
+{
+    detach();
+}
+
+std::size_t
+Auditor::addCheck(std::string name, Check fn)
+{
+    std::size_t id = _nextId++;
+    _checks.push_back(Entry{id, std::move(name), std::move(fn)});
+    return id;
+}
+
+void
+Auditor::removeCheck(std::size_t id)
+{
+    for (auto it = _checks.begin(); it != _checks.end(); ++it) {
+        if (it->id == id) {
+            _checks.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Auditor::recordFailure(const std::string &check, std::string detail)
+{
+    Tick t = _engine ? _engine->now() : 0;
+    if (_mode == AuditMode::Abort) {
+        panic("invariant audit '%s' failed at tick %llu: %s",
+              check.c_str(), static_cast<unsigned long long>(t),
+              detail.c_str());
+    }
+    _violations.push_back(AuditViolation{check, std::move(detail), t});
+}
+
+std::size_t
+Auditor::run()
+{
+    std::size_t before = _violations.size();
+    ++_runs;
+    for (const Entry &e : _checks) {
+        AuditReport report(*this, e.name);
+        e.fn(report);
+    }
+    return _violations.size() - before;
+}
+
+void
+Auditor::attach(Engine &engine, std::uint64_t every_events)
+{
+    detach();
+    _engine = &engine;
+    engine.setAuditHook(every_events, [this] { run(); });
+}
+
+void
+Auditor::detach()
+{
+    if (_engine) {
+        _engine->clearAuditHook();
+        _engine = nullptr;
+    }
+}
+
+} // namespace dssd

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Debug-gated simulator invariant auditor.
+ *
+ * Model components expose `audit(AuditReport &) const` methods that
+ * cross-check internal invariants (mapping bijectivity, remap-table
+ * consistency, copyback stage legality, NoC credit conservation, ...).
+ * An Auditor collects such checks by name and runs them periodically
+ * from the event loop via Engine::setAuditHook, so every figure run
+ * and test exercises the checks at event-boundary granularity.
+ *
+ * Two modes:
+ *  - Abort (the DSSD_AUDIT build default): the first violation
+ *    panic()s with a precise diagnostic naming the check, the
+ *    simulation tick and the broken invariant.
+ *  - Report: violations accumulate and are queryable, which is what
+ *    the auditor's own unit tests use to assert that seeded
+ *    corruptions are detected with the expected diagnostics.
+ *
+ * The framework is always compiled; only the automatic wiring inside
+ * Ssd / DynamicSuperblockEngine is gated by the DSSD_AUDIT CMake
+ * option, so production builds pay nothing beyond one dead branch per
+ * event.
+ */
+
+#ifndef DSSD_SIM_AUDIT_HH
+#define DSSD_SIM_AUDIT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace dssd
+{
+
+/** What the auditor does on a violated invariant. */
+enum class AuditMode
+{
+    Abort,  ///< panic() with the diagnostic on first violation
+    Report, ///< record the violation and keep checking
+};
+
+/** One detected invariant violation. */
+struct AuditViolation
+{
+    std::string check;  ///< name the check was registered under
+    std::string detail; ///< human-readable diagnostic
+    Tick tick = 0;      ///< simulation time of detection (0 if detached)
+};
+
+class Auditor;
+
+/**
+ * Sink a check writes violations into. In Abort mode the first fail()
+ * terminates the simulation; in Report mode failures accumulate on the
+ * owning Auditor.
+ */
+class AuditReport
+{
+  public:
+    /** Report a violated invariant (printf-style diagnostic). */
+    void fail(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
+
+    /** Violations recorded so far by the current run. */
+    std::size_t failures() const { return _failures; }
+
+  private:
+    friend class Auditor;
+    AuditReport(Auditor &auditor, const std::string &check)
+        : _auditor(auditor), _check(check)
+    {
+    }
+
+    Auditor &_auditor;
+    const std::string &_check;
+    std::size_t _failures = 0;
+};
+
+/**
+ * A registry of named invariant checks plus the engine plumbing that
+ * runs them every N executed events.
+ */
+class Auditor
+{
+  public:
+    using Check = std::function<void(AuditReport &)>;
+
+    explicit Auditor(AuditMode mode = AuditMode::Abort) : _mode(mode) {}
+    ~Auditor();
+    Auditor(const Auditor &) = delete;
+    Auditor &operator=(const Auditor &) = delete;
+
+    /**
+     * Register @p fn under @p name.
+     * @return an id usable with removeCheck().
+     */
+    std::size_t addCheck(std::string name, Check fn);
+
+    /** Unregister a check (no-op if already removed). */
+    void removeCheck(std::size_t id);
+
+    /**
+     * Run every registered check once.
+     * @return violations found by this run (Abort mode never returns
+     *         on a violation).
+     */
+    std::size_t run();
+
+    /**
+     * Hook this auditor into @p engine so run() fires every
+     * @p every_events executed events. Replaces any hook previously
+     * installed on the engine.
+     */
+    void attach(Engine &engine, std::uint64_t every_events = 8192);
+
+    /** Remove the engine hook installed by attach(). */
+    void detach();
+
+    AuditMode mode() const { return _mode; }
+    std::size_t checkCount() const { return _checks.size(); }
+
+    /** Times run() has executed (manually or via the engine hook). */
+    std::uint64_t runs() const { return _runs; }
+
+    /** Violations accumulated in Report mode. */
+    const std::vector<AuditViolation> &violations() const
+    {
+        return _violations;
+    }
+
+    void clearViolations() { _violations.clear(); }
+
+  private:
+    friend class AuditReport;
+    void recordFailure(const std::string &check, std::string detail);
+
+    struct Entry
+    {
+        std::size_t id;
+        std::string name;
+        Check fn;
+    };
+
+    AuditMode _mode;
+    std::vector<Entry> _checks;
+    std::vector<AuditViolation> _violations;
+    std::size_t _nextId = 0;
+    std::uint64_t _runs = 0;
+    Engine *_engine = nullptr;
+};
+
+} // namespace dssd
+
+#endif // DSSD_SIM_AUDIT_HH

@@ -194,7 +194,27 @@ Engine::step()
     // already detached, so anything it schedules allocates other nodes.
     ev->manage(ev->storage, EventOp::InvokeDestroy);
     release(ev);
+    if (_auditCountdown != 0 && --_auditCountdown == 0) {
+        _auditCountdown = _auditEvery;
+        _auditHook();
+    }
     return true;
+}
+
+void
+Engine::setAuditHook(std::uint64_t every, std::function<void()> hook)
+{
+    _auditEvery = hook ? every : 0;
+    _auditCountdown = _auditEvery;
+    _auditHook = std::move(hook);
+}
+
+void
+Engine::clearAuditHook()
+{
+    _auditEvery = 0;
+    _auditCountdown = 0;
+    _auditHook = nullptr;
 }
 
 void

@@ -122,6 +122,17 @@ class Engine
      */
     std::size_t poolCapacity() const { return _poolCapacity; }
 
+    /**
+     * Install @p hook to run after every @p every executed events
+     * (the invariant-auditor tap; see sim/audit.hh). At most one hook
+     * is installed at a time; @p every == 0 disables it. The hook runs
+     * between events, when model invariants must hold.
+     */
+    void setAuditHook(std::uint64_t every, std::function<void()> hook);
+
+    /** Remove any installed audit hook. */
+    void clearAuditHook();
+
   private:
     enum class EventOp { InvokeDestroy, Destroy };
 
@@ -197,6 +208,12 @@ class Engine
     Event *_freeList = nullptr;
     std::size_t _poolCapacity = 0;
     std::vector<std::unique_ptr<Event[]>> _chunks;
+
+    // Periodic audit tap: countdown of events until the next hook run
+    // (0 = disabled, so the hot path pays one predictable branch).
+    std::uint64_t _auditEvery = 0;
+    std::uint64_t _auditCountdown = 0;
+    std::function<void()> _auditHook;
 };
 
 } // namespace dssd

@@ -125,5 +125,52 @@ TEST(SrtTest, ZeroCapacityMeansUnbounded)
     EXPECT_EQ(srt.activeEntries(), 10000u);
 }
 
+TEST(SrtTest, EntriesSortedIsSortedBySource)
+{
+    SuperblockRemapTable srt(0);
+    srt.insert(42, 1);
+    srt.insert(7, 2);
+    srt.insert(1000, 3);
+    auto e = srt.entriesSorted();
+    ASSERT_EQ(e.size(), 3u);
+    EXPECT_EQ(e[0], (std::pair<ChannelBlockId, ChannelBlockId>{7, 2}));
+    EXPECT_EQ(e[1], (std::pair<ChannelBlockId, ChannelBlockId>{42, 1}));
+    EXPECT_EQ(e[2],
+              (std::pair<ChannelBlockId, ChannelBlockId>{1000, 3}));
+}
+
+/**
+ * Determinism regression for the unordered_map behind the SRT: two
+ * tables with identical *logical* contents but different insertion
+ * orders and rehash histories must expose identical entries through
+ * entriesSorted(). This pins the property dssd_lint's
+ * unordered-iteration ban exists to protect — simulator output must
+ * never depend on hash-bucket traversal order.
+ */
+TEST(SrtTest, EntriesSortedIdenticalAcrossRehashHistories)
+{
+    const ChannelBlockId n = 64;
+
+    // Plain history: ascending inserts into a fresh table.
+    SuperblockRemapTable a(0);
+    for (ChannelBlockId i = 0; i < n; ++i)
+        a.insert(i * 3, i * 3 + 1);
+
+    // Scrambled history: force a very different bucket layout by
+    // growing the table with hundreds of transient entries (multiple
+    // rehashes) before erasing them, then insert the same final
+    // mapping in descending order.
+    SuperblockRemapTable b(0);
+    for (ChannelBlockId i = 0; i < 500; ++i)
+        b.insert(100000 + i, 200000 + i);
+    for (ChannelBlockId i = 0; i < 500; ++i)
+        b.erase(100000 + i);
+    for (ChannelBlockId i = n; i-- > 0;)
+        b.insert(i * 3, i * 3 + 1);
+
+    EXPECT_EQ(a.activeEntries(), b.activeEntries());
+    EXPECT_EQ(a.entriesSorted(), b.entriesSorted());
+}
+
 } // namespace
 } // namespace dssd

@@ -189,8 +189,9 @@ TEST(MappingTest, RetiredBlockNeverReturnsToFreeList)
     m.retireBlock(0, 5);
     std::uint32_t frees = m.freeBlockCount(0);
     for (std::uint32_t b = 0; b < 8; ++b) {
-        if (m.blockState(0, b).isBad)
+        if (m.blockState(0, b).isBad) {
             EXPECT_EQ(b, 5u);
+        }
     }
     EXPECT_EQ(frees, 7u);
 }

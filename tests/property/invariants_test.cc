@@ -82,8 +82,9 @@ TEST_P(MappingProperty, MappingStaysBijectiveUnderRandomOps)
     for (Lpn l = 0; l < m.lpnCount(); ++l) {
         auto ppn = m.translate(l);
         EXPECT_EQ(ppn.has_value(), mapped[l]) << "lpn " << l;
-        if (ppn)
+        if (ppn) {
             EXPECT_EQ(*m.reverseLookup(*ppn), l);
+        }
     }
 }
 

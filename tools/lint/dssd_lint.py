@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Determinism and hygiene lint for the dssd simulator sources.
+
+Enforced over every .hh/.cc under src/:
+
+R1  determinism: no wall-clock or C random APIs. Simulation results
+    must be a pure function of the configuration and seed, so the
+    model may not consult std::chrono clocks, time(), gettimeofday(),
+    clock(), std::random_device, or std::rand/srand. All randomness
+    flows through the seeded wrapper in sim/rng.hh (the one exempted
+    file).
+
+R2  iteration order: no iteration over std::unordered_map or
+    std::unordered_set. Their traversal order depends on the hash
+    seed and rehash history, so iterating one to produce output,
+    pick a victim, or feed an audit makes results differ between
+    otherwise-identical runs. Use the sorted accessors (e.g.
+    SuperblockRemapTable::entriesSorted()) or an ordered container.
+    A deliberate, order-insensitive walk may be whitelisted with a
+    trailing comment: // lint:allow unordered-iteration
+
+R3  event-callback budget: the engine stores callbacks inline in
+    pooled 160-byte event nodes (kInlineCallbackBytes). sim/engine.hh
+    must keep declaring that budget and the static_assert pinning
+    sizeof(Event) == 160. Default lambda captures ([=] / [&]) are
+    banned in src/ because they make capture sets - and thus
+    callback sizes - invisible at the call site.
+
+R4  header hygiene: include guards spell the header path
+    (src/ftl/mapping.hh -> DSSD_FTL_MAPPING_HH), headers never say
+    `using namespace`, and project includes are written as quoted
+    subdir paths ("sim/engine.hh"), never relative ("engine.hh").
+
+Exit status is non-zero when any rule fires; diagnostics are
+file:line: messages suitable for CI annotation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ALLOW_UNORDERED = "lint:allow unordered-iteration"
+
+# R1: forbidden calls/types, with the reason shown in the diagnostic.
+R1_PATTERNS = [
+    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
+     "wall-clock time in the model breaks run-to-run determinism"),
+    (re.compile(r"\bgettimeofday\s*\("),
+     "wall-clock time in the model breaks run-to-run determinism"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "wall-clock time in the model breaks run-to-run determinism"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"),
+     "CPU-clock sampling in the model breaks run-to-run determinism"),
+    (re.compile(r"std::random_device"),
+     "non-deterministic seeding; take an explicit seed and use "
+     "sim/rng.hh"),
+    (re.compile(r"(?<![\w:])s?rand\s*\(|std::s?rand\b"),
+     "C PRNG is unseeded global state; use sim/rng.hh"),
+]
+
+R1_EXEMPT = {Path("sim") / "rng.hh"}
+
+# R2: names of unordered containers declared in the file (or its
+# companion header) are tracked, then any range-for / begin() walk
+# over them is flagged.
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*"
+    r"(?:&\s*)?(\w+)\s*[;={(]")
+RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*(?:\*\s*)?([A-Za-z_]\w*)\s*\)")
+# begin() starts a walk; a bare end() is almost always a find()
+# comparison, which is order-independent and fine.
+BEGIN_WALK = re.compile(r"\b([A-Za-z_]\w*)\s*[.]\s*c?begin\s*\(")
+
+R3_DEFAULT_CAPTURE = re.compile(r"\[\s*[=&]\s*[,\]]")
+
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+INCLUDE_QUOTED = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+GUARD_IFNDEF = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+
+
+def strip_comments_and_strings(line):
+    """Drop string/char literals and // comments so patterns don't
+    match inside them. Block comments are handled by the caller."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    cut = line.find("//")
+    if cut >= 0:
+        line = line[:cut]
+    return line
+
+
+def logical_lines(text):
+    """Yield (lineno, code, raw) with comments/strings stripped from
+    `code`; block comments removed."""
+    in_block = False
+    for i, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                yield i, "", raw
+                continue
+            line = line[end + 2:]
+            in_block = False
+        # Remove complete /* ... */ spans, then detect an opener.
+        line = re.sub(r"/\*.*?\*/", " ", line)
+        start = line.find("/*")
+        if start >= 0:
+            line = line[:start]
+            in_block = True
+        yield i, strip_comments_and_strings(line), raw
+
+
+def expected_guard(rel):
+    """src/ftl/mapping.hh -> DSSD_FTL_MAPPING_HH"""
+    parts = list(rel.parts)
+    stem = rel.stem
+    return "DSSD_" + "_".join(p.upper() for p in parts[:-1] + [stem]) \
+        + "_HH"
+
+
+def lint_file(path, rel, errors):
+    text = path.read_text(encoding="utf-8")
+    lines = list(logical_lines(text))
+
+    # R1 ------------------------------------------------------------
+    if rel not in R1_EXEMPT:
+        for no, code, _ in lines:
+            for pat, why in R1_PATTERNS:
+                if pat.search(code):
+                    errors.append(
+                        f"{path}:{no}: [R1] {pat.pattern!r}: {why}")
+
+    # R2 ------------------------------------------------------------
+    unordered_names = set()
+    for _, code, _ in lines:
+        for m in UNORDERED_DECL.finditer(code):
+            unordered_names.add(m.group(1))
+    # Companion header declares the members the .cc iterates.
+    if path.suffix == ".cc":
+        header = path.with_suffix(".hh")
+        if header.exists():
+            for _, code, _ in logical_lines(
+                    header.read_text(encoding="utf-8")):
+                for m in UNORDERED_DECL.finditer(code):
+                    unordered_names.add(m.group(1))
+    for idx, (no, code, raw) in enumerate(lines):
+        # Suppression works on the flagged line or the line above it.
+        if ALLOW_UNORDERED in raw or \
+                (idx > 0 and ALLOW_UNORDERED in lines[idx - 1][2]):
+            continue
+        hits = set(RANGE_FOR.findall(code)) | set(BEGIN_WALK.findall(code))
+        for name in hits & unordered_names:
+            errors.append(
+                f"{path}:{no}: [R2] iteration over unordered container "
+                f"'{name}' has hash-seed-dependent order; use a sorted "
+                f"accessor or append '// {ALLOW_UNORDERED}'")
+
+    # R3 ------------------------------------------------------------
+    for no, code, _ in lines:
+        if R3_DEFAULT_CAPTURE.search(code):
+            errors.append(
+                f"{path}:{no}: [R3] default lambda capture hides the "
+                f"capture set; spell captures out so the event "
+                f"callback's inline-storage footprint is visible")
+    if rel == Path("sim") / "engine.hh":
+        if "kInlineCallbackBytes = 128" not in text:
+            errors.append(
+                f"{path}:1: [R3] engine.hh no longer pins "
+                f"kInlineCallbackBytes = 128; the event-callback "
+                f"budget contract moved or changed")
+        if not re.search(r"static_assert\s*\(\s*sizeof\s*\(\s*Event\s*\)"
+                         r"\s*==\s*160", text):
+            errors.append(
+                f"{path}:1: [R3] engine.hh lost the "
+                f"static_assert(sizeof(Event) == 160) pinning the "
+                f"pooled event-node size")
+
+    # R4 ------------------------------------------------------------
+    if path.suffix == ".hh":
+        guard = None
+        for no, code, _ in lines:
+            m = GUARD_IFNDEF.search(code)
+            if m:
+                guard = (no, m.group(1))
+                break
+        want = expected_guard(rel)
+        if guard is None:
+            errors.append(f"{path}:1: [R4] missing include guard "
+                          f"(expected {want})")
+        elif guard[1] != want:
+            errors.append(f"{path}:{guard[0]}: [R4] include guard "
+                          f"{guard[1]} should spell the header path: "
+                          f"{want}")
+        for no, code, _ in lines:
+            if USING_NAMESPACE.search(code):
+                errors.append(
+                    f"{path}:{no}: [R4] 'using namespace' in a header "
+                    f"pollutes every includer")
+    for no, _, raw in lines:
+        m = INCLUDE_QUOTED.match(raw)
+        if m and "/" not in m.group(1):
+            errors.append(
+                f"{path}:{no}: [R4] project include \"{m.group(1)}\" "
+                f"must use its subdir-qualified path (e.g. "
+                f"\"sim/engine.hh\")")
+
+
+def main(argv):
+    root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not root.is_dir():
+        print(f"dssd_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    files = sorted(root.rglob("*.hh")) + sorted(root.rglob("*.cc"))
+    if not files:
+        print(f"dssd_lint: no sources under {root}", file=sys.stderr)
+        return 2
+    errors = []
+    for f in files:
+        lint_file(f, f.relative_to(root), errors)
+    for e in errors:
+        print(e)
+    print(f"dssd_lint: {len(files)} files, {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

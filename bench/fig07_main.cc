@@ -56,6 +56,13 @@ main(int argc, char **argv)
         ExpParams p = baseParams(o.full);
         p.arch = k;
         p.seed = o.seed;
+        if (k == ArchKind::DSSDNoc) {
+            // Trace/stats attach to the fNoC run: it exercises every
+            // track family (die ops, buses, NoC hops, global-copyback
+            // stages).
+            p.tracePath = o.trace;
+            p.statsPath = o.stats;
+        }
         ExpResult r = runExperiment(p);
         if (k == ArchKind::Baseline) {
             base_io = r.ioBytesPerSec;

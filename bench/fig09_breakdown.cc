@@ -56,6 +56,14 @@ main(int argc, char **argv)
             p.bufferMode = BufferMode::AlwaysMiss;
             p.window = 20 * tickMs;
             p.seed = o.seed;
+            if (planes == 8 && k == ArchKind::DSSDNoc) {
+                // Fig 9 *is* the span instrumentation summed per
+                // component; attach the trace to the densest point so
+                // the breakdown bars can be eyeballed against the
+                // per-request spans in Perfetto.
+                p.tracePath = o.trace;
+                p.statsPath = o.stats;
+            }
             ExpResult r = runExperiment(p);
             printRow(archName(k), planes, r.ioBreakdown);
         }

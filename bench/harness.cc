@@ -9,6 +9,8 @@
 #include <memory>
 
 #include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
@@ -39,9 +41,13 @@ BenchOpts::parse(int argc, char **argv)
             o.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if ((v = value("--json", i)))
             o.json = v;
+        else if ((v = value("--trace", i)))
+            o.trace = v;
+        else if ((v = value("--stats", i)))
+            o.stats = v;
         else
             fatal("unknown option '%s' (supported: --full --seed=N "
-                  "--threads=N --json=FILE)",
+                  "--threads=N --json=FILE --trace=FILE --stats=FILE)",
                   argv[i]);
     }
     return o;
@@ -134,6 +140,18 @@ runExperiment(const ExpParams &p)
 {
     SsdConfig cfg = makeExpConfig(p);
     Engine engine;
+
+    std::unique_ptr<Tracer> tracer;
+    if (!p.tracePath.empty()) {
+#if DSSD_TRACING
+        tracer = std::make_unique<Tracer>(p.tracePath);
+        engine.setTracer(tracer.get());
+#else
+        warn("--trace requested but tracing was compiled out "
+             "(-DDSSD_TRACE=OFF); no trace will be written");
+#endif
+    }
+
     Ssd ssd(engine, cfg);
     ssd.prefill(p.prefillFill, p.prefillInvalid);
 
@@ -210,6 +228,33 @@ runExperiment(const ExpParams &p)
     if (drv)
         drv->stop();
     engine.run();
+
+#if DSSD_TRACING
+    if (tracer) {
+        // Bus-utilization counter tracks, one sample per recorder
+        // window, so the Perfetto timeline shows the same series the
+        // figures plot.
+        UtilizationRecorder &rec = ssd.busRecorder();
+        int pid = tracer->process("counters");
+        auto io_series = rec.series(tagIo);
+        auto gc_series = rec.series(tagGc);
+        for (std::size_t w = 0; w < io_series.size(); ++w) {
+            Tick at = static_cast<Tick>(w) * rec.window();
+            tracer->counter(pid, "sysbus-io-util", at, io_series[w]);
+            tracer->counter(pid, "sysbus-gc-util", at, gc_series[w]);
+        }
+        tracer->finish();
+        engine.setTracer(nullptr);
+    }
+#endif
+
+    if (!p.statsPath.empty()) {
+        StatRegistry reg;
+        ssd.registerStats(reg, "ssd0");
+        if (drv)
+            drv->registerStats(reg, "host");
+        reg.writeJson(p.statsPath);
+    }
 
     ExpResult r;
     if (drv) {

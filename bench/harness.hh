@@ -38,6 +38,12 @@ struct BenchOpts
     unsigned threads = 0;
     /// When non-empty, also emit the bench's series to this JSON file.
     std::string json;
+    /// When non-empty, the bench arms Chrome-trace emission on one
+    /// representative experiment and writes the events here.
+    std::string trace;
+    /// When non-empty, the bench dumps that experiment's StatRegistry
+    /// JSON here ("-" = stdout).
+    std::string stats;
 
     static BenchOpts parse(int argc, char **argv);
 
@@ -104,6 +110,15 @@ struct ExpParams
 
     Tick window = 30 * tickMs;
     std::uint64_t seed = 1;
+
+    // Observability (normally copied from BenchOpts by the bench, for
+    // exactly one experiment of the sweep).
+    /// When non-empty, attach a Tracer writing Chrome trace_event JSON
+    /// here for this experiment's run.
+    std::string tracePath;
+    /// When non-empty, dump this experiment's StatRegistry JSON here
+    /// ("-" = stdout).
+    std::string statsPath;
 };
 
 /** Measurements from one interference experiment. */

@@ -41,6 +41,12 @@ class SystemBus
     /** Utilization of the bus by @p tag over [from, to). */
     double utilization(int tag, Tick from, Tick to) const;
 
+    /** Register the channel's transfer/byte stats under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const
+    {
+        _channel.registerStats(reg, prefix);
+    }
+
   private:
     BandwidthResource _channel;
 };
@@ -53,6 +59,12 @@ class Dram
 
     BandwidthResource &port() { return _port; }
     const BandwidthResource &port() const { return _port; }
+
+    /** Register the port's transfer/byte stats under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const
+    {
+        _port.registerStats(reg, prefix);
+    }
 
   private:
     BandwidthResource _port;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "sim/registry.hh"
 
 namespace dssd
 {
@@ -17,8 +18,10 @@ FlashChannel::FlashChannel(Engine &engine, const FlashGeometry &geom,
                   params.pageBufferSlots)
 {
     _dies.reserve(_geom.diesPerChannel());
-    for (std::uint32_t i = 0; i < _geom.diesPerChannel(); ++i)
-        _dies.push_back(std::make_unique<FlashDie>(engine, geom, timing));
+    for (std::uint32_t i = 0; i < _geom.diesPerChannel(); ++i) {
+        _dies.push_back(std::make_unique<FlashDie>(
+            engine, geom, timing, strformat("ch%u.d%u", channel_id, i)));
+    }
 }
 
 FlashDie &
@@ -58,10 +61,8 @@ FlashChannel::read(const PhysAddr &addr, unsigned planes, int tag,
     Tick t0 = _engine.now();
     Tick cmd_end = _bus.reserve(_timing.commandBytes, tag);
     Tick die_end = d.reserve(NandOp::Read, mask, addr.page, cmd_end);
-    if (bd) {
-        bd->flashBus += cmd_end - t0;
-        bd->flashMem += die_end - cmd_end;
-    }
+    bdSpanCloseAt(_engine, bd, bdFlashBus, t0, cmd_end);
+    bdSpanCloseAt(_engine, bd, bdFlashMem, cmd_end, die_end);
     // Data-out can only be scheduled once the array read completes;
     // reserve the bus at that point so queueing is ordered correctly.
     _engine.scheduleAbs(die_end,
@@ -69,8 +70,7 @@ FlashChannel::read(const PhysAddr &addr, unsigned planes, int tag,
                          cb = std::move(data_ready)]() mutable {
         Tick t1 = _engine.now();
         Tick xfer_end = _bus.transfer(data_bytes, tag, std::move(cb));
-        if (bd)
-            bd->flashBus += xfer_end - t1;
+        bdSpanCloseAt(_engine, bd, bdFlashBus, t1, xfer_end);
     });
 }
 
@@ -88,10 +88,8 @@ FlashChannel::program(const PhysAddr &addr, unsigned planes, int tag,
     Tick t0 = _engine.now();
     Tick xfer_end = _bus.reserve(xfer_bytes, tag);
     Tick die_end = d.reserve(NandOp::Program, mask, addr.page, xfer_end);
-    if (bd) {
-        bd->flashBus += xfer_end - t0;
-        bd->flashMem += die_end - xfer_end;
-    }
+    bdSpanCloseAt(_engine, bd, bdFlashBus, t0, xfer_end);
+    bdSpanCloseAt(_engine, bd, bdFlashMem, xfer_end, die_end);
     if (data_taken)
         _engine.scheduleAbs(xfer_end, std::move(data_taken));
     _engine.scheduleAbs(die_end, std::move(done));
@@ -108,10 +106,8 @@ FlashChannel::erase(const PhysAddr &addr, int tag, Callback done,
     Tick t0 = _engine.now();
     Tick cmd_end = _bus.reserve(_timing.commandBytes, tag);
     Tick die_end = d.reserve(NandOp::Erase, mask, 0, cmd_end);
-    if (bd) {
-        bd->flashBus += cmd_end - t0;
-        bd->flashMem += die_end - cmd_end;
-    }
+    bdSpanCloseAt(_engine, bd, bdFlashBus, t0, cmd_end);
+    bdSpanCloseAt(_engine, bd, bdFlashMem, cmd_end, die_end);
     _engine.scheduleAbs(die_end, std::move(done));
 }
 
@@ -129,11 +125,30 @@ FlashChannel::localCopyback(const PhysAddr &src, const PhysAddr &dst,
     Tick t0 = _engine.now();
     Tick cmd_end = _bus.reserve(2 * _timing.commandBytes, tag);
     Tick die_end = d.reserve(NandOp::LocalCopyback, mask, src.page, cmd_end);
-    if (bd) {
-        bd->flashBus += cmd_end - t0;
-        bd->flashMem += die_end - cmd_end;
-    }
+    bdSpanCloseAt(_engine, bd, bdFlashBus, t0, cmd_end);
+    bdSpanCloseAt(_engine, bd, bdFlashMem, cmd_end, die_end);
     _engine.scheduleAbs(die_end, std::move(done));
+}
+
+void
+FlashChannel::registerStats(StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".reads", [this] {
+        return static_cast<double>(_reads);
+    });
+    reg.addScalar(prefix + ".programs", [this] {
+        return static_cast<double>(_programs);
+    });
+    reg.addScalar(prefix + ".erases", [this] {
+        return static_cast<double>(_erases);
+    });
+    _bus.registerStats(reg, prefix + ".bus");
+    _pageBuffer.registerStats(reg, prefix + ".page_buffer");
+    for (std::size_t i = 0; i < _dies.size(); ++i) {
+        _dies[i]->registerStats(reg,
+                                prefix + strformat(".die%zu", i));
+    }
 }
 
 } // namespace dssd

@@ -92,6 +92,10 @@ class FlashChannel
     std::uint64_t programs() const { return _programs; }
     std::uint64_t erases() const { return _erases; }
 
+    /** Register op counters, bus, page buffer, and every die under
+     *  @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
   private:
     std::uint32_t planeMask(const PhysAddr &addr, unsigned planes) const;
 

@@ -6,6 +6,8 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
@@ -38,6 +40,7 @@ struct DecoupledController::Copyback
     DecoupledController *dstCtrl = nullptr;
     int tag = tagGc;
     Tick start = 0;
+    Tick stageStart = 0; ///< when the currently running stage began
     LatencyBreakdown *bd = nullptr;
     Callback done;
 };
@@ -66,6 +69,22 @@ void
 DecoupledController::stageReached(CopybackStage stage)
 {
     ++_stageCounts[static_cast<std::size_t>(stage)];
+}
+
+void
+DecoupledController::stageTrace(Copyback &cb, CopybackStage stage)
+{
+#if DSSD_TRACING
+    Tracer *tr = _engine.tracer();
+    if (tr) {
+        int pid = tr->process("copyback");
+        auto id = reinterpret_cast<std::uintptr_t>(&cb);
+        const char *name = copybackStageName(stage);
+        tr->asyncBegin(pid, "cbstage", name, id, cb.stageStart);
+        tr->asyncEnd(pid, "cbstage", name, id, _engine.now());
+    }
+#endif
+    cb.stageStart = _engine.now();
 }
 
 std::uint64_t
@@ -168,6 +187,7 @@ DecoupledController::globalCopyback(const PhysAddr &src, const PhysAddr &dst,
     cb->dstCtrl = dst_ctrl;
     cb->tag = tag;
     cb->start = _engine.now();
+    cb->stageStart = cb->start;
     cb->bd = bd;
     cb->done = std::move(done);
     ++_inFlight;
@@ -178,16 +198,18 @@ DecoupledController::globalCopyback(const PhysAddr &src, const PhysAddr &dst,
     _dbufOut.acquire([this, cb] {
         _channel.read(cb->src, 1, cb->tag, [this, cb] {
             stageReached(CopybackStage::R);
+            stageTrace(*cb, CopybackStage::R);
             // Stage 2: error detection/correction in the local engine.
             Tick t0 = _engine.now();
             _ecc.process(_channel.geometry().pageBytes, cb->tag,
                          [this, cb, t0] {
-                if (cb->bd)
-                    cb->bd->ecc += _engine.now() - t0;
+                bdSpanClose(_engine, cb->bd, bdEcc, t0);
                 stageReached(CopybackStage::RE);
+                stageTrace(*cb, CopybackStage::RE);
 
                 auto finish = [this, cb] {
                     stageReached(CopybackStage::W);
+                    stageTrace(*cb, CopybackStage::W);
                     ++_completed;
                     --_inFlight;
                     _latency.sample(
@@ -202,6 +224,7 @@ DecoupledController::globalCopyback(const PhysAddr &src, const PhysAddr &dst,
                     // the flash bus (the die programs from its own
                     // page register).
                     stageReached(CopybackStage::T);
+                    stageTrace(*cb, CopybackStage::T);
                     _channel.program(cb->dst, 1, cb->tag, finish,
                                      cb->bd,
                                      [this] { _dbufOut.release(); });
@@ -218,9 +241,9 @@ DecoupledController::globalCopyback(const PhysAddr &src, const PhysAddr &dst,
                             _nodeId, dc->nodeId(),
                             _channel.geometry().pageBytes, cb->tag,
                             [this, cb, dc, finish, t1] {
-                            if (cb->bd)
-                                cb->bd->noc += _engine.now() - t1;
+                            bdSpanClose(_engine, cb->bd, bdNoc, t1);
                             stageReached(CopybackStage::T);
+                            stageTrace(*cb, CopybackStage::T);
                             // Source dBUF drains once the transfer is
                             // complete.
                             _dbufOut.release();
@@ -239,6 +262,30 @@ DecoupledController::globalCopyback(const PhysAddr &src, const PhysAddr &dst,
             });
         }, cb->bd);
     });
+}
+
+void
+DecoupledController::registerStats(StatRegistry &reg,
+                                   const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".copybacks_completed", [this] {
+        return static_cast<double>(_completed);
+    });
+    reg.addScalar(prefix + ".copybacks_in_flight", [this] {
+        return static_cast<double>(_inFlight);
+    });
+    constexpr auto n = static_cast<std::size_t>(CopybackStage::numStages);
+    for (std::size_t s = 0; s < n; ++s) {
+        auto stage = static_cast<CopybackStage>(s);
+        reg.addScalar(
+            prefix + ".stage." + copybackStageName(stage), [this, s] {
+                return static_cast<double>(_stageCounts[s]);
+            });
+    }
+    reg.addSample(prefix + ".latency", &_latency);
+    _dbufOut.registerStats(reg, prefix + ".dbuf_out");
+    _dbufIn.registerStats(reg, prefix + ".dbuf_in");
+    _ecc.registerStats(reg, prefix + ".ecc");
 }
 
 } // namespace dssd

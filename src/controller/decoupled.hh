@@ -33,6 +33,8 @@
 namespace dssd
 {
 
+class StatRegistry;
+
 /** Copyback command execution stage (command-queue "status" field). */
 enum class CopybackStage : int
 {
@@ -124,9 +126,16 @@ class DecoupledController
      */
     void audit(AuditReport &report) const;
 
+    /** Register copyback counters, latency, dBUFs, and the ECC engine
+     *  under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
   private:
     struct Copyback;
     void stageReached(CopybackStage stage);
+    /** Close the per-command trace span ending at @p stage (the span
+     *  runs from the previous stage boundary to now). */
+    void stageTrace(Copyback &cb, CopybackStage stage);
 
     Engine &_engine;
     FlashChannel &_channel;

@@ -4,13 +4,19 @@
  *
  * Fig 9 of the paper decomposes I/O and copyback latency into flash
  * memory (cell array), flash bus, system bus, and fNoC components.
- * Datapath phases add their (queueing + service) time into one of
- * these buckets as the request flows through the model.
+ * Datapath phases close a breakdown span (bdSpanClose) when they finish,
+ * which both adds the (queueing + service) time into the right bucket
+ * and emits a trace span, so Fig 9 derives from the same instrumentation
+ * the trace shows.
  */
 
 #ifndef DSSD_CONTROLLER_LATENCY_HH
 #define DSSD_CONTROLLER_LATENCY_HH
 
+#include <cstdint>
+
+#include "sim/engine.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace dssd
@@ -45,7 +51,101 @@ struct LatencyBreakdown
         other += o.other;
         return *this;
     }
+
+    /** The bucket for @p c (see BdComp). */
+    Tick &component(int c);
 };
+
+/** Breakdown components, indexing LatencyBreakdown::component(). */
+enum BdComp : int
+{
+    bdFlashMem = 0,
+    bdFlashBus,
+    bdSystemBus,
+    bdDram,
+    bdEcc,
+    bdNoc,
+    bdOther,
+    numBdComps,
+};
+
+/** Trace span label for breakdown component @p c. */
+const char *bdCompName(int c);
+
+inline Tick &
+LatencyBreakdown::component(int c)
+{
+    switch (c) {
+      case bdFlashMem:
+        return flashMem;
+      case bdFlashBus:
+        return flashBus;
+      case bdSystemBus:
+        return systemBus;
+      case bdDram:
+        return dram;
+      case bdEcc:
+        return ecc;
+      case bdNoc:
+        return noc;
+      default:
+        return other;
+    }
+}
+
+inline const char *
+bdCompName(int c)
+{
+    switch (c) {
+      case bdFlashMem:
+        return "flash-mem";
+      case bdFlashBus:
+        return "flash-bus";
+      case bdSystemBus:
+        return "system-bus";
+      case bdDram:
+        return "dram";
+      case bdEcc:
+        return "ecc";
+      case bdNoc:
+        return "noc";
+      default:
+        return "other";
+    }
+}
+
+/**
+ * Close a breakdown span: the phase of request @p bd attributed to
+ * component @p comp ran over [t0, t1]. Adds t1 - t0 into the bucket
+ * and, when a tracer is attached, emits an async "breakdown" span so
+ * Fig 9's decomposition is visible per-request on the timeline. Call
+ * sites only carry the 8-byte @p t0 through their callback chains.
+ * No-op when @p bd is null (datapaths without breakdown tracking).
+ */
+inline void
+bdSpanCloseAt(Engine &engine, LatencyBreakdown *bd, int comp, Tick t0,
+              Tick t1)
+{
+    if (!bd || t1 < t0)
+        return;
+    bd->component(comp) += t1 - t0;
+#if DSSD_TRACING
+    Tracer *tr = engine.tracer();
+    if (tr && t1 > t0) {
+        int pid = tr->process("breakdown");
+        auto id = reinterpret_cast<std::uintptr_t>(bd);
+        tr->asyncBegin(pid, "breakdown", bdCompName(comp), id, t0);
+        tr->asyncEnd(pid, "breakdown", bdCompName(comp), id, t1);
+    }
+#endif
+}
+
+/** bdSpanCloseAt with the span ending now. */
+inline void
+bdSpanClose(Engine &engine, LatencyBreakdown *bd, int comp, Tick t0)
+{
+    bdSpanCloseAt(engine, bd, comp, t0, engine.now());
+}
 
 } // namespace dssd
 

@@ -5,6 +5,8 @@
 
 #include "core/ssd.hh"
 #include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
@@ -50,6 +52,14 @@ GcEngine::startUnit(std::uint32_t unit)
     ++_activeUnits;
     if (_firstStart == maxTick)
         _firstStart = _ssd.engine().now();
+#if DSSD_TRACING
+    Tracer *tr = _ssd.engine().tracer();
+    if (tr) {
+        int pid = tr->process("gc");
+        tr->asyncBegin(pid, "gc", "gc-round", unit,
+                       _ssd.engine().now());
+    }
+#endif
     collectNext(unit);
 }
 
@@ -243,6 +253,13 @@ GcEngine::finishUnit(std::uint32_t unit)
     UnitState &u = _units[unit];
     u.active = false;
     --_activeUnits;
+#if DSSD_TRACING
+    Tracer *tr = _ssd.engine().tracer();
+    if (tr) {
+        int pid = tr->process("gc");
+        tr->asyncEnd(pid, "gc", "gc-round", unit, _ssd.engine().now());
+    }
+#endif
     if (_activeUnits == 0)
         _lastEnd = _ssd.engine().now();
     if (u.forced) {
@@ -256,6 +273,22 @@ GcEngine::finishUnit(std::uint32_t unit)
             cb();
         }
     }
+}
+
+void
+GcEngine::registerStats(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".pages_moved", [this] {
+        return static_cast<double>(_pagesMoved);
+    });
+    reg.addScalar(prefix + ".blocks_erased", [this] {
+        return static_cast<double>(_blocksErased);
+    });
+    reg.addScalar(prefix + ".active_units", [this] {
+        return static_cast<double>(_activeUnits);
+    });
+    reg.addSample(prefix + ".copy_latency", &_copyLatency);
 }
 
 } // namespace dssd

@@ -30,6 +30,7 @@ namespace dssd
 {
 
 class Ssd;
+class StatRegistry;
 
 /** Per-architecture garbage-collection engine. */
 class GcEngine
@@ -66,6 +67,9 @@ class GcEngine
     const SampleStat &copyLatency() const { return _copyLatency; }
 
     const GcParams &params() const { return _params; }
+
+    /** Register GC counters and copy-latency stats under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     struct UnitState

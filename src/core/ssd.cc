@@ -7,6 +7,8 @@
 #include "core/gc.hh"
 #include "noc/topology.hh"
 #include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
@@ -139,6 +141,56 @@ Ssd::registerAudits(Auditor &auditor)
     }
 }
 
+void
+Ssd::traceWriteBufferOccupancy()
+{
+#if DSSD_TRACING
+    Tracer *tr = _engine.tracer();
+    if (tr) {
+        if (_wbufTracePid < 0)
+            _wbufTracePid = tr->process("occupancy");
+        tr->counter(_wbufTracePid, "write-buffer", _engine.now(),
+                    static_cast<double>(_writeBuffer->occupancy()));
+    }
+#endif
+}
+
+void
+Ssd::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".host.reads", [this] {
+        return static_cast<double>(_hostReads);
+    });
+    reg.addScalar(prefix + ".host.writes", [this] {
+        return static_cast<double>(_hostWritesOps);
+    });
+    reg.addScalar(prefix + ".host.flushed_pages", [this] {
+        return static_cast<double>(_flushedPages);
+    });
+    reg.addScalar(prefix + ".host.outstanding", [this] {
+        return static_cast<double>(_ioOutstanding);
+    });
+
+    _writeBuffer->registerStats(reg, prefix + ".wbuf");
+    _systemBus->registerStats(reg, prefix + ".sysbus");
+    _dram->registerStats(reg, prefix + ".dram");
+
+    for (std::size_t ch = 0; ch < _channels.size(); ++ch) {
+        std::string chp = prefix + strformat(".ch%zu", ch);
+        _channels[ch]->registerStats(reg, chp);
+        if (ch < _decoupled.size())
+            _decoupled[ch]->registerStats(reg, chp + ".cd");
+    }
+    for (std::size_t ch = 0; ch < _frontEcc.size(); ++ch) {
+        _frontEcc[ch]->registerStats(
+            reg, prefix + strformat(".ch%zu.front_ecc", ch));
+    }
+
+    _gc->registerStats(reg, prefix + ".gc");
+    if (_noc)
+        _noc->registerStats(reg, prefix + ".noc");
+}
+
 FlashChannel &
 Ssd::channel(unsigned ch)
 {
@@ -239,11 +291,11 @@ Ssd::readPageInternal(Lpn lpn, Callback done)
         // Buffer-cache hit: DRAM port then system bus, no flash.
         Tick t0 = _engine.now();
         _dram->port().transfer(page, tagIo, [this, page, bd, t0, finish] {
-            bd->dram += _engine.now() - t0;
+            bdSpanClose(_engine, bd.get(), bdDram, t0);
             Tick t1 = _engine.now();
             _systemBus->channel().transfer(page, tagIo,
                                            [this, bd, t1, finish] {
-                bd->systemBus += _engine.now() - t1;
+                bdSpanClose(_engine, bd.get(), bdSystemBus, t1);
                 finish();
             });
         });
@@ -266,11 +318,11 @@ Ssd::readPageInternal(Lpn lpn, Callback done)
                              : *_frontEcc[ch];
         Tick t0 = _engine.now();
         ecc.process(page, tagIo, [this, page, bd, t0, finish] {
-            bd->ecc += _engine.now() - t0;
+            bdSpanClose(_engine, bd.get(), bdEcc, t0);
             Tick t1 = _engine.now();
             _systemBus->channel().transfer(page, tagIo,
                                            [this, bd, t1, finish] {
-                bd->systemBus += _engine.now() - t1;
+                bdSpanClose(_engine, bd.get(), bdSystemBus, t1);
                 finish();
             });
         });
@@ -325,11 +377,12 @@ Ssd::bufferedWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
     Tick t0 = _engine.now();
     _systemBus->channel().transfer(page, tagIo,
                                    [this, lpn, page, bd, t0, finish] {
-        bd->systemBus += _engine.now() - t0;
+        bdSpanClose(_engine, bd.get(), bdSystemBus, t0);
         Tick t1 = _engine.now();
         _dram->port().transfer(page, tagIo, [this, lpn, bd, t1, finish] {
-            bd->dram += _engine.now() - t1;
+            bdSpanClose(_engine, bd.get(), bdDram, t1);
             _writeBuffer->insert(lpn);
+            traceWriteBufferOccupancy();
             finish();
             maybeStartFlush();
         });
@@ -365,7 +418,7 @@ Ssd::directWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
     _systemBus->channel().transfer(page, tagIo,
                                    [this, target, bd, t0,
                                     finish = std::move(finish)] {
-        bd->systemBus += _engine.now() - t0;
+        bdSpanClose(_engine, bd.get(), bdSystemBus, t0);
         _channels[target.channel]->program(target, 1, tagIo, finish,
                                            bd.get());
     });
@@ -392,6 +445,7 @@ Ssd::flushPump()
         auto batch = _writeBuffer->drainForFlush(1);
         if (batch.empty())
             break;
+        traceWriteBufferOccupancy();
         ++_flushInFlight;
         flushOne(batch.front(), [this] {
             --_flushInFlight;
@@ -458,29 +512,32 @@ Ssd::gcCopyPage(const PhysAddr &src, const PhysAddr &dst, Callback done)
         Tick t0 = _engine.now();
         _frontEcc[sch]->process(page, tagGc,
                                 [this, page, dst, bd, t0, finish] {
-            bd->ecc += _engine.now() - t0;
+            bdSpanClose(_engine, bd.get(), bdEcc, t0);
             Tick t1 = _engine.now();
             _systemBus->channel().transfer(page, tagGc,
                                            [this, page, dst, bd, t1,
                                             finish] {
-                bd->systemBus += _engine.now() - t1;
+                bdSpanClose(_engine, bd.get(), bdSystemBus, t1);
                 Tick t2 = _engine.now();
                 _dram->port().transfer(page, tagGc,
                                        [this, page, dst, bd, t2, finish] {
-                    bd->dram += _engine.now() - t2;
-                    bd->other += _config.gcFirmwareLatency;
+                    bdSpanClose(_engine, bd.get(), bdDram, t2);
+                    Tick fw0 = _engine.now();
+                    bdSpanCloseAt(_engine, bd.get(), bdOther, fw0,
+                                  fw0 + _config.gcFirmwareLatency);
                     _engine.schedule(_config.gcFirmwareLatency,
                                      [this, page, dst, bd, finish] {
                         Tick t3 = _engine.now();
                         _dram->port().transfer(page, tagGc,
                                                [this, page, dst, bd, t3,
                                                 finish] {
-                            bd->dram += _engine.now() - t3;
+                            bdSpanClose(_engine, bd.get(), bdDram, t3);
                             Tick t4 = _engine.now();
                             _systemBus->channel().transfer(
                                 page, tagGc,
                                 [this, dst, bd, t4, finish] {
-                                bd->systemBus += _engine.now() - t4;
+                                bdSpanClose(_engine, bd.get(),
+                                            bdSystemBus, t4);
                                 _channels[dst.channel]->program(
                                     dst, 1, tagGc, finish, bd.get());
                             });

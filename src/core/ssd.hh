@@ -37,6 +37,7 @@ namespace dssd
 {
 
 class GcEngine;
+class StatRegistry;
 
 /** Aggregated mean latency breakdowns (Fig 9). */
 struct BreakdownStats
@@ -123,6 +124,15 @@ class Ssd
      */
     Auditor *auditor() { return _auditor.get(); }
 
+    /**
+     * Register every component's statistics under @p prefix
+     * ("ssd0"): host counters, write buffer, system bus, DRAM,
+     * per-channel controllers (bus, page buffer, dies, and — when
+     * decoupled — dBUFs, ECC, copyback stages), GC, and the fNoC.
+     * The registry borrows; it must not outlive this Ssd.
+     */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
     /** Host page operations currently in flight. */
     unsigned ioOutstanding() const { return _ioOutstanding; }
 
@@ -169,6 +179,9 @@ class Ssd
     void flushPump();
     void flushOne(Lpn lpn, Callback done);
 
+    /** Trace the write-buffer fill level as a counter sample. */
+    void traceWriteBufferOccupancy();
+
     /** Apply SRT remapping when this architecture supports it. */
     PhysAddr resolve(const PhysAddr &addr) const;
 
@@ -190,6 +203,7 @@ class Ssd
     std::unique_ptr<GcEngine> _gc;
     std::unique_ptr<Auditor> _auditor;
 
+    int _wbufTracePid = -1; ///< cached trace row (write-buffer counter)
     unsigned _ioOutstanding = 0;
     bool _flushActive = false;
     unsigned _flushInFlight = 0;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/registry.hh"
+
 namespace dssd
 {
 
@@ -25,6 +27,16 @@ EccEngine::process(std::uint64_t bytes, int tag, Callback done)
     Tick end = reserve(bytes, tag);
     _engine.scheduleAbs(end, std::move(done));
     return end;
+}
+
+void
+EccEngine::registerStats(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".pages", [this] {
+        return static_cast<double>(_pages);
+    });
+    _pipe.registerStats(reg, prefix + ".pipe");
 }
 
 } // namespace dssd

@@ -21,6 +21,8 @@
 namespace dssd
 {
 
+class StatRegistry;
+
 /** ECC engine timing parameters. */
 struct EccParams
 {
@@ -51,6 +53,9 @@ class EccEngine
     std::uint64_t pagesProcessed() const { return _pages; }
     Tick totalBusyTicks() const { return _pipe.totalBusyTicks(); }
     const EccParams &params() const { return _params; }
+
+    /** Register page counter and pipeline accounting under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     Engine &_engine;

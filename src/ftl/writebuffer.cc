@@ -5,6 +5,7 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/registry.hh"
 
 namespace dssd
 {
@@ -123,6 +124,24 @@ WriteBuffer::audit(AuditReport &r) const
                    static_cast<unsigned long long>(l));
         }
     }
+}
+
+void
+WriteBuffer::registerStats(StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".occupancy", [this] {
+        return static_cast<double>(occupancy());
+    });
+    reg.addScalar(prefix + ".capacity", [this] {
+        return static_cast<double>(capacity());
+    });
+    reg.addScalar(prefix + ".hits", [this] {
+        return static_cast<double>(hits());
+    });
+    reg.addScalar(prefix + ".misses", [this] {
+        return static_cast<double>(misses());
+    });
 }
 
 } // namespace dssd

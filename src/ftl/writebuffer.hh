@@ -22,6 +22,8 @@
 namespace dssd
 {
 
+class StatRegistry;
+
 /** Hit behaviour of the buffer cache. */
 enum class BufferMode
 {
@@ -80,6 +82,9 @@ class WriteBuffer
 
     /** Record a read probe outcome (for hit-rate stats). */
     void recordProbe(bool hit);
+
+    /** Register occupancy/capacity/hit stats under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
     /**
      * Cross-check the FIFO against the residency set: same size, no

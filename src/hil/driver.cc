@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
@@ -32,14 +34,19 @@ QueueDriver::pump()
             break;
         }
         if (req->issueAt > _engine.now()) {
-            // Trace replay: hold this request until its timestamp.
+            // Trace replay: hold this request until its timestamp,
+            // keeping a queue slot reserved for it. Continue pulling —
+            // a `break` here would serialize burst arrivals behind one
+            // timer and deadlock behind an out-of-order issueAt; with
+            // one slot held per waiting request, up to QD future
+            // requests wait concurrently, each firing at its own time.
             ++_outstanding; // reserve the slot while waiting
             _engine.scheduleAbs(req->issueAt, [this, r = *req] {
                 --_outstanding;
                 issue(r);
                 pump();
             });
-            break;
+            continue;
         }
         issue(*req);
     }
@@ -55,7 +62,15 @@ QueueDriver::issue(const IoRequest &req)
 {
     ++_outstanding;
     Tick submit_time = _engine.now();
-    _submit(req, [this, req, submit_time] {
+    std::uint64_t req_id = _nextReqId++;
+#if DSSD_TRACING
+    if (Tracer *tr = _engine.tracer()) {
+        int pid = tr->process("host");
+        tr->asyncBegin(pid, "io", req.isRead() ? "read" : "write",
+                       req_id, submit_time);
+    }
+#endif
+    _submit(req, [this, req, submit_time, req_id] {
         Tick lat = _engine.now() - submit_time;
         double lat_d = static_cast<double>(lat);
         _allLat.sample(lat_d);
@@ -64,10 +79,33 @@ QueueDriver::issue(const IoRequest &req)
         else
             _writeLat.sample(lat_d);
         _ioBytes.add(_engine.now(), static_cast<double>(req.bytes));
+#if DSSD_TRACING
+        if (Tracer *tr = _engine.tracer()) {
+            int pid = tr->process("host");
+            tr->asyncEnd(pid, "io", req.isRead() ? "read" : "write",
+                         req_id, _engine.now());
+        }
+#endif
         ++_completed;
         --_outstanding;
         pump();
     });
+}
+
+void
+QueueDriver::registerStats(StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".completed", [this] {
+        return static_cast<double>(_completed);
+    });
+    reg.addScalar(prefix + ".outstanding", [this] {
+        return static_cast<double>(_outstanding);
+    });
+    reg.addSample(prefix + ".latency.read", &_readLat);
+    reg.addSample(prefix + ".latency.write", &_writeLat);
+    reg.addSample(prefix + ".latency.all", &_allLat);
+    reg.addRate(prefix + ".io_bytes", &_ioBytes);
 }
 
 } // namespace dssd

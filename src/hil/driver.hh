@@ -21,6 +21,8 @@
 namespace dssd
 {
 
+class StatRegistry;
+
 /** Queue-depth-driven request pump with latency/bandwidth stats. */
 class QueueDriver
 {
@@ -57,6 +59,10 @@ class QueueDriver
     /** Called once when the generator drains and all I/O completes. */
     void onFinished(Engine::Callback cb) { _onFinished = std::move(cb); }
 
+    /** Register completion counters and latency/bandwidth stats
+     *  under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
   private:
     void pump();
     void issue(const IoRequest &req);
@@ -70,6 +76,7 @@ class QueueDriver
     bool _stopped = false;
     bool _finished = false;
     std::uint64_t _completed = 0;
+    std::uint64_t _nextReqId = 0; ///< trace span ids (see issue)
     SampleStat _readLat{"read-latency"};
     SampleStat _writeLat{"write-latency"};
     SampleStat _allLat{"io-latency"};

@@ -1,16 +1,43 @@
 #include "nand/die.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
 
+namespace
+{
+
+#if DSSD_TRACING
+/** Slice label for an array operation. */
+const char *
+opName(NandOp op)
+{
+    switch (op) {
+      case NandOp::Read:
+        return "read";
+      case NandOp::Program:
+        return "program";
+      case NandOp::Erase:
+        return "erase";
+      case NandOp::LocalCopyback:
+        return "local-copyback";
+    }
+    return "?";
+}
+#endif
+
+} // namespace
+
 FlashDie::FlashDie(Engine &engine, const FlashGeometry &geom,
-                   const NandTiming &timing)
+                   const NandTiming &timing, std::string name)
     : _engine(engine), _geom(geom), _timing(timing),
-      _planeBusyUntil(geom.planesPerDie, 0)
+      _name(std::move(name)), _planeBusyUntil(geom.planesPerDie, 0)
 {
 }
 
@@ -90,7 +117,35 @@ FlashDie::reserve(NandOp op, std::uint32_t plane_mask,
         ++_programs;
         break;
     }
+
+#if DSSD_TRACING
+    Tracer *tr = _engine.tracer();
+    if (tr && !_name.empty()) {
+        if (_tracePid < 0) {
+            _tracePid = tr->process("nand");
+            _traceTid = tr->lane(_tracePid, _name);
+        }
+        tr->slice(_tracePid, _traceTid, opName(op), "die", start, end);
+    }
+#endif
     return end;
+}
+
+void
+FlashDie::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".reads", [this] {
+        return static_cast<double>(_reads);
+    });
+    reg.addScalar(prefix + ".programs", [this] {
+        return static_cast<double>(_programs);
+    });
+    reg.addScalar(prefix + ".erases", [this] {
+        return static_cast<double>(_erases);
+    });
+    reg.addScalar(prefix + ".busy_ticks", [this] {
+        return static_cast<double>(_busyTicks);
+    });
 }
 
 } // namespace dssd

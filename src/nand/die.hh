@@ -14,6 +14,7 @@
 #define DSSD_NAND_DIE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "nand/geometry.hh"
@@ -23,6 +24,8 @@
 
 namespace dssd
 {
+
+class StatRegistry;
 
 /** Kinds of array operations a die can perform. */
 enum class NandOp
@@ -44,8 +47,10 @@ enum class NandOp
 class FlashDie
 {
   public:
+    /** @param name Trace/stat lane label ("ch0.d2"); unnamed dies
+     *         still simulate but do not emit trace slices. */
     FlashDie(Engine &engine, const FlashGeometry &geom,
-             const NandTiming &timing);
+             const NandTiming &timing, std::string name = "");
 
     /**
      * Reserve the planes in @p plane_mask for an array operation.
@@ -80,12 +85,19 @@ class FlashDie
 
     const FlashGeometry &geometry() const { return _geom; }
     const NandTiming &timing() const { return _timing; }
+    const std::string &name() const { return _name; }
+
+    /** Register op counters and busy accounting under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     Engine &_engine;
     FlashGeometry _geom;
     NandTiming _timing;
+    std::string _name;
     std::vector<Tick> _planeBusyUntil;
+    int _tracePid = -1; ///< cached trace rows (see reserve)
+    int _traceTid = -1;
     std::uint64_t _reads = 0;
     std::uint64_t _programs = 0;
     std::uint64_t _erases = 0;

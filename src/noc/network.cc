@@ -5,6 +5,8 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
@@ -56,6 +58,34 @@ NocNetwork::buffer(unsigned link, unsigned vc)
 }
 
 void
+NocNetwork::tracePacketBegin(const Transit &t)
+{
+#if DSSD_TRACING
+    Tracer *tr = _engine.tracer();
+    if (tr) {
+        int pid = tr->process("noc");
+        tr->asyncBegin(pid, "packet", "packet",
+                       reinterpret_cast<std::uintptr_t>(&t),
+                       t.injectTime);
+    }
+#endif
+}
+
+void
+NocNetwork::tracePacketEnd(const Transit &t)
+{
+#if DSSD_TRACING
+    Tracer *tr = _engine.tracer();
+    if (tr) {
+        int pid = tr->process("noc");
+        tr->asyncEnd(pid, "packet", "packet",
+                     reinterpret_cast<std::uintptr_t>(&t),
+                     _engine.now());
+    }
+#endif
+}
+
+void
 NocNetwork::send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
                  Callback done)
 {
@@ -72,6 +102,7 @@ NocNetwork::send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
     t->done = std::move(done);
     ++_inFlight;
     ++_packetsInjected;
+    tracePacketBegin(*t);
 
     if (t->route.empty()) {
         // Degenerate src == dst injection: loop through the local NI.
@@ -79,6 +110,7 @@ NocNetwork::send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
         _engine.schedule(lat, [this, t] {
             _latency.sample(static_cast<double>(_engine.now() -
                                                 t->injectTime));
+            tracePacketEnd(*t);
             ++_packetsDelivered;
             _bytesDelivered += t->totalBytes;
             --_inFlight;
@@ -130,6 +162,7 @@ NocNetwork::transmit(const std::shared_ptr<Transit> &t)
             _buffers[static_cast<unsigned>(held)]->release();
             _latency.sample(static_cast<double>(_engine.now() -
                                                 t->injectTime));
+            tracePacketEnd(*t);
             ++_packetsDelivered;
             _bytesDelivered += t->totalBytes;
             --_inFlight;
@@ -166,6 +199,7 @@ NocNetwork::transmit(const std::shared_ptr<Transit> &t)
             _buffers[held]->release();
             _latency.sample(static_cast<double>(_engine.now() -
                                                 t->injectTime));
+            tracePacketEnd(*t);
             ++_packetsDelivered;
             _bytesDelivered += t->totalBytes;
             --_inFlight;
@@ -243,6 +277,28 @@ void
 NocNetwork::debugDropCredit(unsigned link, unsigned vc)
 {
     buffer(link, vc).tryAcquire();
+}
+
+void
+NocNetwork::registerStats(StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".packets_injected", [this] {
+        return static_cast<double>(_packetsInjected);
+    });
+    reg.addScalar(prefix + ".packets_delivered", [this] {
+        return static_cast<double>(_packetsDelivered);
+    });
+    reg.addScalar(prefix + ".bytes_delivered", [this] {
+        return static_cast<double>(_bytesDelivered);
+    });
+    reg.addSample(prefix + ".latency", &_latency);
+    for (std::size_t l = 0; l < _links.size(); ++l)
+        _links[l]->registerStats(reg, prefix + strformat(".link%zu", l));
+    for (std::size_t b = 0; b < _buffers.size(); ++b) {
+        _buffers[b]->registerStats(reg,
+                                   prefix + "." + _buffers[b]->name());
+    }
 }
 
 } // namespace dssd

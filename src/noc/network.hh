@@ -33,6 +33,7 @@ namespace dssd
 {
 
 class AuditReport;
+class StatRegistry;
 
 /** Tunables for the fNoC (Fig 12/13 sweep these). */
 struct NocParams
@@ -96,8 +97,16 @@ class NocNetwork : public Interconnect
      */
     void debugDropCredit(unsigned link, unsigned vc);
 
+    /** Register packet counters, latency, links, and buffers under
+     *  @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
   private:
     struct Transit;
+
+    /** Open/close the end-to-end per-packet trace span. */
+    void tracePacketBegin(const Transit &t);
+    void tracePacketEnd(const Transit &t);
 
     /** Move @p t through its next hop (or deliver it). */
     void advance(const std::shared_ptr<Transit> &t);

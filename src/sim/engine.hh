@@ -32,6 +32,8 @@
 namespace dssd
 {
 
+class Tracer;
+
 /**
  * The discrete-event engine: an event queue plus the simulation clock.
  *
@@ -133,6 +135,17 @@ class Engine
     /** Remove any installed audit hook. */
     void clearAuditHook();
 
+    /**
+     * Attach @p t (borrowed, may be null) so components driven by this
+     * engine emit trace events; see sim/trace.hh. Purely observational:
+     * the engine itself never consults the tracer, so the hot path is
+     * unchanged and results are identical with or without one.
+     */
+    void setTracer(Tracer *t) { _tracer = t; }
+
+    /** The attached tracer, or null when tracing is off. */
+    Tracer *tracer() const { return _tracer; }
+
   private:
     enum class EventOp { InvokeDestroy, Destroy };
 
@@ -214,6 +227,9 @@ class Engine
     std::uint64_t _auditEvery = 0;
     std::uint64_t _auditCountdown = 0;
     std::function<void()> _auditHook;
+
+    Tracer *_tracer = nullptr; ///< borrowed; see setTracer()
+
 };
 
 } // namespace dssd

@@ -5,9 +5,34 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
+
+namespace
+{
+
+#if DSSD_TRACING
+/** Slice label for a traffic tag. */
+const char *
+tagName(int tag)
+{
+    switch (tag) {
+      case tagIo:
+        return "io";
+      case tagGc:
+        return "gc";
+      case tagMeta:
+        return "meta";
+      default:
+        return "other";
+    }
+}
+#endif
+
+} // namespace
 
 //
 // UtilizationRecorder
@@ -135,6 +160,18 @@ BandwidthResource::reserveFrom(Tick earliest, std::uint64_t bytes, int tag)
     }
     if (_recorder)
         _recorder->addBusy(start, end, tag);
+#if DSSD_TRACING
+    // Every bus-like resource in the model reserves through here, so
+    // this single site traces all transfer occupancy.
+    Tracer *tr = _engine.tracer();
+    if (tr && dur > 0) {
+        if (_tracePid < 0) {
+            _tracePid = tr->process("bus");
+            _traceTid = tr->lane(_tracePid, _name);
+        }
+        tr->slice(_tracePid, _traceTid, tagName(tag), "bus", start, end);
+    }
+#endif
     return end;
 }
 
@@ -188,6 +225,27 @@ BandwidthResource::resetStats()
     std::fill(_bytes.begin(), _bytes.end(), 0);
 }
 
+void
+BandwidthResource::registerStats(StatRegistry &reg,
+                                 const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".transfers", [this] {
+        return static_cast<double>(_transfers);
+    });
+    reg.addScalar(prefix + ".busy_ticks", [this] {
+        return static_cast<double>(totalBusyTicks());
+    });
+    reg.addScalar(prefix + ".bytes.io", [this] {
+        return static_cast<double>(bytesMoved(tagIo));
+    });
+    reg.addScalar(prefix + ".bytes.gc", [this] {
+        return static_cast<double>(bytesMoved(tagGc));
+    });
+    reg.addScalar(prefix + ".bytes.meta", [this] {
+        return static_cast<double>(bytesMoved(tagMeta));
+    });
+}
+
 //
 // SlotResource
 //
@@ -199,6 +257,20 @@ SlotResource::SlotResource(Engine &engine, std::string name, unsigned slots)
         fatal("SlotResource %s: capacity must be > 0", _name.c_str());
 }
 
+void
+SlotResource::traceOccupancy()
+{
+#if DSSD_TRACING
+    Tracer *tr = _engine.tracer();
+    if (tr) {
+        if (_tracePid < 0)
+            _tracePid = tr->process("occupancy");
+        tr->counter(_tracePid, _name.c_str(), _engine.now(),
+                    static_cast<double>(_capacity - _free));
+    }
+#endif
+}
+
 bool
 SlotResource::tryAcquire()
 {
@@ -206,6 +278,7 @@ SlotResource::tryAcquire()
         return false;
     --_free;
     _maxHeld = std::max(_maxHeld, _capacity - _free);
+    traceOccupancy();
     return true;
 }
 
@@ -233,7 +306,26 @@ SlotResource::release()
         _engine.schedule(0, std::move(cb));
     } else {
         ++_free;
+        traceOccupancy();
     }
+}
+
+void
+SlotResource::registerStats(StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".capacity", [this] {
+        return static_cast<double>(_capacity);
+    });
+    reg.addScalar(prefix + ".max_held", [this] {
+        return static_cast<double>(_maxHeld);
+    });
+    reg.addScalar(prefix + ".held", [this] {
+        return static_cast<double>(_capacity - _free);
+    });
+    reg.addScalar(prefix + ".waiters", [this] {
+        return static_cast<double>(_waiters.size());
+    });
 }
 
 } // namespace dssd

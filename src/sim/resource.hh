@@ -29,6 +29,8 @@
 namespace dssd
 {
 
+class StatRegistry;
+
 /** Traffic tags used for per-class utilization accounting. */
 enum TrafficTag : int
 {
@@ -142,6 +144,9 @@ class BandwidthResource
     /** Reset accounting (not the busy-until horizon). */
     void resetStats();
 
+    /** Register transfer/byte/busy accounting under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
   private:
     Engine &_engine;
     std::string _name;
@@ -151,6 +156,8 @@ class BandwidthResource
     std::vector<Tick> _busyTicks;
     std::vector<std::uint64_t> _bytes;
     UtilizationRecorder *_recorder = nullptr;
+    mutable int _tracePid = -1; ///< cached trace rows (see reserveFrom)
+    mutable int _traceTid = -1;
 };
 
 /**
@@ -185,13 +192,20 @@ class SlotResource
 
     const std::string &name() const { return _name; }
 
+    /** Register capacity/occupancy accounting under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
   private:
+    /** Trace the current held-slot count as a counter sample. */
+    void traceOccupancy();
+
     Engine &_engine;
     std::string _name;
     unsigned _capacity;
     unsigned _free;
     unsigned _maxHeld = 0;
     std::deque<Callback> _waiters;
+    mutable int _tracePid = -1; ///< cached trace row (see traceOccupancy)
 };
 
 } // namespace dssd

@@ -150,11 +150,23 @@ TraceSynthesizer::next()
 
     std::uint64_t align = 4 * kKiB;
     std::uint64_t slots = _footprint / align;
+    // Aligned slots the request spans (round up: a partial slot still
+    // occupies it). Clamp oversized requests to the footprint before
+    // computing placement bounds — with the raw arithmetic a request
+    // spanning >= slots underflowed the modulo/uniformInt bound.
+    std::uint64_t req_slots = (r.bytes + align - 1) / align;
+    if (req_slots >= slots) {
+        req_slots = slots;
+        r.bytes = slots * align;
+    }
+    // Last legal start slot, inclusive: a request starting there ends
+    // exactly at the footprint boundary.
+    std::uint64_t max_start = slots - req_slots;
     if (_rng.chance(_profile.seqFraction)) {
-        r.offset = (_cursor % (slots - r.bytes / align)) * align;
-        _cursor += r.bytes / align;
+        r.offset = (_cursor % (max_start + 1)) * align;
+        _cursor += req_slots;
     } else {
-        r.offset = _rng.uniformInt(0, slots - 1 - r.bytes / align) * align;
+        r.offset = _rng.uniformInt(0, max_start) * align;
     }
     return r;
 }
@@ -163,13 +175,16 @@ TraceSynthesizer::next()
 // TraceFileLoader
 //
 
-TraceFileLoader::TraceFileLoader(const std::string &path) : _name(path)
+TraceFileLoader::TraceFileLoader(const std::string &path,
+                                 std::uint64_t device_bytes)
+    : _name(path)
 {
     std::ifstream in(path);
     if (!in)
         fatal("cannot open trace file '%s'", path.c_str());
     std::string line;
     std::size_t lineno = 0;
+    bool sorted = true;
     while (std::getline(in, line)) {
         ++lineno;
         if (line.empty() || line[0] == '#')
@@ -189,10 +204,36 @@ TraceFileLoader::TraceFileLoader(const std::string &path) : _name(path)
         else
             fatal("trace %s:%zu: bad op '%s'", path.c_str(), lineno,
                   op.c_str());
+        if (ts_us < 0.0)
+            fatal("trace %s:%zu: negative timestamp", path.c_str(),
+                  lineno);
+        if (size == 0)
+            fatal("trace %s:%zu: zero-size request", path.c_str(),
+                  lineno);
+        if (device_bytes != 0 &&
+            (offset >= device_bytes || size > device_bytes - offset)) {
+            fatal("trace %s:%zu: request [%llu, %llu) extends beyond "
+                  "the %llu-byte device",
+                  path.c_str(), lineno,
+                  static_cast<unsigned long long>(offset),
+                  static_cast<unsigned long long>(offset + size),
+                  static_cast<unsigned long long>(device_bytes));
+        }
         r.offset = offset;
         r.bytes = size;
         r.issueAt = usToTicks(ts_us);
+        if (!_requests.empty() && r.issueAt < _requests.back().issueAt)
+            sorted = false;
         _requests.push_back(r);
+    }
+    if (!sorted) {
+        warn("trace %s: timestamps out of order; sorting by issue time",
+             path.c_str());
+        // Stable sort keeps the file order of same-timestamp requests.
+        std::stable_sort(_requests.begin(), _requests.end(),
+                         [](const IoRequest &a, const IoRequest &b) {
+                             return a.issueAt < b.issueAt;
+                         });
     }
 }
 

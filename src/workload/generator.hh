@@ -124,11 +124,20 @@ class TraceSynthesizer : public Generator
  * Loads a plain-text trace: one request per line,
  * "<timestamp_us> <R|W> <offset_bytes> <size_bytes>".
  * Lines starting with '#' are ignored.
+ *
+ * The loader validates as it parses: zero-size requests and (when
+ * @p device_bytes is given) requests extending beyond the device are
+ * fatal() with the offending line number; out-of-order timestamps are
+ * tolerated — the trace is sorted by issue time with a warning, since
+ * multi-initiator captures commonly interleave slightly out of order.
  */
 class TraceFileLoader : public Generator
 {
   public:
-    explicit TraceFileLoader(const std::string &path);
+    /** @param device_bytes Device capacity used to bound offsets;
+     *         0 disables the bound check. */
+    explicit TraceFileLoader(const std::string &path,
+                             std::uint64_t device_bytes = 0);
 
     std::optional<IoRequest> next() override;
     const std::string &name() const override { return _name; }

@@ -138,6 +138,111 @@ TEST(QueueDriverTest, TimestampedRequestsWait)
     EXPECT_GE(completed_at, 5 * tickMs);
 }
 
+/** Replays a fixed request list (offset-free; timestamps matter). */
+struct ListGen : Generator
+{
+    std::vector<IoRequest> reqs;
+    std::size_t n = 0;
+    std::string nm = "list";
+    std::optional<IoRequest> next() override
+    {
+        if (n >= reqs.size())
+            return std::nullopt;
+        return reqs[n++];
+    }
+    const std::string &name() const override { return nm; }
+};
+
+// Regression tests for the replay pump: it used to hold a single
+// future-timestamped request and stop pulling, which serialized burst
+// arrivals behind one timer and stalled out-of-order timestamps
+// behind an earlier-but-later-stamped request.
+
+TEST(QueueDriverTest, BurstArrivalsSubmitConcurrently)
+{
+    Engine e;
+    FakeSsd ssd{e, 1000};
+    ListGen gen;
+    for (int i = 0; i < 4; ++i) {
+        IoRequest r;
+        r.issueAt = 5 * tickMs;
+        r.bytes = 4096;
+        gen.reqs.push_back(r);
+    }
+    std::vector<Tick> submit_at;
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        submit_at.push_back(e.now());
+                        ssd.submit(r, std::move(cb));
+                    },
+                    8);
+    drv.start();
+    e.run();
+    ASSERT_EQ(submit_at.size(), 4u);
+    for (Tick t : submit_at)
+        EXPECT_EQ(t, 5 * tickMs); // the whole burst fires together
+    EXPECT_EQ(ssd.maxInFlight, 4u);
+}
+
+TEST(QueueDriverTest, OutOfOrderTimestampsDoNotStallEarlierOnes)
+{
+    Engine e;
+    FakeSsd ssd{e, 10};
+    ListGen gen;
+    IoRequest late;
+    late.issueAt = 10 * tickMs;
+    late.bytes = 4096;
+    IoRequest early;
+    early.issueAt = 5 * tickMs;
+    early.bytes = 4096;
+    gen.reqs = {late, early}; // generator order != time order
+    std::vector<Tick> submit_at;
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        submit_at.push_back(e.now());
+                        ssd.submit(r, std::move(cb));
+                    },
+                    4);
+    drv.start();
+    e.run();
+    ASSERT_EQ(submit_at.size(), 2u);
+    // The t=5ms request must not wait behind the held t=10ms one.
+    EXPECT_EQ(submit_at[0], 5 * tickMs);
+    EXPECT_EQ(submit_at[1], 10 * tickMs);
+    EXPECT_EQ(drv.completed(), 2u);
+}
+
+TEST(QueueDriverTest, WaitingRequestsHoldQueueSlots)
+{
+    Engine e;
+    FakeSsd ssd{e, 10};
+    ListGen gen;
+    for (int i = 0; i < 3; ++i) {
+        IoRequest r;
+        r.issueAt = (5 + i) * tickMs;
+        r.bytes = 4096;
+        gen.reqs.push_back(r);
+    }
+    std::vector<Tick> submit_at;
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        submit_at.push_back(e.now());
+                        ssd.submit(r, std::move(cb));
+                    },
+                    2); // QD 2: the third request waits for a slot
+    drv.start();
+    // Before any timestamp fires, both slots are reserved by waiters.
+    e.runUntil(1 * tickMs);
+    EXPECT_EQ(drv.outstanding(), 2u);
+    e.run();
+    ASSERT_EQ(submit_at.size(), 3u);
+    EXPECT_EQ(submit_at[0], 5 * tickMs);
+    EXPECT_EQ(submit_at[1], 6 * tickMs);
+    EXPECT_EQ(submit_at[2], 7 * tickMs);
+    EXPECT_LE(ssd.maxInFlight, 2u);
+    EXPECT_EQ(drv.completed(), 3u);
+}
+
 TEST(QueueDriverTest, StopHaltsIssuing)
 {
     Engine e;

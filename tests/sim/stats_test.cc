@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/stats.hh"
 
 namespace dssd
@@ -133,6 +136,60 @@ TEST(SampleStatTest, ResetClearsEverything)
     EXPECT_DOUBLE_EQ(s.sum(), 0.0);
 }
 
+TEST(SampleStatTest, SingleSampleIsEveryPercentile)
+{
+    SampleStat s;
+    s.sample(42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(SampleStatTest, PercentileZeroIsMinimum)
+{
+    // p=0 gives rank 0; nearest-rank clamps to the first order
+    // statistic rather than reading before the array.
+    SampleStat s;
+    s.sample(30);
+    s.sample(10);
+    s.sample(20);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+}
+
+TEST(SampleStatTest, PercentileOutOfRangeIsFatal)
+{
+    SampleStat s;
+    s.sample(1.0);
+    EXPECT_DEATH((void)s.percentile(-0.1), "out of range");
+    EXPECT_DEATH((void)s.percentile(100.1), "out of range");
+}
+
+TEST(SampleStatTest, NearestRankMatchesSortOracle)
+{
+    // Selection on the persistent scratch must agree with the naive
+    // full-sort nearest-rank definition at every integer percentile.
+    SampleStat s;
+    std::vector<double> vals;
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 257; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        double v = static_cast<double>(x >> 33);
+        vals.push_back(v);
+        s.sample(v);
+    }
+    std::vector<double> sorted = vals;
+    std::sort(sorted.begin(), sorted.end());
+    for (int p = 0; p <= 100; ++p) {
+        std::size_t rank = static_cast<std::size_t>(std::ceil(
+            p / 100.0 * static_cast<double>(sorted.size())));
+        if (rank == 0)
+            rank = 1;
+        EXPECT_DOUBLE_EQ(s.percentile(p), sorted[rank - 1])
+            << "percentile " << p;
+    }
+}
+
 TEST(RateSeriesTest, WindowsAccumulate)
 {
     RateSeries rs(1000);
@@ -143,6 +200,36 @@ TEST(RateSeriesTest, WindowsAccumulate)
     EXPECT_DOUBLE_EQ(rs.windows()[0], 8192.0);
     EXPECT_DOUBLE_EQ(rs.windows()[1], 4096.0);
     EXPECT_DOUBLE_EQ(rs.total(), 3 * 4096.0);
+}
+
+TEST(RateSeriesTest, BoundaryTickLandsInNextWindow)
+{
+    // Windows are [k*w, (k+1)*w): a weight at exactly the boundary
+    // tick belongs to the following window, and tick 0 to window 0.
+    RateSeries rs(1000);
+    rs.add(0, 1);
+    rs.add(999, 2);
+    rs.add(1000, 4);
+    rs.add(1999, 8);
+    rs.add(2000, 16);
+    ASSERT_EQ(rs.windows().size(), 3u);
+    EXPECT_DOUBLE_EQ(rs.windows()[0], 3.0);
+    EXPECT_DOUBLE_EQ(rs.windows()[1], 12.0);
+    EXPECT_DOUBLE_EQ(rs.windows()[2], 16.0);
+}
+
+TEST(RateSeriesTest, SparseAdditionsZeroFillSkippedWindows)
+{
+    RateSeries rs(1000);
+    rs.add(100, 5);
+    rs.add(4500, 7); // windows 1-3 stay zero
+    ASSERT_EQ(rs.windows().size(), 5u);
+    EXPECT_DOUBLE_EQ(rs.windows()[0], 5.0);
+    EXPECT_DOUBLE_EQ(rs.windows()[1], 0.0);
+    EXPECT_DOUBLE_EQ(rs.windows()[2], 0.0);
+    EXPECT_DOUBLE_EQ(rs.windows()[3], 0.0);
+    EXPECT_DOUBLE_EQ(rs.windows()[4], 7.0);
+    EXPECT_DOUBLE_EQ(rs.total(), 12.0);
 }
 
 TEST(RateSeriesTest, RatePerSecond)

@@ -49,7 +49,9 @@ usage()
         "  --srt-remaps=N  pre-populate N SRT remaps per channel\n"
         "  --seed=N\n"
         "  --seeds=N       replicate over seeds seed..seed+N-1\n"
-        "  --threads=N     worker threads for --seeds (default: all)\n");
+        "  --threads=N     worker threads for --seeds (default: all)\n"
+        "  --trace-out=F   write a Chrome trace_event JSON of the run\n"
+        "  --stats=F       dump the stat registry as JSON (- = stdout)\n");
     std::exit(1);
 }
 
@@ -158,6 +160,10 @@ main(int argc, char **argv)
         else if (flagValue(argv[i], "--srt-remaps", &v))
             p.srtRemapsPerChannel =
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--trace-out", &v))
+            p.tracePath = v;
+        else if (flagValue(argv[i], "--stats", &v))
+            p.statsPath = v;
         else if (flagValue(argv[i], "--seeds", &v))
             seeds = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (flagValue(argv[i], "--seed", &v))
@@ -175,8 +181,14 @@ main(int argc, char **argv)
         // summarize per seed (results are printed in seed order and
         // independent of the thread count).
         std::vector<ExpParams> ps(seeds, p);
-        for (unsigned i = 0; i < seeds; ++i)
+        for (unsigned i = 0; i < seeds; ++i) {
             ps[i].seed = p.seed + i;
+            if (i > 0) {
+                // One output file, one run: only the base seed traces.
+                ps[i].tracePath.clear();
+                ps[i].statsPath.clear();
+            }
+        }
         std::vector<ExpResult> rs = runExperiments(ps, threads);
         std::printf("dssd_sim: %s, %u seeds starting at %llu\n",
                     archName(p.arch), seeds,

@@ -45,9 +45,15 @@ BenchOpts::parse(int argc, char **argv)
             o.trace = v;
         else if ((v = value("--stats", i)))
             o.stats = v;
-        else
+        else if (std::strcmp(argv[i], "--faults") == 0)
+            o.faults = true;
+        else if ((v = value("--fault-seed", i))) {
+            o.faults = true;
+            o.faultSeed = std::strtoull(v, nullptr, 10);
+        } else
             fatal("unknown option '%s' (supported: --full --seed=N "
-                  "--threads=N --json=FILE --trace=FILE --stats=FILE)",
+                  "--threads=N --json=FILE --trace=FILE --stats=FILE "
+                  "--faults --fault-seed=N)",
                   argv[i]);
     }
     return o;
@@ -105,6 +111,7 @@ makeExpConfig(const ExpParams &p)
     }
     c.noc.bufferPackets = p.nocBuffers;
     c.decoupled.srtEntries = p.srtCapacity;
+    c.fault = p.fault;
     c.seed = p.seed;
     return c;
 }

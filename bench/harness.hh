@@ -44,6 +44,12 @@ struct BenchOpts
     /// When non-empty, the bench dumps that experiment's StatRegistry
     /// JSON here ("-" = stdout).
     std::string stats;
+    /// Enable the fault-injection model (off by default so every bench
+    /// reproduces its figure bit-identically).
+    bool faults = false;
+    /// Seed for the fault model's RNG streams (decoupled from the
+    /// workload seed so fault draws don't perturb request streams).
+    std::uint64_t faultSeed = 99;
 
     static BenchOpts parse(int argc, char **argv);
 
@@ -103,6 +109,10 @@ struct ExpParams
     // SRT pre-population (Fig 15): remaps installed per channel.
     unsigned srtRemapsPerChannel = 0;
     std::size_t srtCapacity = 2048;
+
+    // Fault injection (fig17): disabled by default, so every other
+    // bench is bit-identical to a build without the subsystem.
+    FaultParams fault;
 
     // Device preconditioning.
     double prefillFill = 0.8;

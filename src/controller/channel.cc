@@ -90,6 +90,32 @@ FlashChannel::program(const PhysAddr &addr, unsigned planes, int tag,
     Tick die_end = d.reserve(NandOp::Program, mask, addr.page, xfer_end);
     bdSpanCloseAt(_engine, bd, bdFlashBus, t0, xfer_end);
     bdSpanCloseAt(_engine, bd, bdFlashMem, xfer_end, die_end);
+
+    if (_fault) {
+        _fault->notifyProgram(addr, die_end);
+        if (_fault->programFails(addr)) {
+            // Program-status fail: the controller sees the failed
+            // status at die_end, escalates the bad block, and
+            // re-issues the program (data is still buffered) at full
+            // bus + array cost. The re-issue is modeled as succeeding;
+            // the block is repaired/retired by the sink.
+            ++_programRetries;
+            PhysAddr a = addr;
+            _engine.scheduleAbs(die_end, [this, a] {
+                _fault->reportBlockFault(a, FaultKind::ProgramFail);
+            });
+            Tick xfer2_end =
+                _bus.reserveFrom(die_end, xfer_bytes, tag);
+            Tick die2_end =
+                d.reserve(NandOp::Program, mask, addr.page, xfer2_end);
+            bdSpanCloseAt(_engine, bd, bdFlashBus, die_end, xfer2_end);
+            bdSpanCloseAt(_engine, bd, bdFlashMem, xfer2_end, die2_end);
+            // The buffered page stays claimed until the retransfer.
+            xfer_end = xfer2_end;
+            die_end = die2_end;
+        }
+    }
+
     if (data_taken)
         _engine.scheduleAbs(xfer_end, std::move(data_taken));
     _engine.scheduleAbs(die_end, std::move(done));
@@ -108,6 +134,25 @@ FlashChannel::erase(const PhysAddr &addr, int tag, Callback done,
     Tick die_end = d.reserve(NandOp::Erase, mask, 0, cmd_end);
     bdSpanCloseAt(_engine, bd, bdFlashBus, t0, cmd_end);
     bdSpanCloseAt(_engine, bd, bdFlashMem, cmd_end, die_end);
+
+    if (_fault) {
+        _fault->notifyErase(addr);
+        if (_fault->eraseFails(addr)) {
+            // Erase-status fail: escalate at die_end and retry once.
+            ++_eraseRetries;
+            PhysAddr a = addr;
+            _engine.scheduleAbs(die_end, [this, a] {
+                _fault->reportBlockFault(a, FaultKind::EraseFail);
+            });
+            Tick cmd2_end =
+                _bus.reserveFrom(die_end, _timing.commandBytes, tag);
+            Tick die2_end = d.reserve(NandOp::Erase, mask, 0, cmd2_end);
+            bdSpanCloseAt(_engine, bd, bdFlashBus, die_end, cmd2_end);
+            bdSpanCloseAt(_engine, bd, bdFlashMem, cmd2_end, die2_end);
+            die_end = die2_end;
+        }
+    }
+
     _engine.scheduleAbs(die_end, std::move(done));
 }
 
@@ -142,6 +187,12 @@ FlashChannel::registerStats(StatRegistry &reg,
     });
     reg.addScalar(prefix + ".erases", [this] {
         return static_cast<double>(_erases);
+    });
+    reg.addScalar(prefix + ".program_retries", [this] {
+        return static_cast<double>(_programRetries);
+    });
+    reg.addScalar(prefix + ".erase_retries", [this] {
+        return static_cast<double>(_eraseRetries);
     });
     _bus.registerStats(reg, prefix + ".bus");
     _pageBuffer.registerStats(reg, prefix + ".page_buffer");

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "controller/latency.hh"
+#include "fault/fault.hh"
 #include "nand/die.hh"
 #include "nand/geometry.hh"
 #include "nand/timing.hh"
@@ -91,6 +92,17 @@ class FlashChannel
     std::uint64_t reads() const { return _reads; }
     std::uint64_t programs() const { return _programs; }
     std::uint64_t erases() const { return _erases; }
+    std::uint64_t programRetries() const { return _programRetries; }
+    std::uint64_t eraseRetries() const { return _eraseRetries; }
+
+    /**
+     * Attach the fault model (null = fault-free). Program/erase ops
+     * then sample status failures: a failing op is re-issued once at
+     * full bus + array cost and the terminal fault is escalated via
+     * FaultModel::reportBlockFault at the tick the status read would
+     * see it.
+     */
+    void setFaultModel(FaultModel *fault) { _fault = fault; }
 
     /** Register op counters, bus, page buffer, and every die under
      *  @p prefix. */
@@ -106,9 +118,12 @@ class FlashChannel
     BandwidthResource _bus;
     SlotResource _pageBuffer;
     std::vector<std::unique_ptr<FlashDie>> _dies;
+    FaultModel *_fault = nullptr;
     std::uint64_t _reads = 0;
     std::uint64_t _programs = 0;
     std::uint64_t _erases = 0;
+    std::uint64_t _programRetries = 0;
+    std::uint64_t _eraseRetries = 0;
 };
 
 } // namespace dssd

@@ -200,10 +200,21 @@ DecoupledController::globalCopyback(const PhysAddr &src, const PhysAddr &dst,
             stageReached(CopybackStage::R);
             stageTrace(*cb, CopybackStage::R);
             // Stage 2: error detection/correction in the local engine.
-            Tick t0 = _engine.now();
-            _ecc.process(_channel.geometry().pageBytes, cb->tag,
-                         [this, cb, t0] {
-                bdSpanClose(_engine, cb->bd, bdEcc, t0);
+            // Under faults this runs the full recovery ladder; an
+            // uncorrectable page aborts the state machine and re-reads
+            // through the front-end.
+            runReadRecovery(
+                _engine, _ecc, _fault, cb->src,
+                _channel.geometry().pageBytes, cb->tag, cb->bd,
+                [this, cb](Callback rr) {
+                    _channel.read(cb->src, 1, cb->tag, std::move(rr),
+                                  cb->bd);
+                },
+                [this, cb](ReadSeverity sev) {
+                if (sev == ReadSeverity::Uncorrectable) {
+                    abortCopyback(cb);
+                    return;
+                }
                 stageReached(CopybackStage::RE);
                 stageTrace(*cb, CopybackStage::RE);
 
@@ -265,6 +276,47 @@ DecoupledController::globalCopyback(const PhysAddr &src, const PhysAddr &dst,
 }
 
 void
+DecoupledController::abortCopyback(const std::shared_ptr<Copyback> &cb)
+{
+    // The channel ECC ladder gave up on the page: the command aborts
+    // its R/RE state machine, drops its egress dBUF claim, and the
+    // page is re-read through the front-end (system bus + DRAM +
+    // shared ECC) by the Ssd-installed fallback. The command still
+    // retires through the normal stage accounting once the fallback
+    // lands the page, so the status-machine audit invariants hold.
+    if (!_fallback)
+        panic("channel %u: uncorrectable copyback page but no "
+              "front-end fallback installed",
+              _channel.channelId());
+    ++_aborted;
+#if DSSD_TRACING
+    Tracer *tr = _engine.tracer();
+    if (tr) {
+        int pid = tr->process("fault");
+        auto id = reinterpret_cast<std::uintptr_t>(cb.get());
+        tr->asyncBegin(pid, "fault", "abort", id, cb->stageStart);
+        tr->asyncEnd(pid, "fault", "abort", id, _engine.now());
+    }
+#endif
+    cb->stageStart = _engine.now();
+    _dbufOut.release();
+    if (_fault)
+        _fault->reportBlockFault(cb->src, FaultKind::UncorrectableRead);
+    _fallback(cb->src, cb->dst, cb->tag, cb->bd, [this, cb] {
+        stageReached(CopybackStage::RE);
+        stageTrace(*cb, CopybackStage::RE);
+        stageReached(CopybackStage::T);
+        stageTrace(*cb, CopybackStage::T);
+        stageReached(CopybackStage::W);
+        stageTrace(*cb, CopybackStage::W);
+        ++_completed;
+        --_inFlight;
+        _latency.sample(static_cast<double>(_engine.now() - cb->start));
+        cb->done();
+    });
+}
+
+void
 DecoupledController::registerStats(StatRegistry &reg,
                                    const std::string &prefix) const
 {
@@ -273,6 +325,9 @@ DecoupledController::registerStats(StatRegistry &reg,
     });
     reg.addScalar(prefix + ".copybacks_in_flight", [this] {
         return static_cast<double>(_inFlight);
+    });
+    reg.addScalar(prefix + ".copybacks_aborted", [this] {
+        return static_cast<double>(_aborted);
     });
     constexpr auto n = static_cast<std::size_t>(CopybackStage::numStages);
     for (std::size_t s = 0; s < n; ++s) {

@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "bus/interconnect.hh"
 #include "controller/channel.hh"
@@ -70,6 +71,15 @@ class DecoupledController
 {
   public:
     using Callback = Engine::Callback;
+    /**
+     * Front-end re-read installed by the Ssd: fetch @p src over the
+     * conventional path (flash bus + system bus + DRAM + shared ECC)
+     * and program it to @p dst, then run @p done. Used when a copyback
+     * page is uncorrectable at the channel ECC (Sec 4.2 fallback).
+     */
+    using CopybackFallback =
+        std::function<void(const PhysAddr &src, const PhysAddr &dst,
+                           int tag, LatencyBreakdown *bd, Callback done)>;
 
     DecoupledController(Engine &engine, FlashChannel &channel,
                         const DecoupledParams &params);
@@ -108,8 +118,24 @@ class DecoupledController
     const SuperblockRemapTable &srt() const { return _srt; }
     unsigned nodeId() const { return _nodeId; }
 
+    /**
+     * Attach the fault model (null = fault-free). Copyback reads then
+     * run the full recovery ladder in the channel ECC engine.
+     */
+    void setFaultModel(FaultModel *fault) { _fault = fault; }
+
+    /** Install the front-end re-read used when a copyback page is
+     *  uncorrectable at this controller's ECC engine. */
+    void setCopybackFallback(CopybackFallback fb)
+    {
+        _fallback = std::move(fb);
+    }
+
     std::uint64_t copybacksCompleted() const { return _completed; }
     std::uint64_t copybacksInFlight() const { return _inFlight; }
+    /** Copybacks whose R/RE state machine aborted to the front-end
+     *  fallback on an uncorrectable page. */
+    std::uint64_t copybacksAborted() const { return _aborted; }
 
     /** Commands that have reached (at least) @p stage. */
     std::uint64_t stageCount(CopybackStage stage) const;
@@ -136,6 +162,9 @@ class DecoupledController
     /** Close the per-command trace span ending at @p stage (the span
      *  runs from the previous stage boundary to now). */
     void stageTrace(Copyback &cb, CopybackStage stage);
+    /** Abort @p cb's state machine (uncorrectable at the channel ECC)
+     *  and hand the page to the front-end fallback. */
+    void abortCopyback(const std::shared_ptr<Copyback> &cb);
 
     Engine &_engine;
     FlashChannel &_channel;
@@ -146,9 +175,12 @@ class DecoupledController
     SuperblockRemapTable _srt;
     Interconnect *_interconnect = nullptr;
     unsigned _nodeId = 0;
+    FaultModel *_fault = nullptr;
+    CopybackFallback _fallback;
 
     std::uint64_t _completed = 0;
     std::uint64_t _inFlight = 0;
+    std::uint64_t _aborted = 0;
     std::array<std::uint64_t,
                static_cast<std::size_t>(CopybackStage::numStages)>
         _stageCounts{};

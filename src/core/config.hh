@@ -11,6 +11,7 @@
 
 #include "controller/channel.hh"
 #include "controller/decoupled.hh"
+#include "fault/fault.hh"
 #include "ftl/mapping.hh"
 #include "ftl/policy.hh"
 #include "ftl/writebuffer.hh"
@@ -70,6 +71,9 @@ struct SsdConfig
 
     WriteBufferParams writeBuffer;
     GcParams gc;
+    /// Fault injection (disabled by default: no FaultModel is built
+    /// and the datapath is bit-identical to a fault-free simulator).
+    FaultParams fault;
 
     double overProvision = 0.07;
     std::uint32_t gcFreeBlockThreshold = 2;

@@ -61,6 +61,12 @@ DynamicSuperblockEngine::DynamicSuperblockEngine(Ssd &ssd,
         }
     }
 
+    // Under fault injection, divert escalated media faults into this
+    // engine's failure state machine for as long as it lives.
+    _pendingFaultUnits.resize(_map.superblockCount());
+    if (_ssd.faultModel())
+        _ssd.setFaultSink(this);
+
     // DSSD_AUDIT builds: fold this engine's state into the SSD's
     // periodic invariant audit for as long as the engine lives.
     if ((_auditor = _ssd.auditor())) {
@@ -86,10 +92,46 @@ DynamicSuperblockEngine::DynamicSuperblockEngine(Ssd &ssd,
 
 DynamicSuperblockEngine::~DynamicSuperblockEngine()
 {
+    if (_ssd.faultModel())
+        _ssd.setFaultSink(nullptr);
     if (_auditor) {
         for (std::size_t id : _auditIds)
             _auditor->removeCheck(id);
     }
+}
+
+void
+DynamicSuperblockEngine::onBlockFault(const PhysAddr &addr,
+                                      FaultKind kind)
+{
+    (void)kind;
+    ++_stats.faultEvents;
+
+    // Map the faulted physical block back to its owning (sb, unit)
+    // slot: the fault address is post-SRT, so compare against each
+    // slot's *current* backing block.
+    const FlashGeometry &g = _map.geometry();
+    ChannelBlockId phys = channelBlockId(g, addr);
+    for (std::uint32_t sb = 0; sb < _map.superblockCount(); ++sb) {
+        if (_map.info(sb).state == SuperblockState::Dead)
+            continue;
+        for (std::uint32_t u = 0; u < _map.unitCount(); ++u) {
+            PhysAddr slot = _map.slotAddr(sb, u);
+            if (slot.channel != addr.channel)
+                continue;
+            if (physicalBlock(sb, u) != phys)
+                continue;
+            auto &pending = _pendingFaultUnits[sb];
+            for (std::uint32_t q : pending) {
+                if (q == u)
+                    return; // already queued
+            }
+            pending.push_back(u);
+            return;
+        }
+    }
+    // Not part of any live superblock (e.g. an RBT spare): counted,
+    // nothing to queue.
 }
 
 DynamicSuperblockEngine::Wear &
@@ -197,6 +239,21 @@ DynamicSuperblockEngine::checkFailures(std::uint32_t sb)
             failing->push_back(u);
     }
     (void)g;
+
+    // Merge escalated media faults queued against this superblock:
+    // those units fail this cycle regardless of wear.
+    for (std::uint32_t u : _pendingFaultUnits[sb]) {
+        bool present = false;
+        for (std::uint32_t f : *failing) {
+            if (f == u) {
+                present = true;
+                break;
+            }
+        }
+        if (!present)
+            failing->push_back(u);
+    }
+    _pendingFaultUnits[sb].clear();
 
     if (failing->empty()) {
         erasePhase(sb);

@@ -61,6 +61,7 @@ struct DsmStats
     std::uint64_t bytesWritten = 0;
     std::uint32_t deadSuperblocks = 0;
     std::uint64_t remapEvents = 0;     ///< SRT insertions/updates
+    std::uint64_t faultEvents = 0;     ///< escalated media faults
     std::uint64_t repairPagesCopied = 0; ///< via global copyback
     std::uint64_t deathPagesCopied = 0;  ///< via conventional FTL path
     Tick firstDeathTime = 0;
@@ -72,8 +73,14 @@ struct DsmStats
  * Drives program/erase cycles over the superblock pool on a dSSD and
  * performs scheme-appropriate failure handling through the decoupled
  * controllers.
+ *
+ * When the SSD carries a FaultModel the engine installs itself as the
+ * fault sink: escalated media faults (uncorrectable reads,
+ * program/erase failures) are queued against the owning superblock and
+ * merged into the next wear check, so random faults flow through
+ * exactly the same repair/kill paths as wear-out.
  */
-class DynamicSuperblockEngine
+class DynamicSuperblockEngine : public FaultSink
 {
   public:
     using Callback = Engine::Callback;
@@ -87,7 +94,7 @@ class DynamicSuperblockEngine
     DynamicSuperblockEngine(Ssd &ssd, SuperblockMapping &map,
                             const DsmParams &params);
 
-    ~DynamicSuperblockEngine();
+    ~DynamicSuperblockEngine() override;
 
     DynamicSuperblockEngine(const DynamicSuperblockEngine &) = delete;
     DynamicSuperblockEngine &
@@ -107,6 +114,10 @@ class DynamicSuperblockEngine
      *  @p unit (identity unless remapped). */
     ChannelBlockId physicalBlock(std::uint32_t sb,
                                  std::uint32_t unit) const;
+
+    /** FaultSink: queue an escalated media fault against its owning
+     *  superblock (merged into the next wear check). */
+    void onBlockFault(const PhysAddr &addr, FaultKind kind) override;
 
   private:
     struct Wear
@@ -140,6 +151,9 @@ class DynamicSuperblockEngine
     std::vector<std::size_t> _auditIds;
     /// _wear[channel][block-id-in-channel]
     std::vector<std::vector<Wear>> _wear;
+    /// _pendingFaultUnits[sb]: units with an escalated fault awaiting
+    /// the superblock's next failure check.
+    std::vector<std::vector<std::uint32_t>> _pendingFaultUnits;
     DsmStats _stats;
     std::uint64_t _remaining = 0;
     std::uint32_t _cursor = 0;

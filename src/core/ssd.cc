@@ -100,6 +100,56 @@ Ssd::Ssd(Engine &engine, const SsdConfig &config)
     _writeBuffer = std::make_unique<WriteBuffer>(_config.writeBuffer);
     _gc = std::make_unique<GcEngine>(*this, _config.gc);
 
+    if (_config.fault.enabled) {
+        _fault =
+            std::make_unique<FaultModel>(_config.geom, _config.fault);
+        _fault->setSink([this](const PhysAddr &a, FaultKind k) {
+            handleBlockFault(a, k);
+        });
+
+        std::uint32_t blocks_per_channel =
+            _config.geom.ways * _config.geom.diesPerWay *
+            _config.geom.planesPerDie * _config.geom.blocksPerPlane;
+        _faultedBlocks.resize(_config.geom.channels);
+        for (auto &v : _faultedBlocks)
+            v.assign(blocks_per_channel, false);
+
+        for (auto &ch : _channels)
+            ch->setFaultModel(_fault.get());
+        if (_noc)
+            _noc->setFaultModel(_fault.get());
+        for (auto &dc : _decoupled) {
+            dc->setFaultModel(_fault.get());
+            dc->setCopybackFallback(
+                [this](const PhysAddr &src, const PhysAddr &dst,
+                       int tag, LatencyBreakdown *bd, Callback done) {
+                copybackFallback(src, dst, tag, bd, std::move(done));
+            });
+        }
+
+        // Pre-seed each decoupled controller's RBT with spare blocks
+        // pulled out of FTL visibility, so runtime hardware repair has
+        // material to work with (the RESERV idea applied to bad-block
+        // management).
+        if (!_decoupled.empty()) {
+            for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
+                for (unsigned i = 0;
+                     i < _config.fault.rbtSparesPerChannel; ++i) {
+                    PhysAddr a;
+                    a.channel = ch;
+                    a.way = 0;
+                    a.die = 0;
+                    a.plane = i % _config.geom.planesPerDie;
+                    a.block = _config.geom.blocksPerPlane - 1 -
+                              i / _config.geom.planesPerDie;
+                    _mapping->retireBlock(_mapping->unitOf(a), a.block);
+                    _decoupled[ch]->rbt().add(
+                        channelBlockId(_config.geom, a));
+                }
+            }
+        }
+    }
+
 #ifdef DSSD_AUDIT
     // Debug-gated invariant auditing: cross-check the model every N
     // executed events and abort on the first violation. The interval
@@ -189,6 +239,28 @@ Ssd::registerStats(StatRegistry &reg, const std::string &prefix) const
     _gc->registerStats(reg, prefix + ".gc");
     if (_noc)
         _noc->registerStats(reg, prefix + ".noc");
+
+    if (_fault) {
+        _fault->registerStats(reg, prefix + ".fault");
+        reg.addScalar(prefix + ".fault.repairs", [this] {
+            return static_cast<double>(_blocksRepaired);
+        });
+        reg.addScalar(prefix + ".fault.retirements", [this] {
+            return static_cast<double>(_blocksRetired);
+        });
+        reg.addScalar(prefix + ".fault.repair_pages", [this] {
+            return static_cast<double>(_repairPagesCopied);
+        });
+        reg.addScalar(prefix + ".fault.retire_pages", [this] {
+            return static_cast<double>(_retirePagesCopied);
+        });
+        reg.addScalar(prefix + ".fault.copyback_fallbacks", [this] {
+            return static_cast<double>(_cbFallbacks);
+        });
+        reg.addScalar(prefix + ".fault.remaps", [this] {
+            return static_cast<double>(_remapEvents);
+        });
+    }
 }
 
 FlashChannel &
@@ -311,21 +383,33 @@ Ssd::readPageInternal(Lpn lpn, Callback done)
     PhysAddr addr = resolve(_config.geom.pageAddr(*ppn));
     unsigned ch = addr.channel;
 
-    _channels[ch]->read(addr, 1, tagIo, [this, ch, page, bd, finish] {
-        // Error check, then cross the system bus to the host.
+    _channels[ch]->read(addr, 1, tagIo, [this, ch, addr, page, bd,
+                                         finish] {
+        // Error check (the full recovery ladder under faults), then
+        // cross the system bus to the host.
         EccEngine &ecc = isDecoupled(_config.arch)
                              ? _decoupled[ch]->ecc()
                              : *_frontEcc[ch];
-        Tick t0 = _engine.now();
-        ecc.process(page, tagIo, [this, page, bd, t0, finish] {
-            bdSpanClose(_engine, bd.get(), bdEcc, t0);
-            Tick t1 = _engine.now();
-            _systemBus->channel().transfer(page, tagIo,
-                                           [this, bd, t1, finish] {
-                bdSpanClose(_engine, bd.get(), bdSystemBus, t1);
-                finish();
+        runReadRecovery(
+            _engine, ecc, _fault.get(), addr, page, tagIo, bd.get(),
+            [this, ch, addr, bd](Callback rr) {
+                _channels[ch]->read(addr, 1, tagIo, std::move(rr),
+                                    bd.get());
+            },
+            [this, addr, page, bd, finish](ReadSeverity sev) {
+                if (sev == ReadSeverity::Uncorrectable) {
+                    // The firmware recovers what it can and escalates
+                    // the block; the host request still completes.
+                    _fault->reportBlockFault(
+                        addr, FaultKind::UncorrectableRead);
+                }
+                Tick t1 = _engine.now();
+                _systemBus->channel().transfer(page, tagIo,
+                                               [this, bd, t1, finish] {
+                    bdSpanClose(_engine, bd.get(), bdSystemBus, t1);
+                    finish();
+                });
             });
-        });
     }, bd.get());
 }
 
@@ -508,11 +592,22 @@ Ssd::gcCopyPage(const PhysAddr &src, const PhysAddr &dst, Callback done)
     // Conventional path (Fig 1): read -> ECC -> system bus -> DRAM,
     // then the FTL issues the write: DRAM -> system bus -> program.
     unsigned sch = src.channel;
-    _channels[sch]->read(src, 1, tagGc, [this, sch, page, dst, bd, finish] {
-        Tick t0 = _engine.now();
-        _frontEcc[sch]->process(page, tagGc,
-                                [this, page, dst, bd, t0, finish] {
-            bdSpanClose(_engine, bd.get(), bdEcc, t0);
+    _channels[sch]->read(src, 1, tagGc, [this, sch, src, page, dst, bd,
+                                         finish] {
+        runReadRecovery(
+            _engine, *_frontEcc[sch], _fault.get(), src, page, tagGc,
+            bd.get(),
+            [this, sch, src, bd](Callback rr) {
+                _channels[sch]->read(src, 1, tagGc, std::move(rr),
+                                     bd.get());
+            },
+            [this, src, page, dst, bd, finish](ReadSeverity sev) {
+            if (sev == ReadSeverity::Uncorrectable) {
+                // Salvage what the firmware can and escalate; the copy
+                // itself still lands so GC forward progress holds.
+                _fault->reportBlockFault(src,
+                                         FaultKind::UncorrectableRead);
+            }
             Tick t1 = _engine.now();
             _systemBus->channel().transfer(page, tagGc,
                                            [this, page, dst, bd, t1,
@@ -555,6 +650,250 @@ Ssd::gcEraseBlock(std::uint32_t unit, std::uint32_t block, Callback done)
     PhysAddr addr = _mapping->unitBlockAddr(unit, block);
     PhysAddr target = resolve(addr);
     _channels[target.channel]->erase(target, tagGc, std::move(done));
+}
+
+void
+Ssd::handleBlockFault(const PhysAddr &addr, FaultKind kind)
+{
+    if (_faultSink) {
+        // A DSM engine owns failure handling while attached.
+        _faultSink->onBlockFault(addr, kind);
+        return;
+    }
+    // Escalate each physical block once: program retries and repeated
+    // uncorrectable reads keep reporting the same block while its
+    // repair/retirement is already under way.
+    ChannelBlockId id = channelBlockId(_config.geom, addr);
+    if (_faultedBlocks[addr.channel][id])
+        return;
+    _faultedBlocks[addr.channel][id] = true;
+
+    if (isDecoupled(_config.arch) && tryHardwareRepair(addr)) {
+        ++_blocksRepaired;
+        return;
+    }
+    ++_blocksRetired;
+    retireBlockFrontEnd(addr);
+}
+
+bool
+Ssd::tryHardwareRepair(const PhysAddr &addr)
+{
+    DecoupledController *dc = _decoupled[addr.channel].get();
+    const FlashGeometry &g = _config.geom;
+    ChannelBlockId phys = channelBlockId(g, addr);
+
+    // The faulted block may itself be a remap target; the SRT entry to
+    // rewrite is the FTL-visible source id behind it.
+    ChannelBlockId from = phys;
+    bool was_remapped = false;
+    for (const auto &entry : dc->srt().entriesSorted()) {
+        if (entry.second == phys) {
+            from = entry.first;
+            was_remapped = true;
+            break;
+        }
+    }
+    if (!was_remapped && dc->srt().full())
+        return false;
+
+    // Take a spare that has not itself faulted.
+    ChannelBlockId spare = 0;
+    bool found = false;
+    while (!dc->rbt().empty()) {
+        spare = dc->rbt().take();
+        if (!_faultedBlocks[addr.channel][spare]) {
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        return false;
+
+    // Relocate the failing block's pages into the spare with
+    // same-channel global copybacks; the SRT entry activates once the
+    // data has moved. The FTL never learns anything happened.
+    PhysAddr src_base = channelBlockAddr(g, addr.channel, phys);
+    PhysAddr dst_base = channelBlockAddr(g, addr.channel, spare);
+    std::uint32_t pages = g.pagesPerBlock;
+    _repairPagesCopied += pages;
+
+    auto remaining = std::make_shared<std::uint32_t>(pages);
+    for (std::uint32_t p = 0; p < pages; ++p) {
+        PhysAddr s = src_base;
+        s.page = p;
+        PhysAddr d = dst_base;
+        d.page = p;
+        dc->globalCopyback(s, d, nullptr, tagGc,
+                           [this, dc, from, spare, was_remapped,
+                            remaining] {
+            if (--*remaining != 0)
+                return;
+            if (was_remapped)
+                dc->srt().erase(from);
+            if (!dc->srt().insert(from, spare))
+                panic("SRT insert failed after capacity check");
+            ++_remapEvents;
+        });
+    }
+    return true;
+}
+
+void
+Ssd::retireBlockFrontEnd(const PhysAddr &addr)
+{
+    // Conventional bad-block management: find the FTL-visible block
+    // (undoing any SRT remapping), retire it, and relocate its valid
+    // pages over the timed GC datapath.
+    const FlashGeometry &g = _config.geom;
+    PhysAddr logical = addr;
+    if (isDecoupled(_config.arch)) {
+        ChannelBlockId phys = channelBlockId(g, addr);
+        for (const auto &entry :
+             _decoupled[addr.channel]->srt().entriesSorted()) {
+            if (entry.second == phys) {
+                logical = channelBlockAddr(g, addr.channel, entry.first);
+                break;
+            }
+        }
+    }
+    std::uint32_t unit = _mapping->unitOf(logical);
+    std::uint32_t block = logical.block;
+    if (_mapping->blockState(unit, block).isBad)
+        return; // already out of FTL circulation (e.g. an RBT spare)
+
+    auto lpns = std::make_shared<std::vector<Lpn>>(
+        _mapping->validLpns(unit, block));
+    _mapping->retireBlock(unit, block);
+    relocateRetired(lpns, 0, unit, block);
+}
+
+void
+Ssd::relocateRetired(std::shared_ptr<std::vector<Lpn>> lpns,
+                     std::size_t idx, std::uint32_t unit,
+                     std::uint32_t block)
+{
+    PageMapping &map = *_mapping;
+    while (idx < lpns->size()) {
+        // Skip pages the host rewrote since the retirement snapshot.
+        Lpn lpn = (*lpns)[idx];
+        auto ppn = map.translate(lpn);
+        if (!ppn) {
+            ++idx;
+            continue;
+        }
+        PhysAddr src = map.geometry().pageAddr(*ppn);
+        if (map.unitOf(src) != unit || src.block != block) {
+            ++idx;
+            continue;
+        }
+        // Round-robin over units with room; wait for GC if none.
+        std::uint32_t n = map.unitCount();
+        std::uint32_t dst_unit = n;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            std::uint32_t cand = _faultDstCursor;
+            _faultDstCursor = (_faultDstCursor + 1) % n;
+            if (map.canAllocate(cand)) {
+                dst_unit = cand;
+                break;
+            }
+        }
+        if (dst_unit == n) {
+            _engine.schedule(usToTicks(2),
+                             [this, lpns, idx, unit, block] {
+                relocateRetired(lpns, idx, unit, block);
+            });
+            return;
+        }
+        PhysAddr dst = map.allocateInUnit(lpn, dst_unit);
+        ++_retirePagesCopied;
+        gcCopyPage(src, dst, [this, lpns, idx, unit, block, lpn, dst] {
+            _mapping->commitRelocation(lpn, dst);
+            relocateRetired(lpns, idx + 1, unit, block);
+        });
+        return;
+    }
+}
+
+void
+Ssd::copybackFallback(const PhysAddr &src, const PhysAddr &dst, int tag,
+                      LatencyBreakdown *bd, Callback done)
+{
+    // Last-resort recovery of a copyback page the channel ECC could
+    // not correct: re-read the die, force the page through the slow
+    // soft decoder with firmware assistance, then route it the
+    // conventional way — system bus, DRAM, FTL firmware, and back out
+    // to the destination program. Expensive by design: this is the
+    // cost a decoupled copyback pays when it trips over a bad page.
+    ++_cbFallbacks;
+    std::uint64_t page = _config.geom.pageBytes;
+#if DSSD_TRACING
+    std::uint64_t span_id = _cbFallbacks;
+    Tracer *tr = _engine.tracer();
+    if (tr) {
+        tr->asyncBegin(tr->process("fault"), "fault", "fallback",
+                       span_id, _engine.now());
+    }
+    auto trace_end = [this, span_id] {
+        Tracer *etr = _engine.tracer();
+        if (etr) {
+            etr->asyncEnd(etr->process("fault"), "fault", "fallback",
+                          span_id, _engine.now());
+        }
+    };
+#else
+    auto trace_end = [] {};
+#endif
+
+    DecoupledController *dc = _decoupled[src.channel].get();
+    _channels[src.channel]->read(src, 1, tag,
+                                 [this, dc, page, dst, tag, bd, done,
+                                  trace_end] {
+        Tick t0 = _engine.now();
+        dc->ecc().processSoft(page, tag, [this, page, dst, tag, bd, t0,
+                                          done, trace_end] {
+            bdSpanClose(_engine, bd, bdEcc, t0);
+            Tick t1 = _engine.now();
+            _systemBus->channel().transfer(page, tag,
+                                           [this, page, dst, tag, bd,
+                                            t1, done, trace_end] {
+                bdSpanClose(_engine, bd, bdSystemBus, t1);
+                Tick t2 = _engine.now();
+                _dram->port().transfer(page, tag,
+                                       [this, page, dst, tag, bd, t2,
+                                        done, trace_end] {
+                    bdSpanClose(_engine, bd, bdDram, t2);
+                    Tick fw0 = _engine.now();
+                    bdSpanCloseAt(_engine, bd, bdOther, fw0,
+                                  fw0 + _config.gcFirmwareLatency);
+                    _engine.schedule(_config.gcFirmwareLatency,
+                                     [this, page, dst, tag, bd, done,
+                                      trace_end] {
+                        Tick t3 = _engine.now();
+                        _dram->port().transfer(page, tag,
+                                               [this, page, dst, tag,
+                                                bd, t3, done,
+                                                trace_end] {
+                            bdSpanClose(_engine, bd, bdDram, t3);
+                            Tick t4 = _engine.now();
+                            _systemBus->channel().transfer(
+                                page, tag,
+                                [this, dst, tag, bd, t4, done,
+                                 trace_end] {
+                                bdSpanClose(_engine, bd, bdSystemBus,
+                                            t4);
+                                _channels[dst.channel]->program(
+                                    dst, 1, tag, [done, trace_end] {
+                                    trace_end();
+                                    done();
+                                }, bd);
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    }, bd);
 }
 
 } // namespace dssd

@@ -105,6 +105,17 @@ class Ssd
     /** The fNoC, when arch == DSSDNoc. */
     NocNetwork *noc() { return _noc; }
 
+    /** The fault model; null when config.fault.enabled is false. */
+    FaultModel *faultModel() { return _fault.get(); }
+
+    /**
+     * Divert terminal block faults to @p sink instead of the built-in
+     * repair/retire handling (DynamicSuperblockEngine installs itself
+     * so media faults merge into its wear-cycle state machine); null
+     * restores the default.
+     */
+    void setFaultSink(FaultSink *sink) { _faultSink = sink; }
+
     /** Windowed system-bus utilization (Fig 2(c,d), Fig 7(b)). */
     UtilizationRecorder &busRecorder() { return *_busRecorder; }
 
@@ -185,6 +196,29 @@ class Ssd
     /** Apply SRT remapping when this architecture supports it. */
     PhysAddr resolve(const PhysAddr &addr) const;
 
+    //
+    // Fault handling (all no-ops when no fault model is attached).
+    //
+
+    /** Default terminal-fault handler: repair in hardware (decoupled)
+     *  or retire through the FTL. */
+    void handleBlockFault(const PhysAddr &addr, FaultKind kind);
+    /** RBT/SRT repair of the faulted block via same-channel global
+     *  copybacks; false when no spare/SRT room (caller retires). */
+    bool tryHardwareRepair(const PhysAddr &addr);
+    /** FTL bad-block retirement: relocate valid pages over the timed
+     *  GC datapath, then never reuse the block. */
+    void retireBlockFrontEnd(const PhysAddr &addr);
+    /** Relocate the remaining @p lpns (from @p idx) of a retiring
+     *  block, one at a time. */
+    void relocateRetired(std::shared_ptr<std::vector<Lpn>> lpns,
+                         std::size_t idx, std::uint32_t unit,
+                         std::uint32_t block);
+    /** Front-end re-read of a copyback page the channel ECC could not
+     *  correct (installed into each DecoupledController). */
+    void copybackFallback(const PhysAddr &src, const PhysAddr &dst,
+                          int tag, LatencyBreakdown *bd, Callback done);
+
     Engine &_engine;
     SsdConfig _config;
     Rng _rng;
@@ -201,7 +235,20 @@ class Ssd
     std::unique_ptr<PageMapping> _mapping;
     std::unique_ptr<WriteBuffer> _writeBuffer;
     std::unique_ptr<GcEngine> _gc;
+    std::unique_ptr<FaultModel> _fault;
     std::unique_ptr<Auditor> _auditor;
+
+    FaultSink *_faultSink = nullptr;
+    /// _faultedBlocks[channel][channelBlockId]: escalate each physical
+    /// block at most once (retries keep reporting the same block).
+    std::vector<std::vector<bool>> _faultedBlocks;
+    std::uint32_t _faultDstCursor = 0;
+    std::uint64_t _blocksRepaired = 0;
+    std::uint64_t _blocksRetired = 0;
+    std::uint64_t _repairPagesCopied = 0;
+    std::uint64_t _retirePagesCopied = 0;
+    std::uint64_t _cbFallbacks = 0;
+    std::uint64_t _remapEvents = 0;
 
     int _wbufTracePid = -1; ///< cached trace row (write-buffer counter)
     unsigned _ioOutstanding = 0;

@@ -21,12 +21,43 @@ EccEngine::reserve(std::uint64_t bytes, int tag)
     return _pipe.reserve(bytes, tag) + _params.latency;
 }
 
+void
+EccEngine::scheduleCompletion(Tick end, Callback done)
+{
+    ++_inFlight;
+    if (_inFlight > _maxInFlight)
+        _maxInFlight = _inFlight;
+    _engine.scheduleAbs(end, [this, cb = std::move(done)] {
+        --_inFlight;
+        cb();
+    });
+}
+
 Tick
 EccEngine::process(std::uint64_t bytes, int tag, Callback done)
 {
     Tick end = reserve(bytes, tag);
-    _engine.scheduleAbs(end, std::move(done));
+    scheduleCompletion(end, std::move(done));
     return end;
+}
+
+Tick
+EccEngine::processSoft(std::uint64_t bytes, int tag, Callback done)
+{
+    ++_softDecodes;
+    Tick soft_latency = static_cast<Tick>(
+        static_cast<double>(_params.latency) * _params.softLatencyFactor);
+    Tick end = _pipe.reserve(bytes, tag) + soft_latency;
+    scheduleCompletion(end, std::move(done));
+    return end;
+}
+
+Tick
+EccEngine::queueDelay() const
+{
+    Tick busy = _pipe.busyUntil();
+    Tick now = _engine.now();
+    return busy > now ? busy - now : 0;
 }
 
 void
@@ -35,6 +66,27 @@ EccEngine::registerStats(StatRegistry &reg,
 {
     reg.addScalar(prefix + ".pages", [this] {
         return static_cast<double>(_pages);
+    });
+    reg.addScalar(prefix + ".clean_decodes", [this] {
+        return static_cast<double>(_cleanDecodes);
+    });
+    reg.addScalar(prefix + ".retry_rounds", [this] {
+        return static_cast<double>(_retryRounds);
+    });
+    reg.addScalar(prefix + ".soft_decodes", [this] {
+        return static_cast<double>(_softDecodes);
+    });
+    reg.addScalar(prefix + ".uncorrectable", [this] {
+        return static_cast<double>(_uncorrectable);
+    });
+    reg.addScalar(prefix + ".in_flight", [this] {
+        return static_cast<double>(_inFlight);
+    });
+    reg.addScalar(prefix + ".max_in_flight", [this] {
+        return static_cast<double>(_maxInFlight);
+    });
+    reg.addScalar(prefix + ".queue_delay", [this] {
+        return static_cast<double>(queueDelay());
     });
     _pipe.registerStats(reg, prefix + ".pipe");
 }

@@ -30,6 +30,9 @@ struct EccParams
     Tick latency = usToTicks(1);
     /// Sustained decode throughput.
     BytesPerTick throughput = gbPerSec(4.0);
+    /// Soft-decision (recovery ladder) decode latency, as a multiple
+    /// of the hard-decode latency.
+    double softLatencyFactor = 8.0;
 };
 
 /** A single ECC engine (pipeline) shared by whoever is wired to it. */
@@ -50,18 +53,51 @@ class EccEngine
     /** Reservation-only variant. @return completion tick. */
     Tick reserve(std::uint64_t bytes, int tag);
 
+    /**
+     * Soft-decision decode (the recovery ladder's slow path): same
+     * pipeline occupancy, softLatencyFactor x the fixed latency.
+     * @return the completion tick.
+     */
+    Tick processSoft(std::uint64_t bytes, int tag, Callback done);
+
+    //
+    // Recovery-ladder stage accounting (fed by runReadRecovery).
+    //
+    void noteClean() { ++_cleanDecodes; }
+    void noteRetryRound() { ++_retryRounds; }
+    void noteUncorrectable() { ++_uncorrectable; }
+
     std::uint64_t pagesProcessed() const { return _pages; }
+    std::uint64_t cleanDecodes() const { return _cleanDecodes; }
+    std::uint64_t retryRounds() const { return _retryRounds; }
+    std::uint64_t softDecodes() const { return _softDecodes; }
+    std::uint64_t uncorrectable() const { return _uncorrectable; }
+    /** Codewords currently inside the pipeline (occupancy gauge). */
+    unsigned inFlight() const { return _inFlight; }
+    unsigned maxInFlight() const { return _maxInFlight; }
+    /** Backlog ahead of a decode issued now, in ticks. */
+    Tick queueDelay() const;
     Tick totalBusyTicks() const { return _pipe.totalBusyTicks(); }
     const EccParams &params() const { return _params; }
 
-    /** Register page counter and pipeline accounting under @p prefix. */
+    /** Register page/ladder counters, occupancy gauges, and pipeline
+     *  accounting under @p prefix. */
     void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
+    /** Track pipeline occupancy around a decode ending at @p end. */
+    void scheduleCompletion(Tick end, Callback done);
+
     Engine &_engine;
     EccParams _params;
     BandwidthResource _pipe;
     std::uint64_t _pages = 0;
+    std::uint64_t _cleanDecodes = 0;
+    std::uint64_t _retryRounds = 0;
+    std::uint64_t _softDecodes = 0;
+    std::uint64_t _uncorrectable = 0;
+    unsigned _inFlight = 0;
+    unsigned _maxInFlight = 0;
 };
 
 } // namespace dssd

@@ -353,6 +353,10 @@ PageMapping::retireBlock(std::uint32_t unit, std::uint32_t block)
         if (it != u.freeList.end())
             u.freeList.erase(it);
     }
+    // A retired block can no longer take writes; runtime retirement
+    // (fault escalation) may hit the unit's open block.
+    if (u.hasActive && u.activeBlock == block)
+        u.hasActive = false;
 }
 
 const BlockState &

@@ -206,6 +206,11 @@ void
 SuperblockMapping::retireSuperblock(std::uint32_t sb)
 {
     SuperblockInfo &info = _sbs[sb];
+    // Idempotent: concurrent failure paths (wear check + fault
+    // escalation) may both retire the same superblock; counting it
+    // dead twice would corrupt the capacity accounting.
+    if (info.state == SuperblockState::Dead)
+        return;
     if (info.validCount != 0)
         panic("retire of superblock still holding %u valid pages",
               info.validCount);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault.hh"
 #include "sim/audit.hh"
 #include "sim/log.hh"
 #include "sim/registry.hh"
@@ -146,6 +147,56 @@ NocNetwork::advance(const std::shared_ptr<Transit> &t)
     });
 }
 
+bool
+NocNetwork::deliveryCorrupted()
+{
+    if (_forceCorrupt > 0) {
+        --_forceCorrupt;
+        return true;
+    }
+    return _fault && _fault->packetCorrupted();
+}
+
+void
+NocNetwork::retransmit(const std::shared_ptr<Transit> &t)
+{
+    // CRC failure detected at the destination NI: the packet is
+    // dropped there (its input-buffer credit was already released, so
+    // credit accounting is untouched), a NACK/timeout elapses, and the
+    // source injects a fresh copy along the same route. The packet
+    // stays in flight until a good copy lands, preserving packet
+    // conservation; its latency sample includes every retransmission.
+    ++_crcDrops;
+    ++_retransmitsPending;
+    Tick nack = _fault ? _fault->params().nocNackDelay : usToTicks(2);
+#if DSSD_TRACING
+    Tracer *tr = _engine.tracer();
+    if (tr) {
+        int pid = tr->process("fault");
+        tr->asyncBegin(pid, "fault", "retransmit",
+                       reinterpret_cast<std::uintptr_t>(t.get()),
+                       _engine.now());
+    }
+#endif
+    _engine.schedule(nack, [this, t] {
+#if DSSD_TRACING
+        Tracer *etr = _engine.tracer();
+        if (etr) {
+            int pid = etr->process("fault");
+            etr->asyncEnd(pid, "fault", "retransmit",
+                          reinterpret_cast<std::uintptr_t>(t.get()),
+                          _engine.now());
+        }
+#endif
+        --_retransmitsPending;
+        ++_retransmits;
+        t->hop = 0;
+        t->vc = 0;
+        t->heldBuffer = -1;
+        advance(t);
+    });
+}
+
 void
 NocNetwork::transmit(const std::shared_ptr<Transit> &t)
 {
@@ -160,6 +211,10 @@ NocNetwork::transmit(const std::shared_ptr<Transit> &t)
         int held = static_cast<int>(t->route[1] * 2);
         _engine.scheduleAbs(arrive, [this, t, held] {
             _buffers[static_cast<unsigned>(held)]->release();
+            if (deliveryCorrupted()) {
+                retransmit(t);
+                return;
+            }
             _latency.sample(static_cast<double>(_engine.now() -
                                                 t->injectTime));
             tracePacketEnd(*t);
@@ -197,6 +252,10 @@ NocNetwork::transmit(const std::shared_ptr<Transit> &t)
         _engine.scheduleAbs(tail_arrive, [this, t] {
             unsigned held = static_cast<unsigned>(t->heldBuffer);
             _buffers[held]->release();
+            if (deliveryCorrupted()) {
+                retransmit(t);
+                return;
+            }
             _latency.sample(static_cast<double>(_engine.now() -
                                                 t->injectTime));
             tracePacketEnd(*t);
@@ -256,6 +315,22 @@ NocNetwork::audit(AuditReport &r) const
                static_cast<unsigned long long>(_packetsDelivered));
     }
 
+    // Retransmission accounting: every CRC drop is either already
+    // retransmitted or waiting out its NACK delay, and an idle network
+    // has nothing waiting.
+    if (_crcDrops != _retransmits + _retransmitsPending) {
+        r.fail("retransmit conservation: %llu CRC drops != %llu "
+               "retransmits + %llu pending",
+               static_cast<unsigned long long>(_crcDrops),
+               static_cast<unsigned long long>(_retransmits),
+               static_cast<unsigned long long>(_retransmitsPending));
+    }
+    if (_inFlight == 0 && _retransmitsPending != 0) {
+        r.fail("retransmit leak: %llu NACKs pending with no packet in "
+               "flight",
+               static_cast<unsigned long long>(_retransmitsPending));
+    }
+
     // Credit conservation at each router input buffer.
     for (const auto &buf : _buffers) {
         if (buf->freeSlots() > buf->capacity()) {
@@ -291,6 +366,12 @@ NocNetwork::registerStats(StatRegistry &reg,
     });
     reg.addScalar(prefix + ".bytes_delivered", [this] {
         return static_cast<double>(_bytesDelivered);
+    });
+    reg.addScalar(prefix + ".crc_drops", [this] {
+        return static_cast<double>(_crcDrops);
+    });
+    reg.addScalar(prefix + ".retransmits", [this] {
+        return static_cast<double>(_retransmits);
     });
     reg.addSample(prefix + ".latency", &_latency);
     for (std::size_t l = 0; l < _links.size(); ++l)

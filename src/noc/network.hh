@@ -33,6 +33,7 @@ namespace dssd
 {
 
 class AuditReport;
+class FaultModel;
 class StatRegistry;
 
 /** Tunables for the fNoC (Fig 12/13 sweep these). */
@@ -69,6 +70,22 @@ class NocNetwork : public Interconnect
     std::uint64_t packetsDelivered() const { return _packetsDelivered; }
     std::uint64_t packetsInFlight() const { return _inFlight; }
     std::uint64_t packetsInjected() const { return _packetsInjected; }
+    /** Packets whose CRC check failed at the destination NI. */
+    std::uint64_t crcDrops() const { return _crcDrops; }
+    /** Completed NACK/timeout retransmissions. */
+    std::uint64_t retransmits() const { return _retransmits; }
+
+    /**
+     * Attach the fault model (null = fault-free). Each delivery then
+     * samples a CRC check; corrupted packets are dropped at the
+     * destination NI and retransmitted from the source after the
+     * NACK/timeout delay, without disturbing credit accounting.
+     */
+    void setFaultModel(FaultModel *fault) { _fault = fault; }
+
+    /** Test hook: corrupt the next delivery attempt (FIFO count),
+     *  regardless of the fault model's CRC probability. */
+    void debugCorruptNext() { ++_forceCorrupt; }
 
     /** End-to-end packet latency distribution (ticks). */
     const SampleStat &latency() const { return _latency; }
@@ -111,6 +128,13 @@ class NocNetwork : public Interconnect
     /** Move @p t through its next hop (or deliver it). */
     void advance(const std::shared_ptr<Transit> &t);
 
+    /** Sample (or force) CRC corruption for a delivery attempt. */
+    bool deliveryCorrupted();
+
+    /** Drop @p t at the destination NI and re-inject after the NACK
+     *  delay. */
+    void retransmit(const std::shared_ptr<Transit> &t);
+
     /** Transmit @p t over route link index t->hop once credit is held. */
     void transmit(const std::shared_ptr<Transit> &t);
 
@@ -129,11 +153,17 @@ class NocNetwork : public Interconnect
     /// _buffers[link * 2 + vc]
     std::vector<std::unique_ptr<SlotResource>> _buffers;
 
+    FaultModel *_fault = nullptr;
+    unsigned _forceCorrupt = 0;
+
     SampleStat _latency{"noc-packet-latency"};
     std::uint64_t _packetsDelivered = 0;
     std::uint64_t _bytesDelivered = 0;
     std::uint64_t _inFlight = 0;
     std::uint64_t _packetsInjected = 0;
+    std::uint64_t _crcDrops = 0;
+    std::uint64_t _retransmits = 0;
+    std::uint64_t _retransmitsPending = 0;
 };
 
 } // namespace dssd

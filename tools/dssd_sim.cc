@@ -47,6 +47,9 @@ usage()
         "  --factor=F      on-chip bandwidth factor (default 1.25)\n"
         "  --no-gc         do not force GC during the window\n"
         "  --srt-remaps=N  pre-populate N SRT remaps per channel\n"
+        "  --faults        enable the fault-injection model\n"
+        "  --fault-seed=N  fault-model RNG seed (implies --faults)\n"
+        "  --rber-scale=F  scale raw-bit-error severity (implies --faults)\n"
         "  --seed=N\n"
         "  --seeds=N       replicate over seeds seed..seed+N-1\n"
         "  --threads=N     worker threads for --seeds (default: all)\n"
@@ -160,6 +163,15 @@ main(int argc, char **argv)
         else if (flagValue(argv[i], "--srt-remaps", &v))
             p.srtRemapsPerChannel =
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (std::strcmp(argv[i], "--faults") == 0)
+            p.fault.enabled = true;
+        else if (flagValue(argv[i], "--fault-seed", &v)) {
+            p.fault.enabled = true;
+            p.fault.seed = std::strtoull(v, nullptr, 10);
+        } else if (flagValue(argv[i], "--rber-scale", &v)) {
+            p.fault.enabled = true;
+            p.fault.rberScale = std::strtod(v, nullptr);
+        }
         else if (flagValue(argv[i], "--trace-out", &v))
             p.tracePath = v;
         else if (flagValue(argv[i], "--stats", &v))

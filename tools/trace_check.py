@@ -19,6 +19,10 @@ import sys
 EXPECTED_PROCESSES = ["nand", "bus", "noc", "copyback", "gc", "host"]
 # Event categories that must appear alongside them.
 EXPECTED_CATEGORIES = ["die", "bus", "packet", "cbstage", "io"]
+# Span names the fault-injection subsystem may emit on its "fault"
+# track: recovery-ladder steps, NoC retransmits, and the copyback
+# abort/front-end-fallback pair. Anything else on that track is a bug.
+FAULT_SPAN_NAMES = {"retry", "soft", "abort", "retransmit", "fallback"}
 
 REQUIRED_FIELDS = {
     "X": ("pid", "tid", "name", "ts", "dur"),
@@ -42,6 +46,12 @@ def main():
         action="store_true",
         help="also require the fig07 track families "
         f"({', '.join(EXPECTED_PROCESSES)})",
+    )
+    ap.add_argument(
+        "--require-fault-tracks",
+        action="store_true",
+        help="also require the fault-injection track family "
+        "(a 'fault' process with retry/fallback spans)",
     )
     args = ap.parse_args()
 
@@ -83,6 +93,12 @@ def main():
             open_spans[key] = open_spans.get(key, 0) + (
                 1 if ph == "b" else -1
             )
+        if ev.get("cat") == "fault" and ph in ("b", "e"):
+            if ev["name"] not in FAULT_SPAN_NAMES:
+                fail(
+                    f"event {i}: unknown fault span {ev['name']!r} "
+                    f"(expected one of {sorted(FAULT_SPAN_NAMES)})"
+                )
 
     unbalanced = {k: v for k, v in open_spans.items() if v != 0}
     if unbalanced:
@@ -100,6 +116,12 @@ def main():
         missing_cat = [c for c in EXPECTED_CATEGORIES if c not in categories]
         if missing_cat:
             fail(f"missing event category(s): {', '.join(missing_cat)}")
+
+    if args.require_fault_tracks:
+        if "fault" not in set(processes.values()):
+            fail("missing 'fault' process track")
+        if "fault" not in categories:
+            fail("missing 'fault' event category")
 
     summary = ", ".join(f"{ph}:{n}" for ph, n in sorted(counts.items()))
     print(

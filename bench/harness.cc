@@ -159,18 +159,36 @@ runExperiment(const ExpParams &p)
 #endif
     }
 
-    Ssd ssd(engine, cfg);
-    ssd.prefill(p.prefillFill, p.prefillInvalid);
+    // One plain Ssd at shards == 1 (bit-identical to the pre-array
+    // harness); an SsdArray front-end above N shards otherwise.
+    std::unique_ptr<Ssd> single;
+    std::unique_ptr<SsdArray> array;
+    if (p.shards > 1) {
+        SsdArrayParams ap;
+        ap.shards = p.shards;
+        array = std::make_unique<SsdArray>(engine, cfg, ap);
+        array->prefill(p.prefillFill, p.prefillInvalid);
+    } else {
+        single = std::make_unique<Ssd>(engine, cfg);
+        single->prefill(p.prefillFill, p.prefillInvalid);
+    }
 
     Rng rng(p.seed + 7);
-    if (p.srtRemapsPerChannel > 0)
-        populateSrt(ssd, p.srtRemapsPerChannel, rng);
+    if (p.srtRemapsPerChannel > 0) {
+        if (single) {
+            populateSrt(*single, p.srtRemapsPerChannel, rng);
+        } else {
+            for (unsigned s = 0; s < array->shardCount(); ++s)
+                populateSrt(array->shard(s), p.srtRemapsPerChannel, rng);
+        }
+    }
+    Lpn lpn_count =
+        single ? single->mapping().lpnCount() : array->lpnCount();
 
     std::unique_ptr<Generator> gen;
     if (p.traceName) {
         std::uint64_t footprint = std::min<std::uint64_t>(
-            ssd.mapping().lpnCount() * cfg.geom.pageBytes / 2,
-            512 * kMiB);
+            lpn_count * cfg.geom.pageBytes / 2, 512 * kMiB);
         footprint = std::max<std::uint64_t>(footprint, 2 * kMiB);
         gen = std::make_unique<TraceSynthesizer>(
             traceProfile(p.traceName), footprint, 0, p.seed,
@@ -181,8 +199,7 @@ runExperiment(const ExpParams &p)
         sp.sequential = p.sequential;
         sp.requestBytes = p.requestBytes;
         sp.footprintBytes = std::max<std::uint64_t>(
-            ssd.mapping().lpnCount() * cfg.geom.pageBytes / 2,
-            4 * p.requestBytes);
+            lpn_count * cfg.geom.pageBytes / 2, 4 * p.requestBytes);
         sp.count = 0; // unbounded; the window bounds the run
         sp.seed = p.seed;
         gen = std::make_unique<SyntheticGenerator>(sp);
@@ -192,8 +209,12 @@ runExperiment(const ExpParams &p)
     if (p.queueDepth > 0) {
         drv = std::make_unique<QueueDriver>(
             engine, *gen,
-            [&ssd](const IoRequest &r, Engine::Callback cb) {
-                ssd.submit(r, std::move(cb));
+            [s = single.get(), a = array.get()](const IoRequest &r,
+                                                Engine::Callback cb) {
+                if (s)
+                    s->submit(r, std::move(cb));
+                else
+                    a->submit(r, std::move(cb));
             },
             p.queueDepth);
         drv->start();
@@ -204,7 +225,7 @@ runExperiment(const ExpParams &p)
     // GC triggered throughout).
     struct GcLoop
     {
-        Ssd &ssd;
+        std::function<void(unsigned, Engine::Callback)> force;
         Engine &engine;
         const ExpParams &p;
         bool stopped = false;
@@ -212,7 +233,7 @@ runExperiment(const ExpParams &p)
         void
         arm()
         {
-            ssd.gc().forceAll(p.gcVictims, [this] {
+            force(p.gcVictims, [this] {
                 if (!stopped && p.continuousGc &&
                     engine.now() < p.window) {
                     engine.schedule(1, [this] { arm(); });
@@ -222,7 +243,18 @@ runExperiment(const ExpParams &p)
     };
     std::unique_ptr<GcLoop> gc_loop;
     if (p.runGc && p.gcForced) {
-        gc_loop = std::make_unique<GcLoop>(GcLoop{ssd, engine, p});
+        std::function<void(unsigned, Engine::Callback)> force;
+        if (single) {
+            force = [s = single.get()](unsigned v, Engine::Callback cb) {
+                s->gc().forceAll(v, std::move(cb));
+            };
+        } else {
+            force = [a = array.get()](unsigned v, Engine::Callback cb) {
+                a->forceAllGc(v, std::move(cb));
+            };
+        }
+        gc_loop = std::make_unique<GcLoop>(
+            GcLoop{std::move(force), engine, p});
         if (p.gcDelay > 0)
             engine.schedule(p.gcDelay, [&gl = *gc_loop] { gl.arm(); });
         else
@@ -241,7 +273,9 @@ runExperiment(const ExpParams &p)
         // Bus-utilization counter tracks, one sample per recorder
         // window, so the Perfetto timeline shows the same series the
         // figures plot.
-        UtilizationRecorder &rec = ssd.busRecorder();
+        UtilizationRecorder &rec =
+            single ? single->busRecorder()
+                   : array->shard(0).busRecorder();
         int pid = tracer->process("counters");
         auto io_series = rec.series(tagIo);
         auto gc_series = rec.series(tagGc);
@@ -257,7 +291,10 @@ runExperiment(const ExpParams &p)
 
     if (!p.statsPath.empty()) {
         StatRegistry reg;
-        ssd.registerStats(reg, "ssd0");
+        if (single)
+            single->registerStats(reg, "ssd0");
+        else
+            array->registerStats(reg, "ssd0");
         if (drv)
             drv->registerStats(reg, "host");
         reg.writeJson(p.statsPath);
@@ -276,22 +313,33 @@ runExperiment(const ExpParams &p)
         for (double v : series)
             r.ioBwSeries.push_back(v / 1e9);
     }
-    r.gcPagesMoved = ssd.gc().pagesMoved();
-    Tick gc_start =
-        ssd.gc().firstGcStart() == maxTick ? 0 : ssd.gc().firstGcStart();
-    Tick gc_end = std::max(ssd.gc().lastGcEnd(), gc_start + 1);
+    r.gcPagesMoved =
+        single ? single->gc().pagesMoved() : array->gcPagesMoved();
+    Tick gc_first =
+        single ? single->gc().firstGcStart() : array->gcFirstStart();
+    Tick gc_last = single ? single->gc().lastGcEnd() : array->gcLastEnd();
+    Tick gc_start = gc_first == maxTick ? 0 : gc_first;
+    Tick gc_end = std::max(gc_last, gc_start + 1);
     r.gcStart = gc_start;
     r.gcEnd = gc_end;
     if (r.gcPagesMoved > 0) {
         r.gcPagesPerSec = static_cast<double>(r.gcPagesMoved) /
                           ticksToSec(gc_end - gc_start);
     }
-    r.busIoUtil = ssd.busRecorder().busyFraction(tagIo, 0, p.window);
-    r.busGcUtil = ssd.busRecorder().busyFraction(tagGc, 0, p.window);
-    r.busIoSeries = ssd.busRecorder().series(tagIo);
-    r.busGcSeries = ssd.busRecorder().series(tagGc);
-    r.ioBreakdown = ssd.ioBreakdown().mean();
-    r.cbBreakdown = ssd.copybackBreakdown().mean();
+    // Bus-utilization series come from shard 0 in array mode (each
+    // shard has its own system bus; shard 0 is representative).
+    UtilizationRecorder &rec0 = single ? single->busRecorder()
+                                       : array->shard(0).busRecorder();
+    r.busIoUtil = rec0.busyFraction(tagIo, 0, p.window);
+    r.busGcUtil = rec0.busyFraction(tagGc, 0, p.window);
+    r.busIoSeries = rec0.series(tagIo);
+    r.busGcSeries = rec0.series(tagGc);
+    BreakdownStats io_bd =
+        single ? single->ioBreakdown() : array->ioBreakdown();
+    BreakdownStats cb_bd =
+        single ? single->copybackBreakdown() : array->copybackBreakdown();
+    r.ioBreakdown = io_bd.mean();
+    r.cbBreakdown = cb_bd.mean();
     return r;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/array.hh"
 #include "core/config.hh"
 #include "core/gc.hh"
 #include "core/ssd.hh"
@@ -79,6 +80,9 @@ struct ExpParams
     std::uint64_t requestBytes = 4 * kKiB;
     BufferMode bufferMode = BufferMode::AlwaysMiss;
     unsigned queueDepth = 64;
+    /// Shard count (Fig 18). 1 runs a plain Ssd — bit-identical to the
+    /// pre-array harness; >1 runs an SsdArray with modulo sharding.
+    unsigned shards = 1;
     const char *traceName = nullptr; ///< overrides synthetic workload
     /// Trace arrival rate (0 = closed-loop). Open-loop replay keeps
     /// the device below saturation so GC interference is what shapes

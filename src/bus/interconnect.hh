@@ -24,6 +24,20 @@
 namespace dssd
 {
 
+/**
+ * Dynamic kind of a concrete Interconnect, so borrowers can query the
+ * implementation they are talking to instead of caching a sibling
+ * downcast pointer next to the owning unique_ptr (the old Ssd kept a
+ * raw NocNetwork* view that could dangle and had to be null-checked in
+ * two places). asNoc() in noc/network.hh is the checked accessor.
+ */
+enum class InterconnectKind
+{
+    SystemBus,    ///< shared system bus (dSSD)
+    DedicatedBus, ///< dedicated flash-controller bus (dSSD_b)
+    Noc,          ///< the fNoC (dSSD_f)
+};
+
 /** Moves bytes between two flash controllers identified by index. */
 class Interconnect
 {
@@ -31,6 +45,9 @@ class Interconnect
     using Callback = std::function<void()>;
 
     virtual ~Interconnect() = default;
+
+    /** Which implementation this is (checked-downcast support). */
+    virtual InterconnectKind kind() const = 0;
 
     /**
      * Transfer @p bytes from controller @p src to controller @p dst;

@@ -80,6 +80,11 @@ class SystemBusInterconnect : public Interconnect
   public:
     explicit SystemBusInterconnect(SystemBus &bus) : _bus(bus) {}
 
+    InterconnectKind kind() const override
+    {
+        return InterconnectKind::SystemBus;
+    }
+
     void send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
               Callback done) override;
 
@@ -100,6 +105,11 @@ class DedicatedBusInterconnect : public Interconnect
 {
   public:
     DedicatedBusInterconnect(Engine &engine, BytesPerTick bandwidth);
+
+    InterconnectKind kind() const override
+    {
+        return InterconnectKind::DedicatedBus;
+    }
 
     void send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
               Callback done) override;

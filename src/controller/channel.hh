@@ -16,7 +16,7 @@
 #include <memory>
 #include <vector>
 
-#include "controller/latency.hh"
+#include "sim/latency.hh"
 #include "fault/fault.hh"
 #include "nand/die.hh"
 #include "nand/geometry.hh"

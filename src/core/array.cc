@@ -1,0 +1,244 @@
+#include "core/array.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/gc.hh"
+#include "sim/log.hh"
+#include "sim/registry.hh"
+
+namespace dssd
+{
+
+SsdArray::SsdArray(Engine &engine, const SsdConfig &config,
+                   const SsdArrayParams &params)
+    : _engine(engine), _params(params)
+{
+    if (_params.shards == 0)
+        fatal("SsdArray needs at least one shard");
+    _shards.reserve(_params.shards);
+    for (unsigned s = 0; s < _params.shards; ++s) {
+        SsdConfig cfg = config;
+        cfg.seed = config.seed + s;
+        _shards.push_back(std::make_unique<Ssd>(engine, cfg));
+    }
+    _lpnsPerShard = _shards.front()->mapping().lpnCount();
+}
+
+SsdArray::~SsdArray() = default;
+
+Lpn
+SsdArray::lpnCount() const
+{
+    return _lpnsPerShard * _shards.size();
+}
+
+unsigned
+SsdArray::shardOf(Lpn lpn) const
+{
+    if (_params.sharding == ShardingKind::Modulo)
+        return static_cast<unsigned>(lpn % _shards.size());
+    return static_cast<unsigned>(lpn / _lpnsPerShard);
+}
+
+Lpn
+SsdArray::localLpn(Lpn lpn) const
+{
+    if (_params.sharding == ShardingKind::Modulo)
+        return lpn / _shards.size();
+    return lpn % _lpnsPerShard;
+}
+
+void
+SsdArray::readPage(Lpn lpn, Callback done)
+{
+    _shards[shardOf(lpn)]->readPage(localLpn(lpn), std::move(done));
+}
+
+void
+SsdArray::writePage(Lpn lpn, Callback done)
+{
+    _shards[shardOf(lpn)]->writePage(localLpn(lpn), std::move(done));
+}
+
+void
+SsdArray::prefill(double fill_fraction, double invalid_fraction)
+{
+    for (auto &s : _shards)
+        s->prefill(fill_fraction, invalid_fraction);
+}
+
+void
+SsdArray::submit(const IoRequest &req, Callback done)
+{
+    std::uint64_t page = config().geom.pageBytes;
+    Lpn first = req.offset / page;
+    std::uint64_t end = req.offset + std::max<std::uint64_t>(req.bytes, 1);
+    std::uint64_t pages = (end + page - 1) / page - first;
+    Lpn total = lpnCount();
+
+    // Split the request's pages by owning shard; each shard then
+    // behaves exactly like a standalone device handling its slice
+    // (its own per-request firmware charge included).
+    std::vector<std::vector<Lpn>> split(_shards.size());
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        Lpn lpn = (first + i) % total;
+        split[shardOf(lpn)].push_back(localLpn(lpn));
+    }
+
+    auto remaining = std::make_shared<std::uint64_t>(pages);
+    Callback page_done = [remaining, cb = std::move(done)] {
+        if (--*remaining == 0)
+            cb();
+    };
+
+    Tick fw = config().firmwareLatency;
+    for (unsigned s = 0; s < _shards.size(); ++s) {
+        if (split[s].empty())
+            continue;
+        auto batch =
+            std::make_shared<std::vector<Lpn>>(std::move(split[s]));
+        _engine.schedule(fw, [this, s, batch, page_done,
+                              is_read = req.isRead()] {
+            for (Lpn lpn : *batch) {
+                if (is_read)
+                    _shards[s]->readPage(lpn, page_done);
+                else
+                    _shards[s]->writePage(lpn, page_done);
+            }
+        });
+    }
+}
+
+void
+SsdArray::forceAllGc(unsigned victims_per_unit, Callback done)
+{
+    auto remaining = std::make_shared<unsigned>(
+        static_cast<unsigned>(_shards.size()));
+    for (auto &s : _shards) {
+        s->gc().forceAll(victims_per_unit,
+                         [remaining, done] {
+            if (--*remaining == 0)
+                done();
+        });
+    }
+}
+
+std::uint64_t
+SsdArray::hostReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : _shards)
+        n += s->hostReads();
+    return n;
+}
+
+std::uint64_t
+SsdArray::hostWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : _shards)
+        n += s->hostWrites();
+    return n;
+}
+
+std::uint64_t
+SsdArray::flushedPages() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : _shards)
+        n += s->flushedPages();
+    return n;
+}
+
+unsigned
+SsdArray::ioOutstanding() const
+{
+    unsigned n = 0;
+    for (const auto &s : _shards)
+        n += s->ioOutstanding();
+    return n;
+}
+
+std::uint64_t
+SsdArray::gcPagesMoved() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : _shards)
+        n += s->gc().pagesMoved();
+    return n;
+}
+
+Tick
+SsdArray::gcFirstStart() const
+{
+    Tick t = maxTick;
+    for (const auto &s : _shards)
+        t = std::min(t, s->gc().firstGcStart());
+    return t;
+}
+
+Tick
+SsdArray::gcLastEnd() const
+{
+    Tick t = 0;
+    for (const auto &s : _shards)
+        t = std::max(t, s->gc().lastGcEnd());
+    return t;
+}
+
+BreakdownStats
+SsdArray::ioBreakdown() const
+{
+    BreakdownStats agg;
+    for (const auto &s : _shards) {
+        agg.sum += s->ioBreakdown().sum;
+        agg.count += s->ioBreakdown().count;
+    }
+    return agg;
+}
+
+BreakdownStats
+SsdArray::copybackBreakdown() const
+{
+    BreakdownStats agg;
+    for (const auto &s : _shards) {
+        agg.sum += s->copybackBreakdown().sum;
+        agg.count += s->copybackBreakdown().count;
+    }
+    return agg;
+}
+
+void
+SsdArray::registerStats(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".host.reads", [this] {
+        return static_cast<double>(hostReads());
+    });
+    reg.addScalar(prefix + ".host.writes", [this] {
+        return static_cast<double>(hostWrites());
+    });
+    reg.addScalar(prefix + ".host.flushed_pages", [this] {
+        return static_cast<double>(flushedPages());
+    });
+    reg.addScalar(prefix + ".host.outstanding", [this] {
+        return static_cast<double>(ioOutstanding());
+    });
+    reg.addScalar(prefix + ".shards", [this] {
+        return static_cast<double>(_shards.size());
+    });
+    for (std::size_t s = 0; s < _shards.size(); ++s) {
+        _shards[s]->registerStats(reg,
+                                  prefix + strformat(".shard%zu", s));
+    }
+}
+
+void
+SsdArray::registerAudits(Auditor &auditor)
+{
+    for (std::size_t s = 0; s < _shards.size(); ++s)
+        _shards[s]->registerAudits(auditor, strformat("shard%zu.", s));
+}
+
+} // namespace dssd

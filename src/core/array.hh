@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sharded SSD array front-end.
+ *
+ * Scales the decoupled architecture out the way the paper's Fig 18
+ * projection does: N independent Ssd shards, each with its own FTL,
+ * write buffer, GC, and (on the dSSD family) decoupled controllers and
+ * interconnect, behind one logical LPN space. The array only splits
+ * and fans out host requests and aggregates statistics; nothing is
+ * shared between shards, so host bandwidth scales with the shard count
+ * until the workload itself serializes.
+ *
+ * Two sharding functions:
+ *  - Modulo (default): lpn % N picks the shard; striping spreads any
+ *    contiguous host range across all shards;
+ *  - Range: the LPN space is cut into N contiguous extents; locality
+ *    stays within one shard.
+ */
+
+#ifndef DSSD_CORE_ARRAY_HH
+#define DSSD_CORE_ARRAY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ssd.hh"
+
+namespace dssd
+{
+
+/** How the array's LPN space maps onto shards. */
+enum class ShardingKind
+{
+    Modulo, ///< lpn % N (striped)
+    Range,  ///< contiguous extents (partitioned)
+};
+
+struct SsdArrayParams
+{
+    unsigned shards = 1;
+    ShardingKind sharding = ShardingKind::Modulo;
+};
+
+/** N independent Ssd shards behind one logical LPN space. */
+class SsdArray
+{
+  public:
+    using Callback = Engine::Callback;
+
+    /**
+     * Build @p params.shards copies of @p config; shard s seeds its
+     * RNG with config.seed + s so prefill layouts decorrelate.
+     */
+    SsdArray(Engine &engine, const SsdConfig &config,
+             const SsdArrayParams &params);
+    ~SsdArray();
+
+    SsdArray(const SsdArray &) = delete;
+    SsdArray &operator=(const SsdArray &) = delete;
+
+    /** Split a host request across shards; @p done fires when every
+     *  page of every shard completes. */
+    void submit(const IoRequest &req, Callback done);
+
+    /** Page-granularity host read of a global LPN. */
+    void readPage(Lpn lpn, Callback done);
+
+    /** Page-granularity host write of a global LPN. */
+    void writePage(Lpn lpn, Callback done);
+
+    /** Prefill every shard (see Ssd::prefill). */
+    void prefill(double fill_fraction, double invalid_fraction);
+
+    /** Force GC of @p victims_per_unit blocks on every unit of every
+     *  shard; @p done fires when all shards finish. */
+    void forceAllGc(unsigned victims_per_unit, Callback done);
+
+    Engine &engine() { return _engine; }
+    const SsdConfig &config() const { return _shards.front()->config(); }
+    const SsdArrayParams &params() const { return _params; }
+
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(_shards.size());
+    }
+    Ssd &shard(unsigned s) { return *_shards[s]; }
+    const Ssd &shard(unsigned s) const { return *_shards[s]; }
+
+    /** Total logical pages across the array. */
+    Lpn lpnCount() const;
+
+    /** The shard serving global @p lpn. */
+    unsigned shardOf(Lpn lpn) const;
+    /** @p lpn translated into its shard's local LPN space. */
+    Lpn localLpn(Lpn lpn) const;
+
+    //
+    // Aggregates over all shards.
+    //
+
+    std::uint64_t hostReads() const;
+    std::uint64_t hostWrites() const;
+    std::uint64_t flushedPages() const;
+    unsigned ioOutstanding() const;
+    std::uint64_t gcPagesMoved() const;
+    /** Earliest firstGcStart across shards (maxTick if GC never ran). */
+    Tick gcFirstStart() const;
+    /** Latest lastGcEnd across shards (0 if GC never ran). */
+    Tick gcLastEnd() const;
+    BreakdownStats ioBreakdown() const;
+    BreakdownStats copybackBreakdown() const;
+
+    /**
+     * Register array-level host aggregates under @p prefix plus every
+     * shard's full stats under @p prefix + ".shardN". The registry
+     * borrows; it must not outlive this array.
+     */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
+    /** Register every shard's invariant checks, named "shardN.<check>".
+     *  The auditor must not outlive this array. */
+    void registerAudits(Auditor &auditor);
+
+  private:
+    Engine &_engine;
+    SsdArrayParams _params;
+    std::vector<std::unique_ptr<Ssd>> _shards;
+    Lpn _lpnsPerShard = 0;
+};
+
+} // namespace dssd
+
+#endif // DSSD_CORE_ARRAY_HH

@@ -1,0 +1,55 @@
+#include "core/datapath.hh"
+
+#include <utility>
+
+#include "core/datapath_decoupled.hh"
+#include "core/datapath_frontend.hh"
+#include "fault/fault.hh"
+
+namespace dssd
+{
+
+void
+Datapath::hostReadMiss(const PhysAddr &addr,
+                       std::shared_ptr<LatencyBreakdown> bd, Callback done)
+{
+    std::uint64_t page = _env.config.geom.pageBytes;
+    unsigned ch = addr.channel;
+
+    _env.channels[ch]->read(addr, 1, tagIo, [this, ch, addr, page, bd,
+                                             done] {
+        // Error check (the full recovery ladder under faults), then
+        // cross the system bus to the host.
+        EccEngine &ecc = eccFor(ch);
+        runReadRecovery(
+            _env.engine, ecc, _fault, addr, page, tagIo, bd.get(),
+            [this, ch, addr, bd](Callback rr) {
+                _env.channels[ch]->read(addr, 1, tagIo, std::move(rr),
+                                        bd.get());
+            },
+            [this, addr, page, bd, done](ReadSeverity sev) {
+                if (sev == ReadSeverity::Uncorrectable) {
+                    // The firmware recovers what it can and escalates
+                    // the block; the host request still completes.
+                    _fault->reportBlockFault(
+                        addr, FaultKind::UncorrectableRead);
+                }
+                Tick t1 = _env.engine.now();
+                _env.systemBus.channel().transfer(page, tagIo,
+                                                  [this, bd, t1, done] {
+                    bdSpanClose(_env.engine, bd.get(), bdSystemBus, t1);
+                    done();
+                });
+            });
+    }, bd.get());
+}
+
+std::unique_ptr<Datapath>
+makeDatapath(const DatapathEnv &env)
+{
+    if (isDecoupled(env.config.arch))
+        return std::make_unique<DecoupledDatapath>(env);
+    return std::make_unique<FrontEndDatapath>(env);
+}
+
+} // namespace dssd

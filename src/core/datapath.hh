@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Architecture datapath strategies.
+ *
+ * The five Table 2 configurations differ in which hardware sits
+ * between the flash array and the rest of the device: Baseline/BW
+ * route everything through front-end ECC, the system bus, and DRAM,
+ * while the dSSD family adds decoupled per-channel controllers and a
+ * flash-to-flash interconnect. The Ssd shell used to special-case
+ * every route with `if (arch)` branches; those routes now live behind
+ * two narrow strategy interfaces:
+ *
+ *  - IoDatapath: the host-I/O routes that depend on the architecture
+ *    (the flash read miss with its ECC/recovery ladder, and the SRT
+ *    address filter applied to every flash operation);
+ *  - GcDatapath: the GC page-copy route (front-end bounce vs global
+ *    copyback in the decoupled controllers).
+ *
+ * One concrete Datapath per architecture family implements both and
+ * additionally owns the family's hardware: FrontEndDatapath
+ * (datapath_frontend.hh) owns the per-channel front-end ECC engines;
+ * DecoupledDatapath (datapath_decoupled.hh) owns the decoupled
+ * controllers and the interconnect. The Ssd shell owns the shared
+ * substrate (channels, system bus, DRAM) and lends it to the strategy
+ * through DatapathEnv; the strategy must not outlive the Ssd.
+ */
+
+#ifndef DSSD_CORE_DATAPATH_HH
+#define DSSD_CORE_DATAPATH_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/interconnect.hh"
+#include "bus/system_bus.hh"
+#include "controller/channel.hh"
+#include "core/config.hh"
+#include "sim/engine.hh"
+#include "sim/latency.hh"
+
+namespace dssd
+{
+
+class Auditor;
+class DecoupledController;
+class PageMapping;
+class RecoveryEngine;
+class StatRegistry;
+
+/**
+ * Borrowed view of the architecture-independent hardware the Ssd
+ * shell owns. Every reference must outlive the Datapath built over it.
+ */
+struct DatapathEnv
+{
+    Engine &engine;
+    const SsdConfig &config;
+    std::vector<std::unique_ptr<FlashChannel>> &channels;
+    SystemBus &systemBus;
+    Dram &dram;
+};
+
+/** Host-I/O routes that vary with the architecture. */
+class IoDatapath
+{
+  public:
+    using Callback = Engine::Callback;
+
+    virtual ~IoDatapath() = default;
+
+    /**
+     * Serve a host read miss of the (already resolved) flash page at
+     * @p addr: flash read, the recovery ladder of this architecture's
+     * ECC engine, then the system bus to the host.
+     */
+    virtual void hostReadMiss(const PhysAddr &addr,
+                              std::shared_ptr<LatencyBreakdown> bd,
+                              Callback done) = 0;
+
+    /**
+     * Filter a flash address through the architecture's remapping
+     * hardware (SRT on decoupled controllers; identity on the
+     * front-end architectures).
+     */
+    virtual PhysAddr resolve(const PhysAddr &addr) const = 0;
+};
+
+/** The GC page-copy route. */
+class GcDatapath
+{
+  public:
+    using Callback = Engine::Callback;
+
+    virtual ~GcDatapath() = default;
+
+    /**
+     * Move one valid page from @p src to @p dst (both resolved) over
+     * this architecture's copy route; @p done fires when the
+     * destination program completes.
+     */
+    virtual void copyPage(const PhysAddr &src, const PhysAddr &dst,
+                          int tag, std::shared_ptr<LatencyBreakdown> bd,
+                          Callback done) = 0;
+};
+
+/**
+ * One architecture family's datapath: both strategy interfaces plus
+ * ownership of the family-specific hardware and its wiring hooks.
+ */
+class Datapath : public IoDatapath, public GcDatapath
+{
+  public:
+    using Callback = Engine::Callback;
+
+    explicit Datapath(const DatapathEnv &env) : _env(env) {}
+
+    /** Shared miss route (both families differ only in eccFor()). */
+    void hostReadMiss(const PhysAddr &addr,
+                      std::shared_ptr<LatencyBreakdown> bd,
+                      Callback done) override;
+
+    /** The ECC engine that checks pages read on channel @p ch. */
+    virtual EccEngine &eccFor(unsigned ch) = 0;
+
+    /**
+     * Decoupled controller of @p ch; null on front-end architectures,
+     * panics when @p ch is out of range on decoupled ones.
+     */
+    virtual DecoupledController *controller(unsigned ch)
+    {
+        (void)ch;
+        return nullptr;
+    }
+
+    /** The flash-to-flash interconnect; null on front-end archs. */
+    virtual Interconnect *interconnect() { return nullptr; }
+
+    /**
+     * Attach the fault model to this family's hardware (ECC recovery
+     * draws, per-controller fallbacks, fNoC CRC stream). @p recovery
+     * handles the escalations the hardware cannot absorb.
+     */
+    virtual void attachFaults(FaultModel *fault, RecoveryEngine *recovery)
+    {
+        (void)recovery;
+        _fault = fault;
+    }
+
+    /**
+     * In-place hardware repair of the faulted block (RBT spare + SRT
+     * remap, dSSD family only); false when this architecture cannot
+     * repair and the block must be retired through the FTL.
+     */
+    virtual bool tryHardwareRepair(const PhysAddr &addr,
+                                   RecoveryEngine &recovery)
+    {
+        (void)addr;
+        (void)recovery;
+        return false;
+    }
+
+    /** Invert resolve(): the FTL-visible address behind a (possibly
+     *  remapped) physical one. Identity on front-end architectures. */
+    virtual PhysAddr unresolve(const PhysAddr &addr) const { return addr; }
+
+    /**
+     * Pull config.fault.rbtSparesPerChannel blocks per channel out of
+     * FTL circulation and seed them into the repair hardware's RBT.
+     * No-op on front-end architectures (no repair hardware).
+     */
+    virtual void seedRbtSpares(PageMapping &mapping) { (void)mapping; }
+
+    /** Register the family-owned hardware of channel @p ch under
+     *  @p channel_prefix (the channel's own stats are registered by
+     *  the Ssd). */
+    virtual void registerChannelStats(StatRegistry &reg,
+                                      const std::string &channel_prefix,
+                                      unsigned ch) const
+    {
+        (void)reg;
+        (void)channel_prefix;
+        (void)ch;
+    }
+
+    /** Register family-wide hardware stats under the device prefix. */
+    virtual void registerStats(StatRegistry &reg,
+                               const std::string &prefix) const
+    {
+        (void)reg;
+        (void)prefix;
+    }
+
+    /** Register the family-owned hardware's invariant checks, named
+     *  under @p prefix. */
+    virtual void registerAudits(Auditor &auditor,
+                                const std::string &prefix)
+    {
+        (void)auditor;
+        (void)prefix;
+    }
+
+  protected:
+    DatapathEnv _env;
+    FaultModel *_fault = nullptr;
+};
+
+/** Build the datapath for env.config.arch over the shared hardware. */
+std::unique_ptr<Datapath> makeDatapath(const DatapathEnv &env);
+
+} // namespace dssd
+
+#endif // DSSD_CORE_DATAPATH_HH

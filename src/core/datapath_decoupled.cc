@@ -1,0 +1,234 @@
+#include "core/datapath_decoupled.hh"
+
+#include <utility>
+
+#include "fault/recovery.hh"
+#include "ftl/mapping.hh"
+#include "noc/network.hh"
+#include "noc/topology.hh"
+#include "sim/audit.hh"
+#include "sim/log.hh"
+#include "sim/registry.hh"
+
+namespace dssd
+{
+
+DecoupledDatapath::DecoupledDatapath(const DatapathEnv &env)
+    : Datapath(env)
+{
+    const SsdConfig &config = env.config;
+    DecoupledParams dp = config.decoupled;
+    dp.ecc = config.ecc;
+    _controllers.reserve(config.geom.channels);
+    for (unsigned ch = 0; ch < config.geom.channels; ++ch) {
+        _controllers.push_back(std::make_unique<DecoupledController>(
+            env.engine, *env.channels[ch], dp));
+    }
+    switch (config.arch) {
+      case ArchKind::DSSD:
+        _interconnect =
+            std::make_unique<SystemBusInterconnect>(env.systemBus);
+        break;
+      case ArchKind::DSSDBus:
+        _interconnect = std::make_unique<DedicatedBusInterconnect>(
+            env.engine, config.interconnectBandwidth());
+        break;
+      case ArchKind::DSSDNoc: {
+        auto topo = makeTopology(config.nocTopology, config.geom.channels);
+        NocParams np = config.noc;
+        if (!config.nocExplicitBandwidth) {
+            np.linkBandwidth =
+                config.interconnectBandwidth() / topo->bisectionLinks();
+        }
+        _interconnect = std::make_unique<NocNetwork>(
+            env.engine, std::move(topo), np);
+        break;
+      }
+      default:
+        panic("decoupled arch without interconnect mapping");
+    }
+    for (unsigned ch = 0; ch < config.geom.channels; ++ch)
+        _controllers[ch]->setInterconnect(_interconnect.get(), ch);
+}
+
+PhysAddr
+DecoupledDatapath::resolve(const PhysAddr &addr) const
+{
+    if (!_env.config.applySrtRemap)
+        return addr;
+    return _controllers[addr.channel]->remap(addr);
+}
+
+void
+DecoupledDatapath::copyPage(const PhysAddr &src, const PhysAddr &dst,
+                            int tag,
+                            std::shared_ptr<LatencyBreakdown> bd,
+                            Callback done)
+{
+    DecoupledController *sc = _controllers[src.channel].get();
+    DecoupledController *dc = _controllers[dst.channel].get();
+    sc->globalCopyback(src, dst, dc, tag, std::move(done), bd.get());
+}
+
+EccEngine &
+DecoupledDatapath::eccFor(unsigned ch)
+{
+    return controller(ch)->ecc();
+}
+
+DecoupledController *
+DecoupledDatapath::controller(unsigned ch)
+{
+    if (ch >= _controllers.size())
+        panic("channel %u out of range", ch);
+    return _controllers[ch].get();
+}
+
+void
+DecoupledDatapath::attachFaults(FaultModel *fault,
+                                RecoveryEngine *recovery)
+{
+    Datapath::attachFaults(fault, recovery);
+    if (NocNetwork *noc = asNoc(_interconnect.get()))
+        noc->setFaultModel(fault);
+    for (auto &dc : _controllers) {
+        dc->setFaultModel(fault);
+        dc->setCopybackFallback(
+            [recovery](const PhysAddr &src, const PhysAddr &dst, int tag,
+                       LatencyBreakdown *bd, Callback done) {
+            recovery->copybackFallback(src, dst, tag, bd,
+                                       std::move(done));
+        });
+    }
+}
+
+bool
+DecoupledDatapath::tryHardwareRepair(const PhysAddr &addr,
+                                     RecoveryEngine &recovery)
+{
+    DecoupledController *dc = _controllers[addr.channel].get();
+    const FlashGeometry &g = _env.config.geom;
+    ChannelBlockId phys = channelBlockId(g, addr);
+
+    // The faulted block may itself be a remap target; the SRT entry to
+    // rewrite is the FTL-visible source id behind it.
+    ChannelBlockId from = phys;
+    bool was_remapped = false;
+    for (const auto &entry : dc->srt().entriesSorted()) {
+        if (entry.second == phys) {
+            from = entry.first;
+            was_remapped = true;
+            break;
+        }
+    }
+    if (!was_remapped && dc->srt().full())
+        return false;
+
+    // Take a spare that has not itself faulted.
+    ChannelBlockId spare = 0;
+    bool found = false;
+    while (!dc->rbt().empty()) {
+        spare = dc->rbt().take();
+        if (!recovery.blockFaulted(
+                channelBlockAddr(g, addr.channel, spare))) {
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        return false;
+
+    // Relocate the failing block's pages into the spare with
+    // same-channel global copybacks; the SRT entry activates once the
+    // data has moved. The FTL never learns anything happened.
+    PhysAddr src_base = channelBlockAddr(g, addr.channel, phys);
+    PhysAddr dst_base = channelBlockAddr(g, addr.channel, spare);
+    std::uint32_t pages = g.pagesPerBlock;
+    recovery.noteRepairPages(pages);
+
+    auto remaining = std::make_shared<std::uint32_t>(pages);
+    for (std::uint32_t p = 0; p < pages; ++p) {
+        PhysAddr s = src_base;
+        s.page = p;
+        PhysAddr d = dst_base;
+        d.page = p;
+        dc->globalCopyback(s, d, nullptr, tagGc,
+                           [dc, from, spare, was_remapped, remaining,
+                            rec = &recovery] {
+            if (--*remaining != 0)
+                return;
+            if (was_remapped)
+                dc->srt().erase(from);
+            if (!dc->srt().insert(from, spare))
+                panic("SRT insert failed after capacity check");
+            rec->noteRemap();
+        });
+    }
+    return true;
+}
+
+PhysAddr
+DecoupledDatapath::unresolve(const PhysAddr &addr) const
+{
+    const FlashGeometry &g = _env.config.geom;
+    ChannelBlockId phys = channelBlockId(g, addr);
+    for (const auto &entry :
+         _controllers[addr.channel]->srt().entriesSorted()) {
+        if (entry.second == phys)
+            return channelBlockAddr(g, addr.channel, entry.first);
+    }
+    return addr;
+}
+
+void
+DecoupledDatapath::seedRbtSpares(PageMapping &mapping)
+{
+    const FlashGeometry &g = _env.config.geom;
+    for (unsigned ch = 0; ch < g.channels; ++ch) {
+        for (unsigned i = 0; i < _env.config.fault.rbtSparesPerChannel;
+             ++i) {
+            PhysAddr a;
+            a.channel = ch;
+            a.way = 0;
+            a.die = 0;
+            a.plane = i % g.planesPerDie;
+            a.block = g.blocksPerPlane - 1 - i / g.planesPerDie;
+            mapping.retireBlock(mapping.unitOf(a), a.block);
+            _controllers[ch]->rbt().add(channelBlockId(g, a));
+        }
+    }
+}
+
+void
+DecoupledDatapath::registerChannelStats(StatRegistry &reg,
+                                        const std::string &channel_prefix,
+                                        unsigned ch) const
+{
+    _controllers[ch]->registerStats(reg, channel_prefix + ".cd");
+}
+
+void
+DecoupledDatapath::registerStats(StatRegistry &reg,
+                                 const std::string &prefix) const
+{
+    if (const NocNetwork *noc = asNoc(_interconnect.get()))
+        noc->registerStats(reg, prefix + ".noc");
+}
+
+void
+DecoupledDatapath::registerAudits(Auditor &auditor,
+                                  const std::string &prefix)
+{
+    for (auto &dc : _controllers) {
+        auditor.addCheck(
+            prefix +
+                strformat("controller.ch%u", dc->channel().channelId()),
+            [c = dc.get()](AuditReport &r) { c->audit(r); });
+    }
+    if (NocNetwork *noc = asNoc(_interconnect.get())) {
+        auditor.addCheck(prefix + "noc.network",
+                         [noc](AuditReport &r) { noc->audit(r); });
+    }
+}
+
+} // namespace dssd

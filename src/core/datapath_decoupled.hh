@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Decoupled datapath (dSSD, dSSD_b, dSSD_f — Fig 4).
+ *
+ * Owns one DecoupledController per channel (integrated ECC, dBUFs,
+ * SRT/RBT) and the flash-to-flash interconnect the architecture
+ * prescribes: the shared system bus (dSSD), a dedicated controller bus
+ * (dSSD_b), or the fNoC (dSSD_f). GC copies are global copybacks that
+ * never touch the front-end; I/O addresses are filtered through the
+ * SRT; and block faults can be repaired in place from the RBT spare
+ * pool without the FTL ever learning anything happened.
+ */
+
+#ifndef DSSD_CORE_DATAPATH_DECOUPLED_HH
+#define DSSD_CORE_DATAPATH_DECOUPLED_HH
+
+#include <memory>
+#include <vector>
+
+#include "controller/decoupled.hh"
+#include "core/datapath.hh"
+
+namespace dssd
+{
+
+/** dSSD family: decoupled controllers + flash interconnect. */
+class DecoupledDatapath : public Datapath
+{
+  public:
+    explicit DecoupledDatapath(const DatapathEnv &env);
+
+    /** SRT filter (when config.applySrtRemap). */
+    PhysAddr resolve(const PhysAddr &addr) const override;
+
+    /** Global copyback through the decoupled controllers. */
+    void copyPage(const PhysAddr &src, const PhysAddr &dst, int tag,
+                  std::shared_ptr<LatencyBreakdown> bd,
+                  Callback done) override;
+
+    EccEngine &eccFor(unsigned ch) override;
+
+    DecoupledController *controller(unsigned ch) override;
+
+    Interconnect *interconnect() override { return _interconnect.get(); }
+
+    void attachFaults(FaultModel *fault,
+                      RecoveryEngine *recovery) override;
+
+    bool tryHardwareRepair(const PhysAddr &addr,
+                           RecoveryEngine &recovery) override;
+
+    PhysAddr unresolve(const PhysAddr &addr) const override;
+
+    void seedRbtSpares(PageMapping &mapping) override;
+
+    void registerChannelStats(StatRegistry &reg,
+                              const std::string &channel_prefix,
+                              unsigned ch) const override;
+
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const override;
+
+    void registerAudits(Auditor &auditor,
+                        const std::string &prefix) override;
+
+  private:
+    std::vector<std::unique_ptr<DecoupledController>> _controllers;
+    std::unique_ptr<Interconnect> _interconnect;
+};
+
+} // namespace dssd
+
+#endif // DSSD_CORE_DATAPATH_DECOUPLED_HH

@@ -1,0 +1,97 @@
+#include "core/datapath_frontend.hh"
+
+#include <utility>
+
+#include "fault/fault.hh"
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+FrontEndDatapath::FrontEndDatapath(const DatapathEnv &env) : Datapath(env)
+{
+    for (unsigned ch = 0; ch < env.config.geom.channels; ++ch) {
+        _ecc.push_back(std::make_unique<EccEngine>(
+            env.engine, strformat("front-ecc-ch%u", ch),
+            env.config.ecc));
+    }
+}
+
+EccEngine &
+FrontEndDatapath::eccFor(unsigned ch)
+{
+    if (ch >= _ecc.size())
+        panic("channel %u out of range", ch);
+    return *_ecc[ch];
+}
+
+void
+FrontEndDatapath::registerChannelStats(StatRegistry &reg,
+                                       const std::string &channel_prefix,
+                                       unsigned ch) const
+{
+    _ecc[ch]->registerStats(reg, channel_prefix + ".front_ecc");
+}
+
+void
+FrontEndDatapath::copyPage(const PhysAddr &src, const PhysAddr &dst,
+                           int tag, std::shared_ptr<LatencyBreakdown> bd,
+                           Callback done)
+{
+    std::uint64_t page = _env.config.geom.pageBytes;
+    unsigned sch = src.channel;
+    _env.channels[sch]->read(src, 1, tag, [this, sch, src, page, dst,
+                                           tag, bd, done] {
+        runReadRecovery(
+            _env.engine, *_ecc[sch], _fault, src, page, tag, bd.get(),
+            [this, sch, src, tag, bd](Callback rr) {
+                _env.channels[sch]->read(src, 1, tag, std::move(rr),
+                                         bd.get());
+            },
+            [this, src, page, dst, tag, bd, done](ReadSeverity sev) {
+            if (sev == ReadSeverity::Uncorrectable) {
+                // Salvage what the firmware can and escalate; the copy
+                // itself still lands so GC forward progress holds.
+                _fault->reportBlockFault(src,
+                                         FaultKind::UncorrectableRead);
+            }
+            Tick t1 = _env.engine.now();
+            _env.systemBus.channel().transfer(page, tag,
+                                              [this, page, dst, tag, bd,
+                                               t1, done] {
+                bdSpanClose(_env.engine, bd.get(), bdSystemBus, t1);
+                Tick t2 = _env.engine.now();
+                _env.dram.port().transfer(page, tag,
+                                          [this, page, dst, tag, bd, t2,
+                                           done] {
+                    bdSpanClose(_env.engine, bd.get(), bdDram, t2);
+                    Tick fw0 = _env.engine.now();
+                    bdSpanCloseAt(_env.engine, bd.get(), bdOther, fw0,
+                                  fw0 + _env.config.gcFirmwareLatency);
+                    _env.engine.schedule(_env.config.gcFirmwareLatency,
+                                         [this, page, dst, tag, bd,
+                                          done] {
+                        Tick t3 = _env.engine.now();
+                        _env.dram.port().transfer(page, tag,
+                                                  [this, page, dst, tag,
+                                                   bd, t3, done] {
+                            bdSpanClose(_env.engine, bd.get(), bdDram,
+                                        t3);
+                            Tick t4 = _env.engine.now();
+                            _env.systemBus.channel().transfer(
+                                page, tag,
+                                [this, dst, tag, bd, t4, done] {
+                                bdSpanClose(_env.engine, bd.get(),
+                                            bdSystemBus, t4);
+                                _env.channels[dst.channel]->program(
+                                    dst, 1, tag, done, bd.get());
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    }, bd.get());
+}
+
+} // namespace dssd

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Front-end datapath (Baseline and BW, Fig 1).
+ *
+ * These architectures have no flash-to-flash hardware: every page that
+ * leaves a channel is checked by a per-channel front-end ECC engine
+ * and every GC copy bounces through the whole controller — flash read,
+ * ECC, system bus, DRAM, FTL firmware, and back out through the system
+ * bus to the destination program. Addresses are never remapped
+ * (resolve() is the identity) and block faults can only be handled by
+ * FTL retirement, so the repair hooks keep their refusing defaults.
+ */
+
+#ifndef DSSD_CORE_DATAPATH_FRONTEND_HH
+#define DSSD_CORE_DATAPATH_FRONTEND_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/datapath.hh"
+
+namespace dssd
+{
+
+/** Baseline/BW: front-end ECC, conventional GC bounce. */
+class FrontEndDatapath : public Datapath
+{
+  public:
+    explicit FrontEndDatapath(const DatapathEnv &env);
+
+    PhysAddr resolve(const PhysAddr &addr) const override
+    {
+        return addr;
+    }
+
+    /** Conventional copy (Fig 1): read -> ECC -> system bus -> DRAM,
+     *  then the FTL issues the write: DRAM -> system bus -> program. */
+    void copyPage(const PhysAddr &src, const PhysAddr &dst, int tag,
+                  std::shared_ptr<LatencyBreakdown> bd,
+                  Callback done) override;
+
+    EccEngine &eccFor(unsigned ch) override;
+
+    void registerChannelStats(StatRegistry &reg,
+                              const std::string &channel_prefix,
+                              unsigned ch) const override;
+
+  private:
+    /// Front-end ECC engines, one per channel.
+    std::vector<std::unique_ptr<EccEngine>> _ecc;
+};
+
+} // namespace dssd
+
+#endif // DSSD_CORE_DATAPATH_FRONTEND_HH

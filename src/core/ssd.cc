@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "core/gc.hh"
-#include "noc/topology.hh"
 #include "sim/log.hh"
 #include "sim/registry.hh"
 #include "sim/trace.hh"
@@ -47,48 +46,8 @@ Ssd::Ssd(Engine &engine, const SsdConfig &config)
             engine, _config.geom, _config.timing, ch, _config.channel));
     }
 
-    if (isDecoupled(_config.arch)) {
-        DecoupledParams dp = _config.decoupled;
-        dp.ecc = _config.ecc;
-        _decoupled.reserve(_config.geom.channels);
-        for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
-            _decoupled.push_back(std::make_unique<DecoupledController>(
-                engine, *_channels[ch], dp));
-        }
-        switch (_config.arch) {
-          case ArchKind::DSSD:
-            _interconnect =
-                std::make_unique<SystemBusInterconnect>(*_systemBus);
-            break;
-          case ArchKind::DSSDBus:
-            _interconnect = std::make_unique<DedicatedBusInterconnect>(
-                engine, _config.interconnectBandwidth());
-            break;
-          case ArchKind::DSSDNoc: {
-            auto topo =
-                makeTopology(_config.nocTopology, _config.geom.channels);
-            NocParams np = _config.noc;
-            if (!_config.nocExplicitBandwidth) {
-                np.linkBandwidth = _config.interconnectBandwidth() /
-                                   topo->bisectionLinks();
-            }
-            auto noc = std::make_unique<NocNetwork>(engine,
-                                                    std::move(topo), np);
-            _noc = noc.get();
-            _interconnect = std::move(noc);
-            break;
-          }
-          default:
-            panic("decoupled arch without interconnect mapping");
-        }
-        for (unsigned ch = 0; ch < _config.geom.channels; ++ch)
-            _decoupled[ch]->setInterconnect(_interconnect.get(), ch);
-    } else {
-        for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
-            _frontEcc.push_back(std::make_unique<EccEngine>(
-                engine, strformat("front-ecc-ch%u", ch), _config.ecc));
-        }
-    }
+    _datapath = makeDatapath(
+        DatapathEnv{engine, _config, _channels, *_systemBus, *_dram});
 
     MappingParams mp;
     mp.geom = _config.geom;
@@ -100,54 +59,75 @@ Ssd::Ssd(Engine &engine, const SsdConfig &config)
     _writeBuffer = std::make_unique<WriteBuffer>(_config.writeBuffer);
     _gc = std::make_unique<GcEngine>(*this, _config.gc);
 
+    _flush = std::make_unique<FlushEngine>(
+        engine, *_mapping, *_writeBuffer, _config.flushInFlight,
+        [this](const PhysAddr &addr) { return _datapath->resolve(addr); },
+        [this](const PhysAddr &target, Callback done) {
+            // Write-back: DRAM read -> system bus -> flash program.
+            std::uint64_t page = _config.geom.pageBytes;
+            _dram->port().transfer(page, tagIo,
+                                   [this, page, target,
+                                    done = std::move(done)]() mutable {
+                _systemBus->channel().transfer(page, tagIo,
+                                               [this, target,
+                                                done = std::move(done)]()
+                                                   mutable {
+                    _channels[target.channel]->program(target, 1, tagIo,
+                                                       std::move(done));
+                });
+            });
+        },
+        [this](std::uint32_t unit) { _gc->noteAllocation(unit); });
+
     if (_config.fault.enabled) {
         _fault =
             std::make_unique<FaultModel>(_config.geom, _config.fault);
+
+        RecoveryEngine::Routes routes;
+        routes.copyPage = [this](const PhysAddr &src, const PhysAddr &dst,
+                                 Callback done) {
+            gcCopyPage(src, dst, std::move(done));
+        };
+        routes.unremap = [this](const PhysAddr &addr) {
+            return _datapath->unresolve(addr);
+        };
+        routes.channelRead = [this](const PhysAddr &addr, int tag,
+                                    LatencyBreakdown *bd, Callback done) {
+            _channels[addr.channel]->read(addr, 1, tag, std::move(done),
+                                          bd);
+        };
+        routes.softDecode = [this](unsigned ch, std::uint64_t bytes,
+                                   int tag, Callback done) {
+            _datapath->eccFor(ch).processSoft(bytes, tag,
+                                              std::move(done));
+        };
+        routes.channelProgram = [this](const PhysAddr &addr, int tag,
+                                       LatencyBreakdown *bd,
+                                       Callback done) {
+            _channels[addr.channel]->program(addr, 1, tag,
+                                             std::move(done), bd);
+        };
+        if (isDecoupled(_config.arch)) {
+            routes.hardwareRepair = [this](const PhysAddr &addr) {
+                return _datapath->tryHardwareRepair(addr, *_recovery);
+            };
+        }
+        _recovery = std::make_unique<RecoveryEngine>(
+            engine, _config.geom, *_mapping, *_systemBus, *_dram,
+            _config.gcFirmwareLatency, std::move(routes));
+
         _fault->setSink([this](const PhysAddr &a, FaultKind k) {
-            handleBlockFault(a, k);
+            _recovery->onBlockFault(a, k);
         });
-
-        std::uint32_t blocks_per_channel =
-            _config.geom.ways * _config.geom.diesPerWay *
-            _config.geom.planesPerDie * _config.geom.blocksPerPlane;
-        _faultedBlocks.resize(_config.geom.channels);
-        for (auto &v : _faultedBlocks)
-            v.assign(blocks_per_channel, false);
-
         for (auto &ch : _channels)
             ch->setFaultModel(_fault.get());
-        if (_noc)
-            _noc->setFaultModel(_fault.get());
-        for (auto &dc : _decoupled) {
-            dc->setFaultModel(_fault.get());
-            dc->setCopybackFallback(
-                [this](const PhysAddr &src, const PhysAddr &dst,
-                       int tag, LatencyBreakdown *bd, Callback done) {
-                copybackFallback(src, dst, tag, bd, std::move(done));
-            });
-        }
+        _datapath->attachFaults(_fault.get(), _recovery.get());
 
         // Pre-seed each decoupled controller's RBT with spare blocks
         // pulled out of FTL visibility, so runtime hardware repair has
         // material to work with (the RESERV idea applied to bad-block
         // management).
-        if (!_decoupled.empty()) {
-            for (unsigned ch = 0; ch < _config.geom.channels; ++ch) {
-                for (unsigned i = 0;
-                     i < _config.fault.rbtSparesPerChannel; ++i) {
-                    PhysAddr a;
-                    a.channel = ch;
-                    a.way = 0;
-                    a.die = 0;
-                    a.plane = i % _config.geom.planesPerDie;
-                    a.block = _config.geom.blocksPerPlane - 1 -
-                              i / _config.geom.planesPerDie;
-                    _mapping->retireBlock(_mapping->unitOf(a), a.block);
-                    _decoupled[ch]->rbt().add(
-                        channelBlockId(_config.geom, a));
-                }
-            }
-        }
+        _datapath->seedRbtSpares(*_mapping);
     }
 
 #ifdef DSSD_AUDIT
@@ -171,38 +151,15 @@ Ssd::Ssd(Engine &engine, const SsdConfig &config)
 Ssd::~Ssd() = default;
 
 void
-Ssd::registerAudits(Auditor &auditor)
+Ssd::registerAudits(Auditor &auditor, const std::string &prefix)
 {
-    auditor.addCheck("ftl.mapping", [this](AuditReport &r) {
+    auditor.addCheck(prefix + "ftl.mapping", [this](AuditReport &r) {
         _mapping->audit(r);
     });
-    auditor.addCheck("ftl.writebuffer", [this](AuditReport &r) {
+    auditor.addCheck(prefix + "ftl.writebuffer", [this](AuditReport &r) {
         _writeBuffer->audit(r);
     });
-    for (auto &dc : _decoupled) {
-        auditor.addCheck(
-            strformat("controller.ch%u", dc->channel().channelId()),
-            [c = dc.get()](AuditReport &r) { c->audit(r); });
-    }
-    if (_noc) {
-        auditor.addCheck("noc.network", [n = _noc](AuditReport &r) {
-            n->audit(r);
-        });
-    }
-}
-
-void
-Ssd::traceWriteBufferOccupancy()
-{
-#if DSSD_TRACING
-    Tracer *tr = _engine.tracer();
-    if (tr) {
-        if (_wbufTracePid < 0)
-            _wbufTracePid = tr->process("occupancy");
-        tr->counter(_wbufTracePid, "write-buffer", _engine.now(),
-                    static_cast<double>(_writeBuffer->occupancy()));
-    }
-#endif
+    _datapath->registerAudits(auditor, prefix);
 }
 
 void
@@ -215,7 +172,7 @@ Ssd::registerStats(StatRegistry &reg, const std::string &prefix) const
         return static_cast<double>(_hostWritesOps);
     });
     reg.addScalar(prefix + ".host.flushed_pages", [this] {
-        return static_cast<double>(_flushedPages);
+        return static_cast<double>(_flush->flushedPages());
     });
     reg.addScalar(prefix + ".host.outstanding", [this] {
         return static_cast<double>(_ioOutstanding);
@@ -228,37 +185,32 @@ Ssd::registerStats(StatRegistry &reg, const std::string &prefix) const
     for (std::size_t ch = 0; ch < _channels.size(); ++ch) {
         std::string chp = prefix + strformat(".ch%zu", ch);
         _channels[ch]->registerStats(reg, chp);
-        if (ch < _decoupled.size())
-            _decoupled[ch]->registerStats(reg, chp + ".cd");
-    }
-    for (std::size_t ch = 0; ch < _frontEcc.size(); ++ch) {
-        _frontEcc[ch]->registerStats(
-            reg, prefix + strformat(".ch%zu.front_ecc", ch));
+        _datapath->registerChannelStats(reg, chp,
+                                        static_cast<unsigned>(ch));
     }
 
     _gc->registerStats(reg, prefix + ".gc");
-    if (_noc)
-        _noc->registerStats(reg, prefix + ".noc");
+    _datapath->registerStats(reg, prefix);
 
     if (_fault) {
         _fault->registerStats(reg, prefix + ".fault");
         reg.addScalar(prefix + ".fault.repairs", [this] {
-            return static_cast<double>(_blocksRepaired);
+            return static_cast<double>(_recovery->blocksRepaired());
         });
         reg.addScalar(prefix + ".fault.retirements", [this] {
-            return static_cast<double>(_blocksRetired);
+            return static_cast<double>(_recovery->blocksRetired());
         });
         reg.addScalar(prefix + ".fault.repair_pages", [this] {
-            return static_cast<double>(_repairPagesCopied);
+            return static_cast<double>(_recovery->repairPagesCopied());
         });
         reg.addScalar(prefix + ".fault.retire_pages", [this] {
-            return static_cast<double>(_retirePagesCopied);
+            return static_cast<double>(_recovery->retirePagesCopied());
         });
         reg.addScalar(prefix + ".fault.copyback_fallbacks", [this] {
-            return static_cast<double>(_cbFallbacks);
+            return static_cast<double>(_recovery->copybackFallbacks());
         });
         reg.addScalar(prefix + ".fault.remaps", [this] {
-            return static_cast<double>(_remapEvents);
+            return static_cast<double>(_recovery->remapEvents());
         });
     }
 }
@@ -277,28 +229,10 @@ Ssd::channelCount() const
     return static_cast<unsigned>(_channels.size());
 }
 
-DecoupledController *
-Ssd::decoupledController(unsigned ch)
-{
-    if (!isDecoupled(_config.arch))
-        return nullptr;
-    if (ch >= _decoupled.size())
-        panic("channel %u out of range", ch);
-    return _decoupled[ch].get();
-}
-
 void
 Ssd::prefill(double fill_fraction, double invalid_fraction)
 {
     _mapping->prefill(fill_fraction, invalid_fraction, _rng);
-}
-
-PhysAddr
-Ssd::resolve(const PhysAddr &addr) const
-{
-    if (!isDecoupled(_config.arch) || !_config.applySrtRemap)
-        return addr;
-    return _decoupled[addr.channel]->remap(addr);
 }
 
 void
@@ -381,36 +315,7 @@ Ssd::readPageInternal(Lpn lpn, Callback done)
         return;
     }
     PhysAddr addr = resolve(_config.geom.pageAddr(*ppn));
-    unsigned ch = addr.channel;
-
-    _channels[ch]->read(addr, 1, tagIo, [this, ch, addr, page, bd,
-                                         finish] {
-        // Error check (the full recovery ladder under faults), then
-        // cross the system bus to the host.
-        EccEngine &ecc = isDecoupled(_config.arch)
-                             ? _decoupled[ch]->ecc()
-                             : *_frontEcc[ch];
-        runReadRecovery(
-            _engine, ecc, _fault.get(), addr, page, tagIo, bd.get(),
-            [this, ch, addr, bd](Callback rr) {
-                _channels[ch]->read(addr, 1, tagIo, std::move(rr),
-                                    bd.get());
-            },
-            [this, addr, page, bd, finish](ReadSeverity sev) {
-                if (sev == ReadSeverity::Uncorrectable) {
-                    // The firmware recovers what it can and escalates
-                    // the block; the host request still completes.
-                    _fault->reportBlockFault(
-                        addr, FaultKind::UncorrectableRead);
-                }
-                Tick t1 = _engine.now();
-                _systemBus->channel().transfer(page, tagIo,
-                                               [this, bd, t1, finish] {
-                    bdSpanClose(_engine, bd.get(), bdSystemBus, t1);
-                    finish();
-                });
-            });
-    }, bd.get());
+    _datapath->hostReadMiss(addr, bd, std::move(finish));
 }
 
 void
@@ -453,7 +358,7 @@ Ssd::bufferedWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
         _engine.schedule(usToTicks(2), [this, lpn, bd, finish] {
             bufferedWrite(lpn, bd, finish);
         });
-        maybeStartFlush();
+        _flush->maybeStart();
         return;
     }
 
@@ -466,9 +371,9 @@ Ssd::bufferedWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
         _dram->port().transfer(page, tagIo, [this, lpn, bd, t1, finish] {
             bdSpanClose(_engine, bd.get(), bdDram, t1);
             _writeBuffer->insert(lpn);
-            traceWriteBufferOccupancy();
+            _flush->traceOccupancy();
             finish();
-            maybeStartFlush();
+            _flush->maybeStart();
         });
     });
 }
@@ -510,68 +415,6 @@ Ssd::directWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
 }
 
 void
-Ssd::maybeStartFlush()
-{
-    if (_writeBuffer->mode() != BufferMode::Real)
-        return;
-    if (_flushActive || !_writeBuffer->flushNeeded())
-        return;
-    _flushActive = true;
-    flushPump();
-}
-
-void
-Ssd::flushPump()
-{
-    while (_flushInFlight < _config.flushInFlight) {
-        if (_writeBuffer->flushSatisfied())
-            break;
-        auto batch = _writeBuffer->drainForFlush(1);
-        if (batch.empty())
-            break;
-        traceWriteBufferOccupancy();
-        ++_flushInFlight;
-        flushOne(batch.front(), [this] {
-            --_flushInFlight;
-            ++_flushedPages;
-            flushPump();
-        });
-    }
-    if (_flushInFlight == 0)
-        _flushActive = false;
-}
-
-void
-Ssd::flushOne(Lpn lpn, Callback done)
-{
-    if (!_mapping->hostCanAllocate()) {
-        // Free pool exhausted: hold this flush until GC reclaims.
-        _engine.schedule(usToTicks(2),
-                         [this, lpn, done = std::move(done)]() mutable {
-            flushOne(lpn, std::move(done));
-        });
-        return;
-    }
-    std::uint64_t page = _config.geom.pageBytes;
-    PhysAddr addr = _mapping->allocate(lpn);
-    std::uint32_t unit = _mapping->unitOf(addr);
-    PhysAddr target = resolve(addr);
-
-    // Write-back: DRAM read -> system bus -> flash program.
-    _dram->port().transfer(page, tagIo,
-                           [this, page, target, done = std::move(done)]()
-                               mutable {
-        _systemBus->channel().transfer(page, tagIo,
-                                       [this, target,
-                                        done = std::move(done)]() mutable {
-            _channels[target.channel]->program(target, 1, tagIo,
-                                               std::move(done));
-        });
-    });
-    _gc->noteAllocation(unit);
-}
-
-void
 Ssd::gcCopyPage(const PhysAddr &src, const PhysAddr &dst, Callback done)
 {
     auto bd = std::make_shared<LatencyBreakdown>();
@@ -579,69 +422,7 @@ Ssd::gcCopyPage(const PhysAddr &src, const PhysAddr &dst, Callback done)
         _cbBreakdown.add(*bd);
         cb();
     };
-
-    std::uint64_t page = _config.geom.pageBytes;
-
-    if (isDecoupled(_config.arch)) {
-        DecoupledController *sc = _decoupled[src.channel].get();
-        DecoupledController *dc = _decoupled[dst.channel].get();
-        sc->globalCopyback(src, dst, dc, tagGc, finish, bd.get());
-        return;
-    }
-
-    // Conventional path (Fig 1): read -> ECC -> system bus -> DRAM,
-    // then the FTL issues the write: DRAM -> system bus -> program.
-    unsigned sch = src.channel;
-    _channels[sch]->read(src, 1, tagGc, [this, sch, src, page, dst, bd,
-                                         finish] {
-        runReadRecovery(
-            _engine, *_frontEcc[sch], _fault.get(), src, page, tagGc,
-            bd.get(),
-            [this, sch, src, bd](Callback rr) {
-                _channels[sch]->read(src, 1, tagGc, std::move(rr),
-                                     bd.get());
-            },
-            [this, src, page, dst, bd, finish](ReadSeverity sev) {
-            if (sev == ReadSeverity::Uncorrectable) {
-                // Salvage what the firmware can and escalate; the copy
-                // itself still lands so GC forward progress holds.
-                _fault->reportBlockFault(src,
-                                         FaultKind::UncorrectableRead);
-            }
-            Tick t1 = _engine.now();
-            _systemBus->channel().transfer(page, tagGc,
-                                           [this, page, dst, bd, t1,
-                                            finish] {
-                bdSpanClose(_engine, bd.get(), bdSystemBus, t1);
-                Tick t2 = _engine.now();
-                _dram->port().transfer(page, tagGc,
-                                       [this, page, dst, bd, t2, finish] {
-                    bdSpanClose(_engine, bd.get(), bdDram, t2);
-                    Tick fw0 = _engine.now();
-                    bdSpanCloseAt(_engine, bd.get(), bdOther, fw0,
-                                  fw0 + _config.gcFirmwareLatency);
-                    _engine.schedule(_config.gcFirmwareLatency,
-                                     [this, page, dst, bd, finish] {
-                        Tick t3 = _engine.now();
-                        _dram->port().transfer(page, tagGc,
-                                               [this, page, dst, bd, t3,
-                                                finish] {
-                            bdSpanClose(_engine, bd.get(), bdDram, t3);
-                            Tick t4 = _engine.now();
-                            _systemBus->channel().transfer(
-                                page, tagGc,
-                                [this, dst, bd, t4, finish] {
-                                bdSpanClose(_engine, bd.get(),
-                                            bdSystemBus, t4);
-                                _channels[dst.channel]->program(
-                                    dst, 1, tagGc, finish, bd.get());
-                            });
-                        });
-                    });
-                });
-            });
-        });
-    }, bd.get());
+    _datapath->copyPage(src, dst, tagGc, bd, std::move(finish));
 }
 
 void
@@ -650,250 +431,6 @@ Ssd::gcEraseBlock(std::uint32_t unit, std::uint32_t block, Callback done)
     PhysAddr addr = _mapping->unitBlockAddr(unit, block);
     PhysAddr target = resolve(addr);
     _channels[target.channel]->erase(target, tagGc, std::move(done));
-}
-
-void
-Ssd::handleBlockFault(const PhysAddr &addr, FaultKind kind)
-{
-    if (_faultSink) {
-        // A DSM engine owns failure handling while attached.
-        _faultSink->onBlockFault(addr, kind);
-        return;
-    }
-    // Escalate each physical block once: program retries and repeated
-    // uncorrectable reads keep reporting the same block while its
-    // repair/retirement is already under way.
-    ChannelBlockId id = channelBlockId(_config.geom, addr);
-    if (_faultedBlocks[addr.channel][id])
-        return;
-    _faultedBlocks[addr.channel][id] = true;
-
-    if (isDecoupled(_config.arch) && tryHardwareRepair(addr)) {
-        ++_blocksRepaired;
-        return;
-    }
-    ++_blocksRetired;
-    retireBlockFrontEnd(addr);
-}
-
-bool
-Ssd::tryHardwareRepair(const PhysAddr &addr)
-{
-    DecoupledController *dc = _decoupled[addr.channel].get();
-    const FlashGeometry &g = _config.geom;
-    ChannelBlockId phys = channelBlockId(g, addr);
-
-    // The faulted block may itself be a remap target; the SRT entry to
-    // rewrite is the FTL-visible source id behind it.
-    ChannelBlockId from = phys;
-    bool was_remapped = false;
-    for (const auto &entry : dc->srt().entriesSorted()) {
-        if (entry.second == phys) {
-            from = entry.first;
-            was_remapped = true;
-            break;
-        }
-    }
-    if (!was_remapped && dc->srt().full())
-        return false;
-
-    // Take a spare that has not itself faulted.
-    ChannelBlockId spare = 0;
-    bool found = false;
-    while (!dc->rbt().empty()) {
-        spare = dc->rbt().take();
-        if (!_faultedBlocks[addr.channel][spare]) {
-            found = true;
-            break;
-        }
-    }
-    if (!found)
-        return false;
-
-    // Relocate the failing block's pages into the spare with
-    // same-channel global copybacks; the SRT entry activates once the
-    // data has moved. The FTL never learns anything happened.
-    PhysAddr src_base = channelBlockAddr(g, addr.channel, phys);
-    PhysAddr dst_base = channelBlockAddr(g, addr.channel, spare);
-    std::uint32_t pages = g.pagesPerBlock;
-    _repairPagesCopied += pages;
-
-    auto remaining = std::make_shared<std::uint32_t>(pages);
-    for (std::uint32_t p = 0; p < pages; ++p) {
-        PhysAddr s = src_base;
-        s.page = p;
-        PhysAddr d = dst_base;
-        d.page = p;
-        dc->globalCopyback(s, d, nullptr, tagGc,
-                           [this, dc, from, spare, was_remapped,
-                            remaining] {
-            if (--*remaining != 0)
-                return;
-            if (was_remapped)
-                dc->srt().erase(from);
-            if (!dc->srt().insert(from, spare))
-                panic("SRT insert failed after capacity check");
-            ++_remapEvents;
-        });
-    }
-    return true;
-}
-
-void
-Ssd::retireBlockFrontEnd(const PhysAddr &addr)
-{
-    // Conventional bad-block management: find the FTL-visible block
-    // (undoing any SRT remapping), retire it, and relocate its valid
-    // pages over the timed GC datapath.
-    const FlashGeometry &g = _config.geom;
-    PhysAddr logical = addr;
-    if (isDecoupled(_config.arch)) {
-        ChannelBlockId phys = channelBlockId(g, addr);
-        for (const auto &entry :
-             _decoupled[addr.channel]->srt().entriesSorted()) {
-            if (entry.second == phys) {
-                logical = channelBlockAddr(g, addr.channel, entry.first);
-                break;
-            }
-        }
-    }
-    std::uint32_t unit = _mapping->unitOf(logical);
-    std::uint32_t block = logical.block;
-    if (_mapping->blockState(unit, block).isBad)
-        return; // already out of FTL circulation (e.g. an RBT spare)
-
-    auto lpns = std::make_shared<std::vector<Lpn>>(
-        _mapping->validLpns(unit, block));
-    _mapping->retireBlock(unit, block);
-    relocateRetired(lpns, 0, unit, block);
-}
-
-void
-Ssd::relocateRetired(std::shared_ptr<std::vector<Lpn>> lpns,
-                     std::size_t idx, std::uint32_t unit,
-                     std::uint32_t block)
-{
-    PageMapping &map = *_mapping;
-    while (idx < lpns->size()) {
-        // Skip pages the host rewrote since the retirement snapshot.
-        Lpn lpn = (*lpns)[idx];
-        auto ppn = map.translate(lpn);
-        if (!ppn) {
-            ++idx;
-            continue;
-        }
-        PhysAddr src = map.geometry().pageAddr(*ppn);
-        if (map.unitOf(src) != unit || src.block != block) {
-            ++idx;
-            continue;
-        }
-        // Round-robin over units with room; wait for GC if none.
-        std::uint32_t n = map.unitCount();
-        std::uint32_t dst_unit = n;
-        for (std::uint32_t i = 0; i < n; ++i) {
-            std::uint32_t cand = _faultDstCursor;
-            _faultDstCursor = (_faultDstCursor + 1) % n;
-            if (map.canAllocate(cand)) {
-                dst_unit = cand;
-                break;
-            }
-        }
-        if (dst_unit == n) {
-            _engine.schedule(usToTicks(2),
-                             [this, lpns, idx, unit, block] {
-                relocateRetired(lpns, idx, unit, block);
-            });
-            return;
-        }
-        PhysAddr dst = map.allocateInUnit(lpn, dst_unit);
-        ++_retirePagesCopied;
-        gcCopyPage(src, dst, [this, lpns, idx, unit, block, lpn, dst] {
-            _mapping->commitRelocation(lpn, dst);
-            relocateRetired(lpns, idx + 1, unit, block);
-        });
-        return;
-    }
-}
-
-void
-Ssd::copybackFallback(const PhysAddr &src, const PhysAddr &dst, int tag,
-                      LatencyBreakdown *bd, Callback done)
-{
-    // Last-resort recovery of a copyback page the channel ECC could
-    // not correct: re-read the die, force the page through the slow
-    // soft decoder with firmware assistance, then route it the
-    // conventional way — system bus, DRAM, FTL firmware, and back out
-    // to the destination program. Expensive by design: this is the
-    // cost a decoupled copyback pays when it trips over a bad page.
-    ++_cbFallbacks;
-    std::uint64_t page = _config.geom.pageBytes;
-#if DSSD_TRACING
-    std::uint64_t span_id = _cbFallbacks;
-    Tracer *tr = _engine.tracer();
-    if (tr) {
-        tr->asyncBegin(tr->process("fault"), "fault", "fallback",
-                       span_id, _engine.now());
-    }
-    auto trace_end = [this, span_id] {
-        Tracer *etr = _engine.tracer();
-        if (etr) {
-            etr->asyncEnd(etr->process("fault"), "fault", "fallback",
-                          span_id, _engine.now());
-        }
-    };
-#else
-    auto trace_end = [] {};
-#endif
-
-    DecoupledController *dc = _decoupled[src.channel].get();
-    _channels[src.channel]->read(src, 1, tag,
-                                 [this, dc, page, dst, tag, bd, done,
-                                  trace_end] {
-        Tick t0 = _engine.now();
-        dc->ecc().processSoft(page, tag, [this, page, dst, tag, bd, t0,
-                                          done, trace_end] {
-            bdSpanClose(_engine, bd, bdEcc, t0);
-            Tick t1 = _engine.now();
-            _systemBus->channel().transfer(page, tag,
-                                           [this, page, dst, tag, bd,
-                                            t1, done, trace_end] {
-                bdSpanClose(_engine, bd, bdSystemBus, t1);
-                Tick t2 = _engine.now();
-                _dram->port().transfer(page, tag,
-                                       [this, page, dst, tag, bd, t2,
-                                        done, trace_end] {
-                    bdSpanClose(_engine, bd, bdDram, t2);
-                    Tick fw0 = _engine.now();
-                    bdSpanCloseAt(_engine, bd, bdOther, fw0,
-                                  fw0 + _config.gcFirmwareLatency);
-                    _engine.schedule(_config.gcFirmwareLatency,
-                                     [this, page, dst, tag, bd, done,
-                                      trace_end] {
-                        Tick t3 = _engine.now();
-                        _dram->port().transfer(page, tag,
-                                               [this, page, dst, tag,
-                                                bd, t3, done,
-                                                trace_end] {
-                            bdSpanClose(_engine, bd, bdDram, t3);
-                            Tick t4 = _engine.now();
-                            _systemBus->channel().transfer(
-                                page, tag,
-                                [this, dst, tag, bd, t4, done,
-                                 trace_end] {
-                                bdSpanClose(_engine, bd, bdSystemBus,
-                                            t4);
-                                _channels[dst.channel]->program(
-                                    dst, 1, tag, [done, trace_end] {
-                                    trace_end();
-                                    done();
-                                }, bd);
-                            });
-                        });
-                    });
-                });
-            });
-        });
-    }, bd);
 }
 
 } // namespace dssd

@@ -1,19 +1,21 @@
 /**
  * @file
- * The SSD top-level: wires host interface, FTL state, write buffer,
- * system bus, DRAM, ECC engines, flash channels, decoupled
- * controllers, and the flash-to-flash interconnect according to an
- * ArchKind (Table 2), and implements every datapath:
+ * The SSD top-level shell: owns the architecture-independent substrate
+ * (system bus, DRAM, flash channels, FTL mapping, write buffer, GC)
+ * and wires the layered subsystems over it:
  *
- *  - host read (DRAM hit):   DRAM port -> system bus
- *  - host read (miss):       flash ch -> ECC -> system bus
- *  - host write (buffered):  system bus -> DRAM port (ack), flushed in
- *                            the background: DRAM -> system bus ->
- *                            flash ch -> program
- *  - GC copy (Baseline/BW):  flash ch -> ECC -> system bus -> DRAM ->
- *                            system bus -> flash ch -> program
- *  - GC copy (dSSD family):  global copyback in the decoupled
- *                            controllers (never touches the front-end)
+ *  - Datapath (core/datapath.hh): the architecture strategy — host
+ *    read-miss route, SRT address filter, GC copy route, and the
+ *    family-specific hardware (front-end ECC vs decoupled controllers
+ *    plus interconnect);
+ *  - FlushEngine (ftl/flush.hh): background write-buffer drain and the
+ *    write-cache backpressure host writes stall on;
+ *  - RecoveryEngine (fault/recovery.hh): repair-or-retire handling of
+ *    terminal block faults and the copyback fallback.
+ *
+ * The shell itself keeps only the routes that are identical across
+ * architectures (buffer-hit reads, buffered/direct writes) and the
+ * host-facing bookkeeping.
  */
 
 #ifndef DSSD_CORE_SSD_HH
@@ -25,6 +27,9 @@
 #include "bus/system_bus.hh"
 #include "controller/decoupled.hh"
 #include "core/config.hh"
+#include "core/datapath.hh"
+#include "fault/recovery.hh"
+#include "ftl/flush.hh"
 #include "ftl/mapping.hh"
 #include "ftl/writebuffer.hh"
 #include "noc/network.hh"
@@ -96,14 +101,26 @@ class Ssd
     FlashChannel &channel(unsigned ch);
     unsigned channelCount() const;
 
+    /** The architecture datapath strategy. */
+    Datapath &datapath() { return *_datapath; }
+
+    /** The background write-buffer flusher. */
+    FlushEngine &flushEngine() { return *_flush; }
+
+    /** The fault recovery engine; null when faults are disabled. */
+    RecoveryEngine *recoveryEngine() { return _recovery.get(); }
+
     /** Decoupled controller of @p ch; null on Baseline/BW. */
-    DecoupledController *decoupledController(unsigned ch);
+    DecoupledController *decoupledController(unsigned ch)
+    {
+        return _datapath->controller(ch);
+    }
 
     /** The flash-to-flash interconnect; null on Baseline/BW. */
-    Interconnect *interconnect() { return _interconnect.get(); }
+    Interconnect *interconnect() { return _datapath->interconnect(); }
 
     /** The fNoC, when arch == DSSDNoc. */
-    NocNetwork *noc() { return _noc; }
+    NocNetwork *noc() { return asNoc(_datapath->interconnect()); }
 
     /** The fault model; null when config.fault.enabled is false. */
     FaultModel *faultModel() { return _fault.get(); }
@@ -114,7 +131,11 @@ class Ssd
      * so media faults merge into its wear-cycle state machine); null
      * restores the default.
      */
-    void setFaultSink(FaultSink *sink) { _faultSink = sink; }
+    void setFaultSink(FaultSink *sink)
+    {
+        if (_recovery)
+            _recovery->setOverrideSink(sink);
+    }
 
     /** Windowed system-bus utilization (Fig 2(c,d), Fig 7(b)). */
     UtilizationRecorder &busRecorder() { return *_busRecorder; }
@@ -123,9 +144,10 @@ class Ssd
      * Register this SSD's invariant checks with @p auditor: FTL
      * mapping bijectivity, write-buffer residency, each decoupled
      * controller's copyback/SRT/RBT consistency, and fNoC packet and
-     * credit conservation. The auditor must not outlive this Ssd.
+     * credit conservation. Check names gain @p prefix (an SsdArray
+     * passes "shardN."). The auditor must not outlive this Ssd.
      */
-    void registerAudits(Auditor &auditor);
+    void registerAudits(Auditor &auditor, const std::string &prefix = "");
 
     /**
      * The automatically attached auditor of DSSD_AUDIT builds; null
@@ -155,7 +177,7 @@ class Ssd
 
     std::uint64_t hostReads() const { return _hostReads; }
     std::uint64_t hostWrites() const { return _hostWritesOps; }
-    std::uint64_t flushedPages() const { return _flushedPages; }
+    std::uint64_t flushedPages() const { return _flush->flushedPages(); }
 
     //
     // Internal datapath entry points for the GC engine.
@@ -186,38 +208,12 @@ class Ssd
                           Callback finish);
     void directWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
                      Callback finish);
-    void maybeStartFlush();
-    void flushPump();
-    void flushOne(Lpn lpn, Callback done);
-
-    /** Trace the write-buffer fill level as a counter sample. */
-    void traceWriteBufferOccupancy();
 
     /** Apply SRT remapping when this architecture supports it. */
-    PhysAddr resolve(const PhysAddr &addr) const;
-
-    //
-    // Fault handling (all no-ops when no fault model is attached).
-    //
-
-    /** Default terminal-fault handler: repair in hardware (decoupled)
-     *  or retire through the FTL. */
-    void handleBlockFault(const PhysAddr &addr, FaultKind kind);
-    /** RBT/SRT repair of the faulted block via same-channel global
-     *  copybacks; false when no spare/SRT room (caller retires). */
-    bool tryHardwareRepair(const PhysAddr &addr);
-    /** FTL bad-block retirement: relocate valid pages over the timed
-     *  GC datapath, then never reuse the block. */
-    void retireBlockFrontEnd(const PhysAddr &addr);
-    /** Relocate the remaining @p lpns (from @p idx) of a retiring
-     *  block, one at a time. */
-    void relocateRetired(std::shared_ptr<std::vector<Lpn>> lpns,
-                         std::size_t idx, std::uint32_t unit,
-                         std::uint32_t block);
-    /** Front-end re-read of a copyback page the channel ECC could not
-     *  correct (installed into each DecoupledController). */
-    void copybackFallback(const PhysAddr &src, const PhysAddr &dst,
-                          int tag, LatencyBreakdown *bd, Callback done);
+    PhysAddr resolve(const PhysAddr &addr) const
+    {
+        return _datapath->resolve(addr);
+    }
 
     Engine &_engine;
     SsdConfig _config;
@@ -227,36 +223,18 @@ class Ssd
     std::unique_ptr<SystemBus> _systemBus;
     std::unique_ptr<Dram> _dram;
     std::vector<std::unique_ptr<FlashChannel>> _channels;
-    /// Front-end ECC engines (one per channel) for Baseline/BW.
-    std::vector<std::unique_ptr<EccEngine>> _frontEcc;
-    std::vector<std::unique_ptr<DecoupledController>> _decoupled;
-    std::unique_ptr<Interconnect> _interconnect;
-    NocNetwork *_noc = nullptr; ///< borrowed view of _interconnect
+    std::unique_ptr<Datapath> _datapath;
     std::unique_ptr<PageMapping> _mapping;
     std::unique_ptr<WriteBuffer> _writeBuffer;
     std::unique_ptr<GcEngine> _gc;
+    std::unique_ptr<FlushEngine> _flush;
     std::unique_ptr<FaultModel> _fault;
+    std::unique_ptr<RecoveryEngine> _recovery;
     std::unique_ptr<Auditor> _auditor;
 
-    FaultSink *_faultSink = nullptr;
-    /// _faultedBlocks[channel][channelBlockId]: escalate each physical
-    /// block at most once (retries keep reporting the same block).
-    std::vector<std::vector<bool>> _faultedBlocks;
-    std::uint32_t _faultDstCursor = 0;
-    std::uint64_t _blocksRepaired = 0;
-    std::uint64_t _blocksRetired = 0;
-    std::uint64_t _repairPagesCopied = 0;
-    std::uint64_t _retirePagesCopied = 0;
-    std::uint64_t _cbFallbacks = 0;
-    std::uint64_t _remapEvents = 0;
-
-    int _wbufTracePid = -1; ///< cached trace row (write-buffer counter)
     unsigned _ioOutstanding = 0;
-    bool _flushActive = false;
-    unsigned _flushInFlight = 0;
     std::uint64_t _hostReads = 0;
     std::uint64_t _hostWritesOps = 0;
-    std::uint64_t _flushedPages = 0;
     BreakdownStats _ioBreakdown;
     BreakdownStats _cbBreakdown;
 };

@@ -4,7 +4,7 @@
 #include <memory>
 #include <utility>
 
-#include "controller/latency.hh"
+#include "sim/latency.hh"
 #include "sim/log.hh"
 #include "sim/registry.hh"
 #include "sim/trace.hh"

@@ -21,7 +21,25 @@ QueueDriver::QueueDriver(Engine &engine, Generator &gen, SubmitFn submit,
 void
 QueueDriver::start()
 {
+    _started = true;
     pump();
+}
+
+void
+QueueDriver::setQueueDepth(unsigned queue_depth)
+{
+    if (queue_depth == 0)
+        fatal("queue depth must be > 0");
+    bool grew = queue_depth > _queueDepth;
+    _queueDepth = queue_depth;
+    if (grew && _started)
+        pump();
+}
+
+void
+QueueDriver::setStatWindow(Tick window)
+{
+    _ioBytes = RateSeries(window, "io-bytes");
 }
 
 void

@@ -45,6 +45,25 @@ class QueueDriver
     /** Stop pulling new requests (in-flight ones complete). */
     void stop() { _stopped = true; }
 
+    unsigned queueDepth() const { return _queueDepth; }
+
+    /**
+     * Retarget the queue depth at runtime. Growing while running pumps
+     * immediately to fill the new slots; shrinking lets the excess
+     * in-flight requests drain naturally (none are cancelled).
+     */
+    void setQueueDepth(unsigned queue_depth);
+
+    /** Window of the bandwidth time series, in ticks. */
+    Tick statWindow() const { return _ioBytes.window(); }
+
+    /**
+     * Rebuild the bandwidth time series with a new window width.
+     * Discards samples collected so far; meant to be called before
+     * start() when one driver instance serves differently-scaled runs.
+     */
+    void setStatWindow(Tick window);
+
     bool finished() const { return _finished; }
     std::uint64_t completed() const { return _completed; }
     std::uint64_t outstanding() const { return _outstanding; }
@@ -72,6 +91,7 @@ class QueueDriver
     SubmitFn _submit;
     unsigned _queueDepth;
     unsigned _outstanding = 0;
+    bool _started = false;
     bool _exhausted = false;
     bool _stopped = false;
     bool _finished = false;

@@ -60,6 +60,11 @@ class NocNetwork : public Interconnect
     NocNetwork(Engine &engine, std::unique_ptr<Topology> topo,
                const NocParams &params);
 
+    InterconnectKind kind() const override
+    {
+        return InterconnectKind::Noc;
+    }
+
     /** Inject a packet of @p bytes payload from @p src to @p dst. */
     void send(unsigned src, unsigned dst, std::uint64_t bytes, int tag,
               Callback done) override;
@@ -165,6 +170,27 @@ class NocNetwork : public Interconnect
     std::uint64_t _retransmits = 0;
     std::uint64_t _retransmitsPending = 0;
 };
+
+/**
+ * Checked downcast: the fNoC behind @p ic, or null when @p ic is null
+ * or a different interconnect kind. Replaces cached NocNetwork* views
+ * sitting next to the owning pointer.
+ */
+inline NocNetwork *
+asNoc(Interconnect *ic)
+{
+    if (!ic || ic->kind() != InterconnectKind::Noc)
+        return nullptr;
+    return static_cast<NocNetwork *>(ic);
+}
+
+inline const NocNetwork *
+asNoc(const Interconnect *ic)
+{
+    if (!ic || ic->kind() != InterconnectKind::Noc)
+        return nullptr;
+    return static_cast<const NocNetwork *>(ic);
+}
 
 } // namespace dssd
 

@@ -10,8 +10,8 @@
  * the trace shows.
  */
 
-#ifndef DSSD_CONTROLLER_LATENCY_HH
-#define DSSD_CONTROLLER_LATENCY_HH
+#ifndef DSSD_SIM_LATENCY_HH
+#define DSSD_SIM_LATENCY_HH
 
 #include <cstdint>
 
@@ -149,4 +149,4 @@ bdSpanClose(Engine &engine, LatencyBreakdown *bd, int comp, Tick t0)
 
 } // namespace dssd
 
-#endif // DSSD_CONTROLLER_LATENCY_HH
+#endif // DSSD_SIM_LATENCY_HH

@@ -1,0 +1,169 @@
+/**
+ * Unit tests for the sharded SsdArray front-end: LPN-to-shard maps,
+ * request fan-out, per-shard seeding, array-wide GC forcing, aggregate
+ * accounting, and stat registration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/array.hh"
+#include "core/gc.hh"
+#include "sim/registry.hh"
+
+namespace dssd
+{
+namespace
+{
+
+SsdConfig
+testConfig(ArchKind arch)
+{
+    SsdConfig c = makeConfig(arch);
+    c.geom.channels = 4;
+    c.geom.ways = 2;
+    c.geom.diesPerWay = 1;
+    c.geom.planesPerDie = 2;
+    c.geom.blocksPerPlane = 16;
+    c.geom.pagesPerBlock = 8;
+    c.writeBuffer.capacityPages = 64;
+    return c;
+}
+
+SsdArrayParams
+arrayParams(unsigned shards,
+            ShardingKind kind = ShardingKind::Modulo)
+{
+    SsdArrayParams p;
+    p.shards = shards;
+    p.sharding = kind;
+    return p;
+}
+
+TEST(SsdArrayTest, ModuloShardingStripesTheLpnSpace)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(4));
+    EXPECT_EQ(arr.shardCount(), 4u);
+    for (Lpn lpn : {Lpn(0), Lpn(1), Lpn(7), Lpn(42)}) {
+        EXPECT_EQ(arr.shardOf(lpn), lpn % 4);
+        EXPECT_EQ(arr.localLpn(lpn), lpn / 4);
+    }
+}
+
+TEST(SsdArrayTest, RangeShardingPartitionsTheLpnSpace)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline),
+                 arrayParams(4, ShardingKind::Range));
+    Lpn per_shard = arr.lpnCount() / 4;
+    ASSERT_GT(per_shard, 0u);
+    EXPECT_EQ(arr.shardOf(0), 0u);
+    EXPECT_EQ(arr.shardOf(per_shard - 1), 0u);
+    EXPECT_EQ(arr.shardOf(per_shard), 1u);
+    EXPECT_EQ(arr.localLpn(per_shard + 5), 5u);
+    EXPECT_EQ(arr.shardOf(3 * per_shard), 3u);
+}
+
+TEST(SsdArrayTest, LpnCountScalesWithShardCount)
+{
+    Engine e1, e4;
+    SsdArray one(e1, testConfig(ArchKind::Baseline), arrayParams(1));
+    SsdArray four(e4, testConfig(ArchKind::Baseline), arrayParams(4));
+    EXPECT_EQ(one.lpnCount(), one.shard(0).mapping().lpnCount());
+    EXPECT_EQ(four.lpnCount(), 4 * one.lpnCount());
+}
+
+TEST(SsdArrayTest, ShardSeedsDecorrelate)
+{
+    Engine e;
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.seed = 17;
+    SsdArray arr(e, c, arrayParams(3));
+    for (unsigned s = 0; s < 3; ++s)
+        EXPECT_EQ(arr.shard(s).config().seed, 17u + s);
+}
+
+TEST(SsdArrayTest, WritePageRoutesToTheOwningShard)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(2));
+    bool done = false;
+    arr.writePage(3, [&done] { done = true; }); // 3 % 2 == shard 1
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(arr.shard(0).hostWrites(), 0u);
+    EXPECT_EQ(arr.shard(1).hostWrites(), 1u);
+    EXPECT_EQ(arr.hostWrites(), 1u);
+}
+
+TEST(SsdArrayTest, SubmitFansOutAndCompletesExactlyOnce)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(2));
+    IoRequest r;
+    r.kind = IoRequest::Kind::Write;
+    r.offset = 0;
+    r.bytes = 32 * kKiB; // 8 pages, striped 4/4 over the two shards
+    unsigned completions = 0;
+    arr.submit(r, [&completions] { ++completions; });
+    e.run();
+    EXPECT_EQ(completions, 1u);
+    EXPECT_EQ(arr.hostWrites(), 8u);
+    EXPECT_EQ(arr.shard(0).hostWrites(), 4u);
+    EXPECT_EQ(arr.shard(1).hostWrites(), 4u);
+}
+
+TEST(SsdArrayTest, ReadsAggregateAcrossShards)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(2));
+    arr.prefill(0.5, 0.0);
+    unsigned done = 0;
+    for (Lpn lpn = 0; lpn < 6; ++lpn)
+        arr.readPage(lpn, [&done] { ++done; });
+    e.run();
+    EXPECT_EQ(done, 6u);
+    EXPECT_EQ(arr.hostReads(), 6u);
+    EXPECT_EQ(arr.shard(0).hostReads() + arr.shard(1).hostReads(), 6u);
+    EXPECT_EQ(arr.ioOutstanding(), 0u);
+}
+
+TEST(SsdArrayTest, ForceAllGcCoversEveryShard)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(2));
+    arr.prefill(0.8, 0.5);
+    bool done = false;
+    arr.forceAllGc(1, [&done] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    for (unsigned s = 0; s < 2; ++s)
+        EXPECT_GT(arr.shard(s).gc().pagesMoved(), 0u) << "shard " << s;
+    EXPECT_EQ(arr.gcPagesMoved(), arr.shard(0).gc().pagesMoved() +
+                                      arr.shard(1).gc().pagesMoved());
+    EXPECT_LT(arr.gcFirstStart(), maxTick);
+    EXPECT_GT(arr.gcLastEnd(), 0u);
+}
+
+TEST(SsdArrayTest, RegisterStatsExportsAggregatesAndShards)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(2));
+    StatRegistry reg;
+    arr.registerStats(reg, "arr");
+    EXPECT_DOUBLE_EQ(reg.value("arr.shards"), 2.0);
+    EXPECT_TRUE(reg.has("arr.host.writes"));
+    EXPECT_TRUE(reg.has("arr.shard0.host.writes"));
+    EXPECT_TRUE(reg.has("arr.shard1.gc.pages_moved"));
+
+    bool done = false;
+    arr.writePage(2, [&done] { done = true; }); // shard 0
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(reg.value("arr.host.writes"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("arr.shard0.host.writes"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("arr.shard1.host.writes"), 0.0);
+}
+
+} // namespace
+} // namespace dssd

@@ -1,0 +1,171 @@
+/**
+ * Unit tests for the architecture datapath strategies: the factory's
+ * family selection, the SRT address filter and its inverse, per-channel
+ * ECC ownership, and the shared host-read-miss route.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "controller/decoupled.hh"
+#include "controller/remap.hh"
+#include "core/datapath.hh"
+#include "core/ssd.hh"
+
+namespace dssd
+{
+namespace
+{
+
+SsdConfig
+testConfig(ArchKind arch)
+{
+    SsdConfig c = makeConfig(arch);
+    c.geom.channels = 4;
+    c.geom.ways = 2;
+    c.geom.diesPerWay = 1;
+    c.geom.planesPerDie = 2;
+    c.geom.blocksPerPlane = 16;
+    c.geom.pagesPerBlock = 8;
+    c.writeBuffer.capacityPages = 64;
+    return c;
+}
+
+TEST(DatapathTest, FactoryPicksTheArchitectureFamily)
+{
+    for (ArchKind k : {ArchKind::Baseline, ArchKind::BW, ArchKind::DSSD,
+                       ArchKind::DSSDBus, ArchKind::DSSDNoc}) {
+        Engine e;
+        Ssd ssd(e, testConfig(k));
+        Datapath &dp = ssd.datapath();
+        if (isDecoupled(k)) {
+            EXPECT_NE(dp.controller(0), nullptr) << archName(k);
+            EXPECT_NE(dp.interconnect(), nullptr) << archName(k);
+        } else {
+            EXPECT_EQ(dp.controller(0), nullptr) << archName(k);
+            EXPECT_EQ(dp.interconnect(), nullptr) << archName(k);
+        }
+    }
+}
+
+TEST(DatapathTest, FrontEndResolveIsIdentity)
+{
+    Engine e;
+    Ssd ssd(e, testConfig(ArchKind::Baseline));
+    PhysAddr a;
+    a.channel = 2;
+    a.way = 1;
+    a.plane = 1;
+    a.block = 7;
+    a.page = 3;
+    PhysAddr r = ssd.datapath().resolve(a);
+    EXPECT_EQ(r.channel, a.channel);
+    EXPECT_EQ(r.way, a.way);
+    EXPECT_EQ(r.plane, a.plane);
+    EXPECT_EQ(r.block, a.block);
+    EXPECT_EQ(r.page, a.page);
+}
+
+TEST(DatapathTest, FrontEndOwnsOneEccEnginePerChannel)
+{
+    Engine e;
+    Ssd ssd(e, testConfig(ArchKind::Baseline));
+    Datapath &dp = ssd.datapath();
+    EXPECT_NE(&dp.eccFor(0), &dp.eccFor(1));
+    EXPECT_NE(&dp.eccFor(1), &dp.eccFor(2));
+}
+
+TEST(DatapathTest, DecoupledResolveFollowsSrtRemap)
+{
+    Engine e;
+    SsdConfig c = testConfig(ArchKind::DSSDNoc);
+    Ssd ssd(e, c);
+    DecoupledController *dc = ssd.decoupledController(1);
+    ASSERT_NE(dc, nullptr);
+
+    PhysAddr from;
+    from.channel = 1;
+    from.way = 1;
+    from.block = 5;
+    from.page = 2;
+    PhysAddr to = from;
+    to.block = 9;
+    ASSERT_TRUE(dc->srt().insert(channelBlockId(c.geom, from),
+                                 channelBlockId(c.geom, to)));
+
+    PhysAddr r = ssd.datapath().resolve(from);
+    EXPECT_EQ(channelBlockId(c.geom, r), channelBlockId(c.geom, to));
+    EXPECT_EQ(r.channel, from.channel);
+    EXPECT_EQ(r.page, from.page); // page offset rides along unchanged
+
+    // Addresses without an SRT entry pass through untouched.
+    PhysAddr other = from;
+    other.block = 6;
+    PhysAddr ro = ssd.datapath().resolve(other);
+    EXPECT_EQ(channelBlockId(c.geom, ro),
+              channelBlockId(c.geom, other));
+}
+
+TEST(DatapathTest, DecoupledUnresolveInvertsResolve)
+{
+    Engine e;
+    SsdConfig c = testConfig(ArchKind::DSSDNoc);
+    Ssd ssd(e, c);
+    DecoupledController *dc = ssd.decoupledController(0);
+    ASSERT_NE(dc, nullptr);
+
+    PhysAddr from;
+    from.block = 3;
+    from.page = 1;
+    PhysAddr to = from;
+    to.block = 12;
+    ASSERT_TRUE(dc->srt().insert(channelBlockId(c.geom, from),
+                                 channelBlockId(c.geom, to)));
+
+    // unresolve() is block-granular (it serves block retirement), so
+    // only the block identity must round-trip.
+    PhysAddr fwd = ssd.datapath().resolve(from);
+    PhysAddr back = ssd.datapath().unresolve(fwd);
+    EXPECT_EQ(channelBlockId(c.geom, back),
+              channelBlockId(c.geom, from));
+}
+
+TEST(DatapathTest, FrontEndUnresolveIsIdentity)
+{
+    Engine e;
+    Ssd ssd(e, testConfig(ArchKind::BW));
+    PhysAddr a;
+    a.channel = 3;
+    a.block = 11;
+    PhysAddr r = ssd.datapath().unresolve(a);
+    EXPECT_EQ(r.channel, a.channel);
+    EXPECT_EQ(r.block, a.block);
+}
+
+TEST(DatapathTest, HostReadMissChargesFlashEccAndBus)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::AlwaysMiss;
+    Engine e;
+    Ssd ssd(e, c);
+    ssd.prefill(0.5, 0.0);
+
+    auto ppn = ssd.mapping().translate(0);
+    ASSERT_TRUE(ppn.has_value());
+    PhysAddr addr = c.geom.pageAddr(*ppn);
+
+    auto bd = std::make_shared<LatencyBreakdown>();
+    bool done = false;
+    ssd.datapath().hostReadMiss(addr, bd, [&done] { done = true; });
+    e.run();
+
+    EXPECT_TRUE(done);
+    EXPECT_GT(bd->flashMem, 0u);
+    EXPECT_GT(bd->flashBus, 0u);
+    EXPECT_GT(bd->ecc, 0u);
+    EXPECT_GT(bd->systemBus, 0u);
+}
+
+} // namespace
+} // namespace dssd

@@ -248,6 +248,75 @@ TEST(SsdTest, GcCopyDssdVariantRidesSystemBusOnce)
     EXPECT_EQ(ssd.dram().port().bytesMoved(tagGc), 0u);
 }
 
+TEST(SsdTest, DirectWriteStallsUntilSpaceIsReclaimed)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::AlwaysMiss;
+    Engine e;
+    Ssd ssd(e, c);
+    // Overwrite-churn a small LPN set until a host write can no longer
+    // allocate: each rewrite consumes a fresh page and only
+    // invalidates the old one, so the free pool drains with nothing
+    // erased.
+    Lpn l = 0;
+    while (ssd.mapping().hostCanAllocate())
+        ssd.mapping().allocate(l++ % 8);
+
+    bool done = false;
+    ssd.writePage(0, [&done] { done = true; });
+    e.runUntil(usToTicks(100));
+    EXPECT_FALSE(done); // write-through path is blocked on space
+
+    // Reclaim fully-invalid blocks, as GC would.
+    const FlashGeometry &g = ssd.mapping().geometry();
+    for (std::uint32_t u = 0; u < ssd.mapping().unitCount(); ++u) {
+        for (std::uint32_t b = 0; b < g.blocksPerPlane; ++b) {
+            const BlockState &s = ssd.mapping().blockState(u, b);
+            if (!s.isFree && !s.isBad && s.validCount == 0 &&
+                s.writePtr == g.pagesPerBlock) {
+                ssd.mapping().eraseBlock(u, b);
+            }
+        }
+    }
+    e.run();
+    EXPECT_TRUE(done);
+    // The stall was charged to the request's firmware/other bucket.
+    EXPECT_GE(ssd.ioBreakdown().mean().other, usToTicks(100));
+}
+
+TEST(SsdTest, BufferedWriteStallsWhileFullAndResumesAfterDrain)
+{
+    SsdConfig c = testConfig(ArchKind::Baseline);
+    c.writeBuffer.mode = BufferMode::Real;
+    c.writeBuffer.capacityPages = 4;
+    Engine e;
+    Ssd ssd(e, c);
+    // Fill the write cache to capacity (state-level: no timing).
+    for (Lpn lpn = 100; lpn < 104; ++lpn)
+        ssd.writeBuffer().insert(lpn);
+    ASSERT_EQ(ssd.writeBuffer().occupancy(),
+              ssd.writeBuffer().capacity());
+
+    // A write to a non-resident page must stall on the flusher, which
+    // the stall path itself kicks off; it resumes as soon as a page is
+    // pulled for write-back.
+    bool done = false;
+    ssd.writePage(0, [&done] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    // Backpressure engaged (stall time accumulated) and the flusher
+    // made room by writing pages to flash.
+    EXPECT_GT(ssd.ioBreakdown().mean().other, 0u);
+    EXPECT_GT(ssd.flushedPages(), 0u);
+    EXPECT_LE(ssd.writeBuffer().occupancy(),
+              ssd.writeBuffer().capacity());
+    EXPECT_TRUE(ssd.writeBuffer().readHit(0)); // the write landed
+    std::uint64_t programs = 0;
+    for (unsigned ch = 0; ch < ssd.channelCount(); ++ch)
+        programs += ssd.channel(ch).programs();
+    EXPECT_EQ(programs, ssd.flushedPages());
+}
+
 TEST(SsdTest, IoBreakdownAccumulates)
 {
     SsdConfig c = testConfig(ArchKind::Baseline);

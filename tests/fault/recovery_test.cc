@@ -1,0 +1,248 @@
+/**
+ * Unit tests for the block-fault recovery engine driven through stub
+ * Routes: per-block dedup, repair-vs-retire policy, unremap filtering,
+ * the override sink, valid-page relocation, and the front-end copyback
+ * fallback route.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/recovery.hh"
+#include "sim/rng.hh"
+
+namespace dssd
+{
+namespace
+{
+
+FlashGeometry
+smallGeom()
+{
+    FlashGeometry g;
+    g.channels = 4;
+    g.ways = 2;
+    g.diesPerWay = 1;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 8;
+    g.pagesPerBlock = 16;
+    g.pageBytes = 4 * kKiB;
+    return g;
+}
+
+/** RecoveryEngine over a real mapping with instant stub routes. */
+struct RecoveryRig
+{
+    Engine engine;
+    PageMapping mapping;
+    SystemBus bus;
+    Dram dram;
+    unsigned copies = 0;
+    std::vector<std::string> route;
+    RecoveryEngine::Routes routes;
+    std::unique_ptr<RecoveryEngine> rec;
+
+    RecoveryRig()
+        : mapping(MappingParams{smallGeom()}), bus(engine, gbPerSec(8)),
+          dram(engine, gbPerSec(16))
+    {
+        routes.copyPage = [this](const PhysAddr &, const PhysAddr &,
+                                 Engine::Callback done) {
+            ++copies;
+            engine.schedule(10, std::move(done));
+        };
+        routes.channelRead = [this](const PhysAddr &, int,
+                                    LatencyBreakdown *,
+                                    Engine::Callback done) {
+            route.push_back("read");
+            engine.schedule(10, std::move(done));
+        };
+        routes.softDecode = [this](unsigned, std::uint64_t, int,
+                                   Engine::Callback done) {
+            route.push_back("ecc");
+            engine.schedule(10, std::move(done));
+        };
+        routes.channelProgram = [this](const PhysAddr &, int,
+                                       LatencyBreakdown *,
+                                       Engine::Callback done) {
+            route.push_back("program");
+            engine.schedule(10, std::move(done));
+        };
+    }
+
+    void
+    build()
+    {
+        rec = std::make_unique<RecoveryEngine>(engine, smallGeom(),
+                                               mapping, bus, dram,
+                                               usToTicks(1), routes);
+    }
+
+    /** Physical address of a mapped LPN. */
+    PhysAddr
+    mappedAddr(Lpn lpn)
+    {
+        auto ppn = mapping.translate(lpn);
+        EXPECT_TRUE(ppn.has_value());
+        return mapping.geometry().pageAddr(*ppn);
+    }
+};
+
+TEST(RecoveryEngineTest, RetiresBlockAndRelocatesValidPages)
+{
+    RecoveryRig rig;
+    Rng rng(1);
+    rig.mapping.prefill(0.5, 0.0, rng);
+    rig.build();
+
+    PhysAddr addr = rig.mappedAddr(0);
+    std::uint32_t unit = rig.mapping.unitOf(addr);
+    std::uint32_t valid =
+        static_cast<std::uint32_t>(
+            rig.mapping.validLpns(unit, addr.block).size());
+    ASSERT_GT(valid, 0u);
+
+    rig.rec->onBlockFault(addr, FaultKind::UncorrectableRead);
+    rig.engine.run();
+
+    EXPECT_EQ(rig.rec->blocksRetired(), 1u);
+    EXPECT_EQ(rig.rec->blocksRepaired(), 0u);
+    EXPECT_TRUE(rig.mapping.blockState(unit, addr.block).isBad);
+    EXPECT_EQ(rig.rec->retirePagesCopied(), valid);
+    EXPECT_EQ(rig.copies, valid);
+    // Every displaced LPN landed somewhere else and stayed mapped.
+    EXPECT_EQ(rig.mapping.validLpns(unit, addr.block).size(), 0u);
+    EXPECT_TRUE(rig.mapping.translate(0).has_value());
+}
+
+TEST(RecoveryEngineTest, EscalatesEachBlockAtMostOnce)
+{
+    RecoveryRig rig;
+    Rng rng(1);
+    rig.mapping.prefill(0.5, 0.0, rng);
+    rig.build();
+
+    PhysAddr addr = rig.mappedAddr(0);
+    rig.rec->onBlockFault(addr, FaultKind::UncorrectableRead);
+    EXPECT_TRUE(rig.rec->blockFaulted(addr));
+    // A retry reporting the same failing block must not retire twice.
+    rig.rec->onBlockFault(addr, FaultKind::ProgramFail);
+    rig.engine.run();
+    EXPECT_EQ(rig.rec->blocksRetired(), 1u);
+}
+
+TEST(RecoveryEngineTest, HardwareRepairShortCircuitsRetirement)
+{
+    RecoveryRig rig;
+    Rng rng(1);
+    rig.mapping.prefill(0.5, 0.0, rng);
+    rig.routes.hardwareRepair = [](const PhysAddr &) { return true; };
+    rig.build();
+
+    PhysAddr addr = rig.mappedAddr(0);
+    std::uint32_t unit = rig.mapping.unitOf(addr);
+    rig.rec->onBlockFault(addr, FaultKind::ProgramFail);
+    rig.engine.run();
+
+    EXPECT_EQ(rig.rec->blocksRepaired(), 1u);
+    EXPECT_EQ(rig.rec->blocksRetired(), 0u);
+    EXPECT_FALSE(rig.mapping.blockState(unit, addr.block).isBad);
+    EXPECT_EQ(rig.copies, 0u);
+}
+
+TEST(RecoveryEngineTest, FailedHardwareRepairFallsBackToRetirement)
+{
+    RecoveryRig rig;
+    Rng rng(1);
+    rig.mapping.prefill(0.5, 0.0, rng);
+    // Repair hardware present but out of spares/SRT room.
+    rig.routes.hardwareRepair = [](const PhysAddr &) { return false; };
+    rig.build();
+
+    rig.rec->onBlockFault(rig.mappedAddr(0),
+                          FaultKind::UncorrectableRead);
+    rig.engine.run();
+    EXPECT_EQ(rig.rec->blocksRepaired(), 0u);
+    EXPECT_EQ(rig.rec->blocksRetired(), 1u);
+}
+
+TEST(RecoveryEngineTest, UnremapRedirectsRetirementToFtlAddress)
+{
+    RecoveryRig rig;
+    Rng rng(1);
+    rig.mapping.prefill(0.5, 0.0, rng);
+
+    PhysAddr faulted = rig.mappedAddr(0);
+    // Pretend `faulted` is a replacement block: the FTL-visible block
+    // behind it is the next one over.
+    PhysAddr behind = faulted;
+    behind.block = (faulted.block + 1) % smallGeom().blocksPerPlane;
+    rig.routes.unremap = [faulted, behind](const PhysAddr &a) {
+        return a.block == faulted.block ? behind : a;
+    };
+    rig.build();
+
+    rig.rec->onBlockFault(faulted, FaultKind::EraseFail);
+    rig.engine.run();
+
+    std::uint32_t unit = rig.mapping.unitOf(behind);
+    EXPECT_TRUE(rig.mapping.blockState(unit, behind.block).isBad);
+    EXPECT_FALSE(
+        rig.mapping.blockState(unit, faulted.block).isBad);
+}
+
+TEST(RecoveryEngineTest, OverrideSinkDivertsEscalations)
+{
+    struct CountingSink : FaultSink
+    {
+        unsigned faults = 0;
+        void onBlockFault(const PhysAddr &, FaultKind) override
+        {
+            ++faults;
+        }
+    } sink;
+
+    RecoveryRig rig;
+    Rng rng(1);
+    rig.mapping.prefill(0.5, 0.0, rng);
+    rig.build();
+    rig.rec->setOverrideSink(&sink);
+
+    rig.rec->onBlockFault(rig.mappedAddr(0),
+                          FaultKind::UncorrectableRead);
+    rig.engine.run();
+    EXPECT_EQ(sink.faults, 1u);
+    EXPECT_EQ(rig.rec->blocksRetired(), 0u);
+    EXPECT_EQ(rig.rec->blocksRepaired(), 0u);
+}
+
+TEST(RecoveryEngineTest, CopybackFallbackWalksTheFrontEndRoute)
+{
+    RecoveryRig rig;
+    rig.build();
+
+    PhysAddr src{};
+    PhysAddr dst{};
+    dst.channel = 1;
+    LatencyBreakdown bd;
+    bool done = false;
+    rig.rec->copybackFallback(src, dst, tagGc, &bd,
+                              [&done] { done = true; });
+    rig.engine.run();
+
+    EXPECT_TRUE(done);
+    EXPECT_EQ(rig.rec->copybackFallbacks(), 1u);
+    // Re-read at the source, slow decode, then the destination
+    // program — with the bus/DRAM bounce in between.
+    ASSERT_EQ(rig.route.size(), 3u);
+    EXPECT_EQ(rig.route[0], "read");
+    EXPECT_EQ(rig.route[1], "ecc");
+    EXPECT_EQ(rig.route[2], "program");
+    EXPECT_GT(bd.systemBus, 0u);
+    EXPECT_GT(bd.dram, 0u);
+}
+
+} // namespace
+} // namespace dssd

@@ -39,6 +39,7 @@ usage()
         "  --random        random offsets (default sequential)\n"
         "  --buffer=B      real|hit|miss (default miss)\n"
         "  --qd=N          queue depth (default 64)\n"
+        "  --shards=N      run an N-shard SsdArray front-end (default 1)\n"
         "  --window-ms=N   measurement window (default 30)\n"
         "  --channels=N --ways=N --planes=N   geometry (8/4/8)\n"
         "  --blocks=N --pages=N               per-plane geometry (16/16)\n"
@@ -138,6 +139,8 @@ main(int argc, char **argv)
             p.bufferMode = parseBuffer(v);
         else if (flagValue(argv[i], "--qd", &v))
             p.queueDepth = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--shards", &v))
+            p.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (flagValue(argv[i], "--window-ms", &v))
             p.window = msToTicks(std::strtod(v, nullptr));
         else if (flagValue(argv[i], "--channels", &v))
@@ -228,7 +231,10 @@ main(int argc, char **argv)
                                         (unsigned long long)(
                                             p.requestBytes / kKiB))
                                   .c_str(),
-                "", p.queueDepth, ticksToMs(p.window),
+                p.shards > 1
+                    ? strformat(", %u shards", p.shards).c_str()
+                    : "",
+                p.queueDepth, ticksToMs(p.window),
                 p.runGc ? "on" : "off", gcPolicyName(p.gcPolicy));
 
     ExpResult r = runExperiment(p);

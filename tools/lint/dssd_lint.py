@@ -31,6 +31,15 @@ R4  header hygiene: include guards spell the header path
     `using namespace`, and project includes are written as quoted
     subdir paths ("sim/engine.hh"), never relative ("engine.hh").
 
+R5  layering: each src/ subdirectory may only include headers from
+    the layers below it, per the dependency DAG in LAYER_DEPS (which
+    mirrors the target_link_libraries edges in the per-directory
+    CMakeLists and the layer diagram in DESIGN.md). Same-directory
+    includes are always allowed. A new cross-layer edge is a design
+    decision: add it here AND to the CMake link line AND to DESIGN.md,
+    or restructure (the fault/ Routes callbacks show the pattern for
+    keeping an upward reference out of the DAG).
+
 Exit status is non-zero when any rule fires; diagnostics are
 file:line: messages suitable for CI annotation.
 """
@@ -76,6 +85,25 @@ R3_DEFAULT_CAPTURE = re.compile(r"\[\s*[=&]\s*[,\]]")
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 INCLUDE_QUOTED = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 GUARD_IFNDEF = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+
+# R5: allowed include targets per src/ subdirectory (the layering DAG).
+# A directory always may include itself; anything else must be listed.
+LAYER_DEPS = {
+    "sim": set(),
+    "overhead": set(),
+    "bus": {"sim"},
+    "ecc": {"sim"},
+    "nand": {"sim"},
+    "reliability": {"sim"},
+    "workload": {"sim"},
+    "ftl": {"nand", "sim"},
+    "fault": {"bus", "ecc", "ftl", "nand", "sim"},
+    "noc": {"bus", "fault", "sim"},
+    "controller": {"bus", "ecc", "fault", "nand", "sim"},
+    "hil": {"sim", "workload"},
+    "core": {"bus", "controller", "fault", "ftl", "nand", "noc",
+             "reliability", "sim", "workload"},
+}
 
 
 def strip_comments_and_strings(line):
@@ -204,6 +232,26 @@ def lint_file(path, rel, errors):
                 f"{path}:{no}: [R4] project include \"{m.group(1)}\" "
                 f"must use its subdir-qualified path (e.g. "
                 f"\"sim/engine.hh\")")
+
+    # R5 ------------------------------------------------------------
+    layer = rel.parts[0] if len(rel.parts) > 1 else None
+    if layer in LAYER_DEPS:
+        allowed = LAYER_DEPS[layer] | {layer}
+        for no, _, raw in lines:
+            m = INCLUDE_QUOTED.match(raw)
+            if not m or "/" not in m.group(1):
+                continue
+            target = m.group(1).split("/")[0]
+            if target in LAYER_DEPS and target not in allowed:
+                errors.append(
+                    f"{path}:{no}: [R5] layering violation: {layer}/ may "
+                    f"not include \"{m.group(1)}\" ({layer} -> {target} "
+                    f"is not an edge of the dependency DAG; allowed: "
+                    f"{', '.join(sorted(LAYER_DEPS[layer])) or 'none'})")
+    elif layer is not None and path.suffix in {".hh", ".cc"}:
+        errors.append(
+            f"{path}:1: [R5] directory src/{layer}/ is not in the "
+            f"layering DAG; add it to LAYER_DEPS in dssd_lint.py")
 
 
 def main(argv):

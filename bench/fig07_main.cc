@@ -21,14 +21,23 @@ constexpr ArchKind kArchs[] = {ArchKind::Baseline, ArchKind::BW,
                                ArchKind::DSSDNoc};
 
 ExpParams
-baseParams(bool full)
+baseParams(const BenchOpts &o)
 {
+    bool full = o.full;
     ExpParams p;
     p.channels = 8;
     p.ways = full ? 8 : 4;
     p.planes = 8;
     p.blocksPerPlane = full ? 32 : 16;
     p.pagesPerBlock = full ? 32 : 16;
+    // Optional array front-end: --shards=N runs every point on an
+    // N-shard SsdArray (per-shard queue load kept constant), and
+    // --engine-threads picks the engine-group execution mode.
+    if (o.shards > 0) {
+        p.shards = o.shards;
+        p.queueDepth = 64 * o.shards;
+    }
+    p.engineThreads = o.engineThreads;
     p.requestBytes = 128 * kKiB; // high-bandwidth flash access (Sec 6.1)
     p.sequential = true;
     // Buffered writes (the paper's SSD stages all writes through the
@@ -53,7 +62,7 @@ main(int argc, char **argv)
     std::printf("%-10s  %12s  %12s  %10s  %10s\n", "config",
                 "IO(GB/s)", "GC(pg/s)", "IO(norm)", "GC(norm)");
     for (ArchKind k : kArchs) {
-        ExpParams p = baseParams(o.full);
+        ExpParams p = baseParams(o);
         p.arch = k;
         p.seed = o.seed;
         if (k == ArchKind::DSSDNoc) {
@@ -79,7 +88,7 @@ main(int argc, char **argv)
     std::printf("%-10s  %16s  %16s\n", "config", "DRAM-hit util(%)",
                 "flash-wr util(%)");
     for (ArchKind k : kArchs) {
-        ExpParams p = baseParams(o.full);
+        ExpParams p = baseParams(o);
         p.arch = k;
         p.seed = o.seed;
         p.bufferMode = BufferMode::AlwaysHit;

@@ -31,14 +31,20 @@ constexpr Scheme kSchemes[] = {
 };
 
 double
-runTrace(const char *trace, const Scheme &s, std::uint64_t seed)
+runTrace(const char *trace, const Scheme &s, const BenchOpts &o)
 {
+    std::uint64_t seed = o.seed;
     ExpParams p;
     p.arch = s.arch;
     p.gcPolicy = s.pol;
     p.channels = 8;
     p.ways = 4;
     p.planes = 8;
+    // Optional array front-end (--shards / --engine-threads); the
+    // trace's LPN space then stripes across the shards.
+    if (o.shards > 0)
+        p.shards = o.shards;
+    p.engineThreads = o.engineThreads;
     p.traceName = trace;
     p.bufferMode = BufferMode::Real;
     // Open-loop replay at a moderate arrival rate: the device is not
@@ -69,7 +75,7 @@ main(int argc, char **argv)
     double p99[std::size(kSchemes)];
     int i = 0;
     for (const Scheme &s : kSchemes)
-        p99[i++] = runTrace("prn_0", s, o.seed);
+        p99[i++] = runTrace("prn_0", s, o);
     double dssdf = p99[std::size(kSchemes) - 1];
     i = 0;
     for (const Scheme &s : kSchemes) {
@@ -85,9 +91,9 @@ main(int argc, char **argv)
                             "proj_0", "mds_0", "web_0", "rsrch_0"};
     double gain[std::size(kSchemes) - 1] = {};
     for (const char *t : traces) {
-        double d = runTrace(t, kSchemes[std::size(kSchemes) - 1], o.seed);
+        double d = runTrace(t, kSchemes[std::size(kSchemes) - 1], o);
         for (std::size_t s = 0; s + 1 < std::size(kSchemes); ++s)
-            gain[s] += runTrace(t, kSchemes[s], o.seed) / d;
+            gain[s] += runTrace(t, kSchemes[s], o) / d;
     }
     std::printf("%-14s  %22s\n", "vs scheme",
                 "avg p99 reduction (x)");

@@ -40,6 +40,13 @@ faultPoint(const BenchOpts &o, ArchKind arch, double scale)
     p.bufferMode = BufferMode::AlwaysMiss;
     p.window = (o.full ? 30 : 15) * tickMs;
     p.seed = o.seed;
+    // Optional array front-end (--shards / --engine-threads); the
+    // fault model then runs independently per shard.
+    if (o.shards > 0) {
+        p.shards = o.shards;
+        p.queueDepth = 64 * o.shards;
+    }
+    p.engineThreads = o.engineThreads;
     p.fault.enabled = true;
     p.fault.seed = o.faultSeed;
     p.fault.rberScale = scale;

@@ -12,6 +12,7 @@
  * count so the host keeps every shard loaded.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -55,12 +56,47 @@ main(int argc, char **argv)
             ExpParams p = base;
             p.arch = k;
             p.shards = s;
+            p.engineThreads = o.engineThreads;
             // Keep per-shard load constant: QD 32 per shard.
             p.queueDepth = 32 * s;
             ps.push_back(p);
         }
     }
-    std::vector<ExpResult> rs = runExperiments(ps, o.resolvedThreads());
+    // Observability hooks go to one representative point: dSSD_f at
+    // the largest shard count (the configuration the scaling and CI
+    // bit-identity claims are about).
+    for (ExpParams &p : ps) {
+        if (p.arch == ArchKind::DSSDNoc &&
+            p.shards == kShards[std::size(kShards) - 1]) {
+            p.tracePath = o.trace;
+            p.statsPath = o.stats;
+        }
+    }
+
+    // --timing runs the points serially so each wall-clock number
+    // measures one experiment alone; all of it goes to stderr (and the
+    // JSON series), never stdout, which must stay byte-identical
+    // across --engine-threads values.
+    std::vector<ExpResult> rs;
+    std::vector<double> wall_ms(ps.size(), 0.0);
+    if (o.timing) {
+        rs.resize(ps.size());
+        for (std::size_t i = 0; i < ps.size(); ++i) {
+            auto t0 = std::chrono::steady_clock::now();
+            rs[i] = runExperiment(ps[i]);
+            auto t1 = std::chrono::steady_clock::now();
+            wall_ms[i] =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            std::fprintf(stderr,
+                         "[timing] %s shards=%u engine-threads=%u: "
+                         "%.1f ms\n",
+                         archName(ps[i].arch), ps[i].shards,
+                         ps[i].engineThreads, wall_ms[i]);
+        }
+    } else {
+        rs = runExperiments(ps, o.resolvedThreads());
+    }
 
     std::printf("\n%-8s  %-7s  %12s  %9s  %12s\n", "config", "shards",
                 "IO BW", "scaling", "GC pages/s");
@@ -79,6 +115,10 @@ main(int argc, char **argv)
             json.add(strformat("%s/io_gbps", archName(k)),
                      r.ioBytesPerSec / 1e9);
             json.add(strformat("%s/scaling", archName(k)), scaling);
+            if (o.timing) {
+                json.add(strformat("%s/wall_ms", archName(k)),
+                         wall_ms[idx - 1]);
+            }
         }
         rule();
     }

@@ -50,10 +50,18 @@ BenchOpts::parse(int argc, char **argv)
         else if ((v = value("--fault-seed", i))) {
             o.faults = true;
             o.faultSeed = std::strtoull(v, nullptr, 10);
-        } else
+        } else if ((v = value("--shards", i)))
+            o.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if ((v = value("--engine-threads", i))) {
+            o.engineThreads =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--timing") == 0)
+            o.timing = true;
+        else
             fatal("unknown option '%s' (supported: --full --seed=N "
                   "--threads=N --json=FILE --trace=FILE --stats=FILE "
-                  "--faults --fault-seed=N)",
+                  "--faults --fault-seed=N --shards=N "
+                  "--engine-threads=N --timing)",
                   argv[i]);
     }
     return o;
@@ -160,12 +168,14 @@ runExperiment(const ExpParams &p)
     }
 
     // One plain Ssd at shards == 1 (bit-identical to the pre-array
-    // harness); an SsdArray front-end above N shards otherwise.
+    // harness); an SsdArray front-end above N shards — or whenever the
+    // engine group is requested — otherwise.
     std::unique_ptr<Ssd> single;
     std::unique_ptr<SsdArray> array;
-    if (p.shards > 1) {
+    if (p.shards > 1 || p.engineThreads > 0) {
         SsdArrayParams ap;
         ap.shards = p.shards;
+        ap.engineThreads = p.engineThreads;
         array = std::make_unique<SsdArray>(engine, cfg, ap);
         array->prefill(p.prefillFill, p.prefillInvalid);
     } else {
@@ -261,12 +271,21 @@ runExperiment(const ExpParams &p)
             gc_loop->arm();
     }
 
-    engine.runUntil(p.window);
+    // Drive through the array when one exists so the engine group's
+    // epoch protocol runs; plain engine driving otherwise. Identical
+    // behavior in legacy mode (the array forwards to the engine).
+    if (array)
+        array->runUntil(p.window);
+    else
+        engine.runUntil(p.window);
     if (gc_loop)
         gc_loop->stopped = true;
     if (drv)
         drv->stop();
-    engine.run();
+    if (array)
+        array->run();
+    else
+        engine.run();
 
 #if DSSD_TRACING
     if (tracer) {

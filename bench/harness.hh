@@ -51,6 +51,18 @@ struct BenchOpts
     /// Seed for the fault model's RNG streams (decoupled from the
     /// workload seed so fault draws don't perturb request streams).
     std::uint64_t faultSeed = 99;
+    /// Override the bench's shard count (0 = bench default; fig18
+    /// sweeps its own counts and ignores this).
+    unsigned shards = 0;
+    /// Per-experiment engine-group workers: 0 runs every shard on one
+    /// shared engine (the pre-group serial path); >= 1 gives each
+    /// shard its own engine under the conservative EngineGroup, with
+    /// that many worker threads (1 = serial reference; any N is
+    /// bit-identical to it).
+    unsigned engineThreads = 0;
+    /// Emit wall-clock timings to stderr (and a timing series into
+    /// --json). Stdout stays byte-identical with or without it.
+    bool timing = false;
 
     static BenchOpts parse(int argc, char **argv);
 
@@ -83,6 +95,9 @@ struct ExpParams
     /// Shard count (Fig 18). 1 runs a plain Ssd — bit-identical to the
     /// pre-array harness; >1 runs an SsdArray with modulo sharding.
     unsigned shards = 1;
+    /// Engine-group workers (see BenchOpts::engineThreads). Any value
+    /// > 0 forces the SsdArray front-end even at shards == 1.
+    unsigned engineThreads = 0;
     const char *traceName = nullptr; ///< overrides synthetic workload
     /// Trace arrival rate (0 = closed-loop). Open-loop replay keeps
     /// the device below saturation so GC interference is what shapes

@@ -16,11 +16,19 @@ SsdArray::SsdArray(Engine &engine, const SsdConfig &config,
 {
     if (_params.shards == 0)
         fatal("SsdArray needs at least one shard");
+    if (_params.engineThreads > 0) {
+        // The firmware fan-out latency is the minimum host-to-shard
+        // delay, so it is the group's conservative lookahead.
+        _group = std::make_unique<EngineGroup>(engine, _params.shards,
+                                               config.firmwareLatency,
+                                               _params.engineThreads);
+    }
     _shards.reserve(_params.shards);
     for (unsigned s = 0; s < _params.shards; ++s) {
         SsdConfig cfg = config;
         cfg.seed = config.seed + s;
-        _shards.push_back(std::make_unique<Ssd>(engine, cfg));
+        Engine &shard_engine = _group ? _group->shardEngine(s) : engine;
+        _shards.push_back(std::make_unique<Ssd>(shard_engine, cfg));
     }
     _lpnsPerShard = _shards.front()->mapping().lpnCount();
 }
@@ -50,15 +58,57 @@ SsdArray::localLpn(Lpn lpn) const
 }
 
 void
+SsdArray::runUntil(Tick until)
+{
+    if (_group)
+        _group->runUntil(until);
+    else
+        _engine.runUntil(until);
+}
+
+void
+SsdArray::run()
+{
+    if (_group)
+        _group->run();
+    else
+        _engine.run();
+}
+
+void
 SsdArray::readPage(Lpn lpn, Callback done)
 {
-    _shards[shardOf(lpn)]->readPage(localLpn(lpn), std::move(done));
+    unsigned s = shardOf(lpn);
+    Lpn local = localLpn(lpn);
+    if (!_group) {
+        _shards[s]->readPage(local, std::move(done));
+        return;
+    }
+    _group->postToShard(
+        s, config().firmwareLatency,
+        [this, s, local, cb = std::move(done)] {
+            _shards[s]->readPage(local, [this, s, cb] {
+                _group->postToHost(s, cb);
+            });
+        });
 }
 
 void
 SsdArray::writePage(Lpn lpn, Callback done)
 {
-    _shards[shardOf(lpn)]->writePage(localLpn(lpn), std::move(done));
+    unsigned s = shardOf(lpn);
+    Lpn local = localLpn(lpn);
+    if (!_group) {
+        _shards[s]->writePage(local, std::move(done));
+        return;
+    }
+    _group->postToShard(
+        s, config().firmwareLatency,
+        [this, s, local, cb = std::move(done)] {
+            _shards[s]->writePage(local, [this, s, cb] {
+                _group->postToHost(s, cb);
+            });
+        });
 }
 
 void
@@ -86,6 +136,10 @@ SsdArray::submit(const IoRequest &req, Callback done)
         split[shardOf(lpn)].push_back(localLpn(lpn));
     }
 
+    // `remaining` is only ever decremented on the host side: in group
+    // mode every per-page completion comes back through postToHost and
+    // runs as a host-engine event, so no atomics are needed and the
+    // countdown order is the deterministic merge order.
     auto remaining = std::make_shared<std::uint64_t>(pages);
     Callback page_done = [remaining, cb = std::move(done)] {
         if (--*remaining == 0)
@@ -98,6 +152,21 @@ SsdArray::submit(const IoRequest &req, Callback done)
             continue;
         auto batch =
             std::make_shared<std::vector<Lpn>>(std::move(split[s]));
+        if (_group) {
+            _group->postToShard(s, fw, [this, s, batch, page_done,
+                                        is_read = req.isRead()] {
+                Callback local_done = [this, s, page_done] {
+                    _group->postToHost(s, page_done);
+                };
+                for (Lpn lpn : *batch) {
+                    if (is_read)
+                        _shards[s]->readPage(lpn, local_done);
+                    else
+                        _shards[s]->writePage(lpn, local_done);
+                }
+            });
+            continue;
+        }
         _engine.schedule(fw, [this, s, batch, page_done,
                               is_read = req.isRead()] {
             for (Lpn lpn : *batch) {
@@ -115,13 +184,28 @@ SsdArray::forceAllGc(unsigned victims_per_unit, Callback done)
 {
     auto remaining = std::make_shared<unsigned>(
         static_cast<unsigned>(_shards.size()));
-    for (auto &s : _shards) {
-        s->gc().forceAll(victims_per_unit,
-                         [remaining, done] {
-            if (--*remaining == 0)
-                done();
-        });
+    Callback shard_done = [remaining, cb = std::move(done)] {
+        if (--*remaining == 0)
+            cb();
+    };
+    if (_group) {
+        // Like host I/O, the kick must cross into the shard domains:
+        // charge the lookahead and bring completions home through the
+        // deterministic merge.
+        for (unsigned s = 0; s < _shards.size(); ++s) {
+            _group->postToShard(
+                s, _group->lookahead(),
+                [this, s, victims_per_unit, shard_done] {
+                    _shards[s]->gc().forceAll(
+                        victims_per_unit, [this, s, shard_done] {
+                            _group->postToHost(s, shard_done);
+                        });
+                });
+        }
+        return;
     }
+    for (auto &s : _shards)
+        s->gc().forceAll(victims_per_unit, shard_done);
 }
 
 std::uint64_t
@@ -228,6 +312,8 @@ SsdArray::registerStats(StatRegistry &reg,
     reg.addScalar(prefix + ".shards", [this] {
         return static_cast<double>(_shards.size());
     });
+    if (_group)
+        _group->registerStats(reg, prefix + ".group");
     for (std::size_t s = 0; s < _shards.size(); ++s) {
         _shards[s]->registerStats(reg,
                                   prefix + strformat(".shard%zu", s));

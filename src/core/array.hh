@@ -15,6 +15,23 @@
  *    contiguous host range across all shards;
  *  - Range: the LPN space is cut into N contiguous extents; locality
  *    stays within one shard.
+ *
+ * Two execution modes, selected by SsdArrayParams::engineThreads:
+ *  - 0 (legacy): every shard shares the caller's engine; the caller
+ *    drives that engine directly (run()/runUntil()). Fan-out is an
+ *    ordinary event at +firmwareLatency.
+ *  - >= 1 (engine group): each shard owns a private Engine inside a
+ *    conservatively-synchronized EngineGroup (sim/engine_group.hh);
+ *    fan-out becomes cross-engine message posting with the firmware
+ *    latency as the lookahead, and completions merge back into the
+ *    host engine deterministically. The caller must drive the array
+ *    through SsdArray::run()/runUntil() so the group's epoch protocol
+ *    runs; 1 is the serial reference and any higher count is
+ *    bit-identical to it by construction. In this mode the
+ *    page-granular readPage/writePage also charge the firmware
+ *    fan-out latency (the group's lookahead floor), and the host
+ *    engine's tracer is not propagated to shard engines (Tracer is
+ *    not thread-safe); host-level spans still work.
  */
 
 #ifndef DSSD_CORE_ARRAY_HH
@@ -25,6 +42,7 @@
 #include <vector>
 
 #include "core/ssd.hh"
+#include "sim/engine_group.hh"
 
 namespace dssd
 {
@@ -40,6 +58,13 @@ struct SsdArrayParams
 {
     unsigned shards = 1;
     ShardingKind sharding = ShardingKind::Modulo;
+    /**
+     * 0: all shards share the caller's engine (legacy serial mode).
+     * >= 1: per-shard engines under an EngineGroup, with this many
+     * worker threads running the shard phases (clamped to the shard
+     * count; 1 keeps everything on the calling thread).
+     */
+    unsigned engineThreads = 0;
 };
 
 /** N independent Ssd shards behind one logical LPN space. */
@@ -79,6 +104,20 @@ class SsdArray
     Engine &engine() { return _engine; }
     const SsdConfig &config() const { return _shards.front()->config(); }
     const SsdArrayParams &params() const { return _params; }
+
+    /** The engine group, or null in legacy shared-engine mode. */
+    EngineGroup *engineGroup() { return _group.get(); }
+
+    /**
+     * Drive the simulation to @p until: the group's epoch protocol
+     * when one exists, otherwise the shared engine directly. Use these
+     * instead of touching engine() so the same driver code works in
+     * both modes.
+     */
+    void runUntil(Tick until);
+
+    /** Drive the simulation until no work remains anywhere. */
+    void run();
 
     unsigned shardCount() const
     {
@@ -125,6 +164,9 @@ class SsdArray
   private:
     Engine &_engine;
     SsdArrayParams _params;
+    /// Declared before _shards: shard Ssds borrow the group's engines,
+    /// so they must be destroyed first (reverse member order).
+    std::unique_ptr<EngineGroup> _group;
     std::vector<std::unique_ptr<Ssd>> _shards;
     Lpn _lpnsPerShard = 0;
 };

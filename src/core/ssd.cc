@@ -282,7 +282,7 @@ Ssd::writePage(Lpn lpn, Callback done)
 void
 Ssd::readPageInternal(Lpn lpn, Callback done)
 {
-    auto bd = std::make_shared<LatencyBreakdown>();
+    auto bd = makePooled<LatencyBreakdown>(_bdPool);
     auto finish = [this, bd, cb = std::move(done)] {
         _ioBreakdown.add(*bd);
         --_ioOutstanding;
@@ -321,7 +321,7 @@ Ssd::readPageInternal(Lpn lpn, Callback done)
 void
 Ssd::writePageInternal(Lpn lpn, Callback done)
 {
-    auto bd = std::make_shared<LatencyBreakdown>();
+    auto bd = makePooled<LatencyBreakdown>(_bdPool);
     auto finish = [this, bd, cb = std::move(done)] {
         _ioBreakdown.add(*bd);
         --_ioOutstanding;
@@ -417,7 +417,7 @@ Ssd::directWrite(Lpn lpn, std::shared_ptr<LatencyBreakdown> bd,
 void
 Ssd::gcCopyPage(const PhysAddr &src, const PhysAddr &dst, Callback done)
 {
-    auto bd = std::make_shared<LatencyBreakdown>();
+    auto bd = makePooled<LatencyBreakdown>(_bdPool);
     auto finish = [this, bd, cb = std::move(done)] {
         _cbBreakdown.add(*bd);
         cb();

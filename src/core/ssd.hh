@@ -35,6 +35,7 @@
 #include "noc/network.hh"
 #include "sim/audit.hh"
 #include "sim/engine.hh"
+#include "sim/pool.hh"
 #include "sim/rng.hh"
 #include "workload/request.hh"
 
@@ -218,6 +219,10 @@ class Ssd
     Engine &_engine;
     SsdConfig _config;
     Rng _rng;
+    /// Recycles the per-page-op LatencyBreakdown nodes (the write
+    /// path's only steady-state heap traffic). Shared ownership: nodes
+    /// parked in pending events pin the pool past this Ssd's lifetime.
+    PoolPtr _bdPool = PoolPtr::make();
 
     std::unique_ptr<UtilizationRecorder> _busRecorder;
     std::unique_ptr<SystemBus> _systemBus;

@@ -113,6 +113,14 @@ class Engine
     /** Number of events waiting in the queue. */
     std::size_t pendingEvents() const { return _pending; }
 
+    /**
+     * Tick of the earliest pending event, or maxTick when the queue is
+     * empty. Non-const because probing may rotate the calendar window;
+     * the schedule itself is unchanged. The conservative engine-group
+     * coordinator (sim/engine_group.hh) uses this to size its epochs.
+     */
+    Tick nextEventTick();
+
     /** Total number of events executed since construction. */
     std::uint64_t executedEvents() const { return _executed; }
 
@@ -186,8 +194,6 @@ class Engine
     void insert(Event *ev);
     /** Detach the earliest (when, seq) event; null when empty. */
     Event *popMin();
-    /** Tick of the earliest pending event, or maxTick when empty. */
-    Tick nextEventTick();
     /** Move the near window to the earliest far event and drain. */
     void rotateWindow();
     /** Index of the first non-empty bucket from @p from, or npos. */

@@ -1,0 +1,272 @@
+/**
+ * Unit tests for the conservatively-synchronized EngineGroup: the
+ * epoch/window protocol, lookahead-boundary behaviour, the
+ * deterministic shard->host completion merge, worker-count
+ * independence, and the lookahead guard rails.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/engine_group.hh"
+#include "sim/registry.hh"
+
+namespace dssd
+{
+namespace
+{
+
+constexpr Tick kLookahead = 1000;
+
+TEST(EngineGroupTest, ConstructionAndAccessors)
+{
+    Engine host;
+    EngineGroup g(host, 4, kLookahead, 1);
+    EXPECT_EQ(g.shardCount(), 4u);
+    EXPECT_EQ(g.lookahead(), kLookahead);
+    EXPECT_EQ(g.workerCount(), 0u); // 1 thread = serial on the caller
+    EXPECT_EQ(g.epochsRun(), 0u);
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_EQ(g.shardEngine(s).now(), 0u);
+}
+
+TEST(EngineGroupTest, ThreadCountClampsToShards)
+{
+    Engine host;
+    EngineGroup g(host, 2, kLookahead, 16);
+    EXPECT_EQ(g.workerCount(), 2u);
+}
+
+TEST(EngineGroupTest, MessageRoundTrip)
+{
+    Engine host;
+    EngineGroup g(host, 2, kLookahead, 1);
+
+    Tick shard_saw = 0, host_saw = 0;
+    g.postToShard(1, kLookahead, [&g, &shard_saw, &host_saw] {
+        shard_saw = g.shardEngine(1).now();
+        g.postToHost(1, [&g, &host_saw] { host_saw = g.hostEngine().now(); });
+    });
+    g.run();
+
+    EXPECT_EQ(shard_saw, kLookahead);
+    // The completion is stamped with the shard clock at emission and
+    // runs on the host at that same simulated tick.
+    EXPECT_EQ(host_saw, kLookahead);
+    EXPECT_EQ(g.messagesToShards(), 1u);
+    EXPECT_EQ(g.messagesToHost(), 1u);
+}
+
+TEST(EngineGroupTest, PostBelowLookaheadPanics)
+{
+    Engine host;
+    EngineGroup g(host, 1, kLookahead, 1);
+    EXPECT_DEATH(g.postToShard(0, kLookahead - 1, [] {}),
+                 "below the lookahead");
+}
+
+TEST(EngineGroupTest, ZeroLookaheadIsFatal)
+{
+    Engine host;
+    EXPECT_DEATH(EngineGroup(host, 1, 0, 1), "positive lookahead");
+}
+
+TEST(EngineGroupTest, ZeroShardsIsFatal)
+{
+    Engine host;
+    EXPECT_DEATH(EngineGroup(host, 0, kLookahead, 1),
+                 "at least one shard");
+}
+
+// An event landing exactly on a window boundary (tick k*L) must run in
+// epoch k, never epoch k-1: the epoch over [0, L-1] must not execute
+// an event at tick L.
+TEST(EngineGroupTest, EventExactlyAtWindowEdge)
+{
+    Engine host;
+    EngineGroup g(host, 1, kLookahead, 1);
+
+    std::vector<std::pair<std::uint64_t, Tick>> runs; // (epoch, when)
+    g.shardEngine(0).schedule(kLookahead - 1, [&g, &runs] {
+        runs.emplace_back(g.epochsRun(), g.shardEngine(0).now());
+    });
+    g.shardEngine(0).schedule(kLookahead, [&g, &runs] {
+        runs.emplace_back(g.epochsRun(), g.shardEngine(0).now());
+    });
+    g.run();
+
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0].first, 0u); // epoch 0 covers [0, L-1]
+    EXPECT_EQ(runs[0].second, kLookahead - 1);
+    EXPECT_EQ(runs[1].first, 1u); // epoch 1 covers [L, 2L-1]
+    EXPECT_EQ(runs[1].second, kLookahead);
+    EXPECT_EQ(g.epochsRun(), 2u);
+}
+
+// runUntil shares Engine::runUntil's contract: an event at exactly
+// `until` executes, one tick later does not.
+TEST(EngineGroupTest, RunUntilIsInclusive)
+{
+    Engine host;
+    EngineGroup g(host, 1, kLookahead, 1);
+
+    bool at = false, after = false;
+    Tick until = 3 * kLookahead + kLookahead / 2;
+    g.shardEngine(0).schedule(until, [&at] { at = true; });
+    g.shardEngine(0).schedule(until + 1, [&after] { after = true; });
+    g.runUntil(until);
+    EXPECT_TRUE(at);
+    EXPECT_FALSE(after);
+    g.run();
+    EXPECT_TRUE(after);
+}
+
+// Completions from different shards at the same host tick must merge
+// in shard-index order, regardless of which shard emitted first in
+// wall-clock terms.
+TEST(EngineGroupTest, TieBreakMergesByShardIndex)
+{
+    Engine host;
+    EngineGroup g(host, 4, kLookahead, 1);
+
+    std::vector<unsigned> order;
+    // Post in reverse shard order so arrival order != shard order.
+    for (unsigned s = 4; s-- > 0;) {
+        g.postToShard(s, kLookahead, [&g, &order, s] {
+            g.postToHost(s, [&order, s] { order.push_back(s); });
+        });
+    }
+    g.run();
+    ASSERT_EQ(order.size(), 4u);
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_EQ(order[s], s);
+}
+
+// Per-shard emission order is preserved through the merge even when
+// interleaved with another shard's same-tick completions.
+TEST(EngineGroupTest, EmissionOrderPreservedWithinShard)
+{
+    Engine host;
+    EngineGroup g(host, 2, kLookahead, 1);
+
+    std::vector<std::string> order;
+    for (unsigned s = 0; s < 2; ++s) {
+        g.postToShard(s, kLookahead, [&g, &order, s] {
+            for (int i = 0; i < 3; ++i) {
+                g.postToHost(s, [&order, s, i] {
+                    order.push_back(std::to_string(s) + "." +
+                                    std::to_string(i));
+                });
+            }
+        });
+    }
+    g.run();
+    std::vector<std::string> want = {"0.0", "0.1", "0.2",
+                                     "1.0", "1.1", "1.2"};
+    EXPECT_EQ(order, want);
+}
+
+// The full observable schedule — host merge order, per-shard event
+// times and order, epoch count — must be identical for any worker
+// count. Shard-side logging is confined to a per-shard vector (shards
+// in the same epoch run concurrently, so their relative wall-clock
+// interleaving is meaningless and must not be observed).
+TEST(EngineGroupTest, WorkerCountDoesNotChangeTheSchedule)
+{
+    auto trace = [](unsigned threads) {
+        Engine host;
+        EngineGroup g(host, 4, kLookahead, threads);
+        std::vector<std::vector<std::string>> shardLog(4);
+        std::vector<std::string> hostLog;
+
+        // A little cross-domain ping-pong web: the host seeds each
+        // shard, shards reply, the host re-posts a few rounds.
+        struct Pinger
+        {
+            EngineGroup &g;
+            std::vector<std::vector<std::string>> &shardLog;
+            std::vector<std::string> &hostLog;
+            void
+            ping(unsigned s, int round)
+            {
+                if (round >= 3)
+                    return;
+                g.postToShard(s, kLookahead + 37 * s, [this, s, round] {
+                    shardLog[s].push_back(
+                        "@" + std::to_string(g.shardEngine(s).now()));
+                    g.postToHost(s, [this, s, round] {
+                        hostLog.push_back(
+                            "host" + std::to_string(s) + "@" +
+                            std::to_string(g.hostEngine().now()));
+                        ping(s, round + 1);
+                    });
+                });
+            }
+        };
+        Pinger p{g, shardLog, hostLog};
+        for (unsigned s = 0; s < 4; ++s)
+            p.ping(s, 0);
+        g.run();
+
+        std::vector<std::string> log = hostLog;
+        for (unsigned s = 0; s < 4; ++s)
+            for (const std::string &e : shardLog[s])
+                log.push_back("shard" + std::to_string(s) + e);
+        log.push_back("epochs=" + std::to_string(g.epochsRun()));
+        log.push_back("toHost=" + std::to_string(g.messagesToHost()));
+        return log;
+    };
+
+    std::vector<std::string> serial = trace(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(trace(2), serial);
+    EXPECT_EQ(trace(4), serial);
+    EXPECT_EQ(trace(16), serial);
+}
+
+// Epochs are skipped across idle gaps: two bursts separated by a long
+// quiet period cost epochs proportional to the bursts, not the gap.
+TEST(EngineGroupTest, IdleGapsDoNotBurnEpochs)
+{
+    Engine host;
+    EngineGroup g(host, 2, kLookahead, 1);
+    unsigned ran = 0;
+    g.shardEngine(0).schedule(10, [&ran] { ++ran; });
+    g.shardEngine(1).schedule(1000 * kLookahead + 5, [&ran] { ++ran; });
+    g.run();
+    EXPECT_EQ(ran, 2u);
+    EXPECT_EQ(g.epochsRun(), 2u);
+}
+
+TEST(EngineGroupTest, HostOnlyWorkRunsWithoutShardActivity)
+{
+    Engine host;
+    EngineGroup g(host, 2, kLookahead, 1);
+    Tick saw = 0;
+    host.schedule(kLookahead / 2, [&host, &saw] { saw = host.now(); });
+    g.run();
+    EXPECT_EQ(saw, kLookahead / 2);
+}
+
+TEST(EngineGroupTest, RegisterStatsExportsCounters)
+{
+    Engine host;
+    EngineGroup g(host, 2, kLookahead, 1);
+    StatRegistry reg;
+    g.registerStats(reg, "grp");
+    g.postToShard(0, kLookahead, [&g] { g.postToHost(0, [] {}); });
+    g.run();
+    EXPECT_DOUBLE_EQ(reg.value("grp.msgs_to_shards"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("grp.msgs_to_host"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("grp.lookahead_ticks"),
+                     static_cast<double>(kLookahead));
+    EXPECT_GT(reg.value("grp.epochs"), 0.0);
+}
+
+} // namespace
+} // namespace dssd

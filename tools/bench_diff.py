@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON files and flag regressions.
+
+Understands both machine-readable formats this repo produces:
+
+ - the harness JsonSeriesWriter document
+   ({"bench": id, "series": {name: [v, ...]}}) written by the fig
+   benches with --json, e.g. the committed BENCH_fig18.json;
+ - google-benchmark --benchmark_out JSON
+   ({"benchmarks": [{"name": .., "real_time": .., "cpu_time": ..}]}),
+   e.g. the committed BENCH_micro.json.
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--tol FRAC]
+    tools/bench_diff.py --git [--git-ref REF] BENCH_fig18.json
+                        [NEW.json] [--tol FRAC]
+
+With --git, OLD is the committed version of the file (git show
+REF:path, REF from --git-ref, default HEAD) and NEW defaults to the
+working-tree copy — i.e. "did my change move the numbers I'm about
+to commit?".
+
+Every metric present in both files is compared; a relative change
+beyond --tol (default 10%, generous because CI machines are noisy)
+in the *bad* direction is a failure. Direction is inferred from the
+metric name: throughput-ish series (gbps, scaling, iops, *_per_s,
+items_per_second) must not drop; time-ish metrics (ms, ns, time,
+latency, p99...) must not grow. Unknown names are reported but never
+fail the diff. Metrics present on only one side are listed as
+added/removed. Exit 1 on any regression, else 0.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# Substrings that classify a metric: bigger-is-better vs smaller-is-
+# better. Checked in order; first hit wins.
+HIGHER_IS_BETTER = ("gbps", "scaling", "iops", "per_s", "per_second",
+                    "throughput", "bandwidth")
+LOWER_IS_BETTER = ("wall_ms", "_ms", "_ns", "_us", "time", "latency",
+                   "p99", "p999", "stall")
+
+
+def flatten(doc):
+    """Reduce either JSON schema to an ordered {name: [floats]} dict."""
+    if "series" in doc:
+        return {str(k): [float(x) for x in v]
+                for k, v in doc["series"].items()}
+    if "benchmarks" in doc:
+        out = {}
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate" and \
+                    b.get("aggregate_name") not in (None, "mean"):
+                continue  # keep mean, skip median/stddev/cv rows
+            name = b["name"]
+            for field in ("real_time", "cpu_time", "items_per_second"):
+                if field in b:
+                    out.setdefault(f"{name}/{field}", []).append(
+                        float(b[field]))
+        return out
+    raise SystemExit("bench_diff: unrecognized JSON schema "
+                     "(no 'series' or 'benchmarks' key)")
+
+
+def direction(name):
+    low = name.lower()
+    for s in HIGHER_IS_BETTER:
+        if s in low:
+            return +1
+    for s in LOWER_IS_BETTER:
+        if s in low:
+            return -1
+    return 0
+
+
+def load(path, git_ref=None):
+    if git_ref is not None:
+        blob = subprocess.run(
+            ["git", "show", f"{git_ref}:{path}"],
+            capture_output=True, text=True, check=True).stdout
+        return flatten(json.loads(blob))
+    with open(path, encoding="utf-8") as f:
+        return flatten(json.load(f))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="diff two benchmark JSON files")
+    ap.add_argument("old", help="baseline JSON (or the path inside "
+                                "the git ref with --git)")
+    ap.add_argument("new", nargs="?", default=None,
+                    help="candidate JSON; with --git defaults to the "
+                         "working-tree copy of OLD")
+    ap.add_argument("--git", action="store_true",
+                    help="read the baseline from git (--git-ref) "
+                         "instead of the filesystem")
+    ap.add_argument("--git-ref", metavar="REF", default="HEAD",
+                    help="ref the baseline is read from with --git "
+                         "(default HEAD)")
+    ap.add_argument("--tol", type=float, default=0.10,
+                    help="relative regression tolerance "
+                         "(default 0.10 = 10%%)")
+    args = ap.parse_args(argv)
+
+    old = load(args.old, git_ref=args.git_ref if args.git else None)
+    new = load(args.new if args.new is not None else args.old)
+
+    regressions = 0
+    for name in old:
+        if name not in new:
+            print(f"  removed   {name}")
+            continue
+        a, b = old[name], new[name]
+        n = min(len(a), len(b))
+        if len(a) != len(b):
+            print(f"  reshaped  {name}: {len(a)} -> {len(b)} points; "
+                  f"comparing the first {n}")
+        for i in range(n):
+            if a[i] == 0:
+                continue
+            rel = (b[i] - a[i]) / abs(a[i])
+            sense = direction(name)
+            bad = (sense > 0 and rel < -args.tol) or \
+                  (sense < 0 and rel > args.tol)
+            tag = "REGRESSED" if bad else (
+                "improved " if sense != 0 and abs(rel) > args.tol
+                else "ok       ")
+            if bad or abs(rel) > args.tol:
+                print(f"  {tag} {name}[{i}]: "
+                      f"{a[i]:.6g} -> {b[i]:.6g} ({rel:+.1%})")
+            if bad:
+                regressions += 1
+    for name in new:
+        if name not in old:
+            print(f"  added     {name}")
+
+    if regressions:
+        print(f"bench_diff: {regressions} regression(s) beyond "
+              f"{args.tol:.0%}")
+        return 1
+    print(f"bench_diff: {len(old)} metric(s) compared, "
+          f"no regression beyond {args.tol:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -40,6 +40,9 @@ usage()
         "  --buffer=B      real|hit|miss (default miss)\n"
         "  --qd=N          queue depth (default 64)\n"
         "  --shards=N      run an N-shard SsdArray front-end (default 1)\n"
+        "  --engine-threads=N  per-shard engines under the conservative\n"
+        "                  engine group with N workers (0 = one shared\n"
+        "                  engine; any N >= 1 is bit-identical to N=1)\n"
         "  --window-ms=N   measurement window (default 30)\n"
         "  --channels=N --ways=N --planes=N   geometry (8/4/8)\n"
         "  --blocks=N --pages=N               per-plane geometry (16/16)\n"
@@ -141,6 +144,9 @@ main(int argc, char **argv)
             p.queueDepth = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (flagValue(argv[i], "--shards", &v))
             p.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--engine-threads", &v))
+            p.engineThreads =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (flagValue(argv[i], "--window-ms", &v))
             p.window = msToTicks(std::strtod(v, nullptr));
         else if (flagValue(argv[i], "--channels", &v))

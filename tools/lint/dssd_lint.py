@@ -40,6 +40,18 @@ R5  layering: each src/ subdirectory may only include headers from
     or restructure (the fault/ Routes callbacks show the pattern for
     keeping an upward reference out of the DAG).
 
+R6  confined threading: all cross-thread machinery lives in
+    sim/engine_group.{hh,cc} (the conservative parallel-DES
+    coordinator). Everywhere else in src/, <thread>, <mutex>,
+    <condition_variable>, <atomic>, <future>, std::async,
+    thread_local, and std::this_thread are banned: model code runs
+    single-threaded inside one engine (or thread-confined inside one
+    shard of an EngineGroup), and ad-hoc threading breaks the
+    bit-identical N-thread == 1-thread guarantee. Unordered
+    cross-thread merges are exactly the bug class the EngineGroup's
+    deterministic (tick, shard, emission-order) merge exists to
+    prevent - route new parallelism through it.
+
 Exit status is non-zero when any rule fires; diagnostics are
 file:line: messages suitable for CI annotation.
 """
@@ -85,6 +97,23 @@ R3_DEFAULT_CAPTURE = re.compile(r"\[\s*[=&]\s*[,\]]")
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 INCLUDE_QUOTED = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 GUARD_IFNDEF = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+
+# R6: threading primitives, confined to the engine-group coordinator.
+R6_PATTERNS = [
+    (re.compile(r"#\s*include\s*<(thread|mutex|condition_variable|"
+                r"atomic|future|shared_mutex|stop_token|barrier|latch|"
+                r"semaphore)>"),
+     "threading header"),
+    (re.compile(r"std::(thread|jthread|mutex|recursive_mutex|"
+                r"shared_mutex|condition_variable|atomic|async|future|"
+                r"promise|barrier|latch|counting_semaphore|"
+                r"this_thread)\b"),
+     "threading primitive"),
+    (re.compile(r"\bthread_local\b"), "thread-local storage"),
+]
+
+R6_EXEMPT = {Path("sim") / "engine_group.hh",
+             Path("sim") / "engine_group.cc"}
 
 # R5: allowed include targets per src/ subdirectory (the layering DAG).
 # A directory always may include itself; anything else must be listed.
@@ -232,6 +261,19 @@ def lint_file(path, rel, errors):
                 f"{path}:{no}: [R4] project include \"{m.group(1)}\" "
                 f"must use its subdir-qualified path (e.g. "
                 f"\"sim/engine.hh\")")
+
+    # R6 ------------------------------------------------------------
+    if rel not in R6_EXEMPT:
+        for no, code, _ in lines:
+            for pat, what in R6_PATTERNS:
+                m = pat.search(code)
+                if m:
+                    errors.append(
+                        f"{path}:{no}: [R6] {what} '{m.group(0)}' "
+                        f"outside sim/engine_group.*: model code is "
+                        f"thread-confined; cross-thread work must flow "
+                        f"through the EngineGroup's deterministic "
+                        f"merge, never an ad-hoc thread")
 
     # R5 ------------------------------------------------------------
     layer = rel.parts[0] if len(rel.parts) > 1 else None

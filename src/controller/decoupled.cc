@@ -78,7 +78,7 @@ DecoupledController::stageTrace(Copyback &cb, CopybackStage stage)
     Tracer *tr = _engine.tracer();
     if (tr) {
         int pid = tr->process("copyback");
-        auto id = reinterpret_cast<std::uintptr_t>(&cb);
+        std::uint64_t id = tr->nextSpanId();
         const char *name = copybackStageName(stage);
         tr->asyncBegin(pid, "cbstage", name, id, cb.stageStart);
         tr->asyncEnd(pid, "cbstage", name, id, _engine.now());
@@ -293,7 +293,7 @@ DecoupledController::abortCopyback(const std::shared_ptr<Copyback> &cb)
     Tracer *tr = _engine.tracer();
     if (tr) {
         int pid = tr->process("fault");
-        auto id = reinterpret_cast<std::uintptr_t>(cb.get());
+        std::uint64_t id = tr->nextSpanId();
         tr->asyncBegin(pid, "fault", "abort", id, cb->stageStart);
         tr->asyncEnd(pid, "fault", "abort", id, _engine.now());
     }

@@ -22,6 +22,11 @@ SsdArray::SsdArray(Engine &engine, const SsdConfig &config,
         _group = std::make_unique<EngineGroup>(engine, _params.shards,
                                                config.firmwareLatency,
                                                _params.engineThreads);
+        // Route shard-engine trace emissions through per-shard
+        // buffers merged at the epoch barriers (sim/trace.hh); must
+        // happen before the shard Ssds register their tracks below.
+        if (engine.tracer())
+            _group->attachTracer(engine.tracer());
     }
     _shards.reserve(_params.shards);
     for (unsigned s = 0; s < _params.shards; ++s) {

@@ -29,9 +29,12 @@
  *    runs; 1 is the serial reference and any higher count is
  *    bit-identical to it by construction. In this mode the
  *    page-granular readPage/writePage also charge the firmware
- *    fan-out latency (the group's lookahead floor), and the host
- *    engine's tracer is not propagated to shard engines (Tracer is
- *    not thread-safe); host-level spans still work.
+ *    fan-out latency (the group's lookahead floor). A tracer
+ *    attached to the host engine before construction is propagated
+ *    to the shard engines through per-shard buffered Tracers that
+ *    the group drains at every epoch barrier (EngineGroup::
+ *    attachTracer), so --trace works for any worker count and the
+ *    trace file is byte-identical across counts.
  */
 
 #ifndef DSSD_CORE_ARRAY_HH

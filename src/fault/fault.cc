@@ -271,7 +271,7 @@ traceRecoverySpan(Engine &engine, const Recovery &rec, const char *name,
     Tracer *tr = engine.tracer();
     if (tr) {
         int pid = tr->process("fault");
-        auto id = reinterpret_cast<std::uintptr_t>(&rec);
+        std::uint64_t id = tr->nextSpanId();
         tr->asyncBegin(pid, "fault", name, id, start);
         tr->asyncEnd(pid, "fault", name, id, engine.now());
     }

@@ -27,6 +27,11 @@ struct NocNetwork::Transit
     Tick injectTime = 0;
     /// Tail arrival time at the node reached by the last transmitted hop.
     Tick tailArrive = 0;
+    /// Trace span id (Tracer::nextSpanId; 0 when tracing is off). Spans
+    /// must match begin to end across the packet's lifetime, so the id
+    /// lives here rather than being an object address — addresses would
+    /// make the trace file differ run to run.
+    std::uint64_t spanId = 0;
     Callback done;
 };
 
@@ -59,15 +64,14 @@ NocNetwork::buffer(unsigned link, unsigned vc)
 }
 
 void
-NocNetwork::tracePacketBegin(const Transit &t)
+NocNetwork::tracePacketBegin(Transit &t)
 {
 #if DSSD_TRACING
     Tracer *tr = _engine.tracer();
     if (tr) {
         int pid = tr->process("noc");
-        tr->asyncBegin(pid, "packet", "packet",
-                       reinterpret_cast<std::uintptr_t>(&t),
-                       t.injectTime);
+        t.spanId = tr->nextSpanId();
+        tr->asyncBegin(pid, "packet", "packet", t.spanId, t.injectTime);
     }
 #endif
 }
@@ -79,9 +83,7 @@ NocNetwork::tracePacketEnd(const Transit &t)
     Tracer *tr = _engine.tracer();
     if (tr) {
         int pid = tr->process("noc");
-        tr->asyncEnd(pid, "packet", "packet",
-                     reinterpret_cast<std::uintptr_t>(&t),
-                     _engine.now());
+        tr->asyncEnd(pid, "packet", "packet", t.spanId, _engine.now());
     }
 #endif
 }
@@ -169,22 +171,23 @@ NocNetwork::retransmit(const std::shared_ptr<Transit> &t)
     ++_crcDrops;
     ++_retransmitsPending;
     Tick nack = _fault ? _fault->params().nocNackDelay : usToTicks(2);
+    std::uint64_t span_id = 0;
 #if DSSD_TRACING
     Tracer *tr = _engine.tracer();
     if (tr) {
         int pid = tr->process("fault");
-        tr->asyncBegin(pid, "fault", "retransmit",
-                       reinterpret_cast<std::uintptr_t>(t.get()),
+        span_id = tr->nextSpanId();
+        tr->asyncBegin(pid, "fault", "retransmit", span_id,
                        _engine.now());
     }
 #endif
-    _engine.schedule(nack, [this, t] {
+    _engine.schedule(nack, [this, t, span_id] {
+        (void)span_id;
 #if DSSD_TRACING
         Tracer *etr = _engine.tracer();
         if (etr) {
             int pid = etr->process("fault");
-            etr->asyncEnd(pid, "fault", "retransmit",
-                          reinterpret_cast<std::uintptr_t>(t.get()),
+            etr->asyncEnd(pid, "fault", "retransmit", span_id,
                           _engine.now());
         }
 #endif

@@ -127,7 +127,7 @@ class NocNetwork : public Interconnect
     struct Transit;
 
     /** Open/close the end-to-end per-packet trace span. */
-    void tracePacketBegin(const Transit &t);
+    void tracePacketBegin(Transit &t);
     void tracePacketEnd(const Transit &t);
 
     /** Move @p t through its next hop (or deliver it). */

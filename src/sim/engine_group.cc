@@ -5,6 +5,7 @@
 
 #include "sim/log.hh"
 #include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
@@ -166,9 +167,37 @@ EngineGroup::mergeCompletions()
 }
 
 void
+EngineGroup::attachTracer(Tracer *host)
+{
+    if (!host)
+        panic("attachTracer: null host tracer");
+    if (_hostTracer)
+        panic("attachTracer: group already has a tracer");
+    _hostTracer = host;
+    _shardTracers.reserve(_shards.size());
+    for (auto &sh : _shards) {
+        _shardTracers.push_back(std::make_unique<Tracer>());
+        sh->engine.setTracer(_shardTracers.back().get());
+    }
+}
+
+void
+EngineGroup::drainTracers()
+{
+    if (!_hostTracer)
+        return;
+    // Runs on the coordinator thread after the phase barrier, which
+    // is what publishes the shard buffers; shard order keeps the
+    // merged file byte-identical for any worker count.
+    for (auto &t : _shardTracers)
+        t->drainInto(*_hostTracer);
+}
+
+void
 EngineGroup::runEpoch(Tick bound)
 {
     parallelPhase(bound);
+    drainTracers();
     mergeCompletions();
     _host.runUntil(bound);
     ++_epochs;

@@ -46,6 +46,7 @@ namespace dssd
 {
 
 class StatRegistry;
+class Tracer;
 
 /** One engine per shard, conservatively synchronized with the host. */
 class EngineGroup
@@ -132,6 +133,19 @@ class EngineGroup
      */
     void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
+    /**
+     * Route shard-engine trace emissions into @p host (the host
+     * engine's file-backed tracer; borrowed, must outlive the group).
+     * Each shard engine gets a private buffered Tracer; the buffers
+     * are drained into @p host in shard order at every epoch barrier,
+     * on the coordinator thread, so no emission site ever takes a
+     * lock and the merged file is byte-identical for any worker
+     * count. Call before building the shard component trees so
+     * construction-time track registration lands on the shard
+     * tracers. Once per group; @p host must not be null.
+     */
+    void attachTracer(Tracer *host);
+
   private:
     struct Message
     {
@@ -165,6 +179,9 @@ class EngineGroup
     void parallelPhase(Tick bound);
     /** Deterministically merge outboxes into the host engine. */
     void mergeCompletions();
+    /** Drain shard trace buffers into the host tracer (shard order,
+     *  coordinator thread; no-op without attachTracer). */
+    void drainTracers();
     /** One whole epoch: shards to @p bound, barrier, host to it. */
     void runEpoch(Tick bound);
     void workerMain(unsigned worker, unsigned stride);
@@ -172,6 +189,9 @@ class EngineGroup
     Engine &_host;
     Tick _lookahead;
     std::vector<std::unique_ptr<Shard>> _shards;
+
+    Tracer *_hostTracer = nullptr; ///< borrowed; see attachTracer()
+    std::vector<std::unique_ptr<Tracer>> _shardTracers;
 
     std::uint64_t _epochs = 0;
     std::uint64_t _toShards = 0;

@@ -133,7 +133,7 @@ bdSpanCloseAt(Engine &engine, LatencyBreakdown *bd, int comp, Tick t0,
     Tracer *tr = engine.tracer();
     if (tr && t1 > t0) {
         int pid = tr->process("breakdown");
-        auto id = reinterpret_cast<std::uintptr_t>(bd);
+        std::uint64_t id = tr->nextSpanId();
         tr->asyncBegin(pid, "breakdown", bdCompName(comp), id, t0);
         tr->asyncEnd(pid, "breakdown", bdCompName(comp), id, t1);
     }

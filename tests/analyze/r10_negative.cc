@@ -1,0 +1,32 @@
+// Fixture: R10 near-miss negative control — an alias chain that
+// lands on an ORDERED map, spelled-out captures, and qualified
+// std::rand with no using-decl (that is lint R1's beat, not ours).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+using L2pTable = std::map<std::uint64_t, std::uint64_t>;
+using Mapping = L2pTable;
+
+struct Engine {
+    void schedule(std::uint64_t delay, std::function<void()> fn);
+};
+
+std::uint64_t
+sumMappings(const Mapping &table)
+{
+    Mapping shadow = table;
+    std::uint64_t sum = 0;
+    // std::map iterates in key order: deterministic, no finding.
+    for (const auto &kv : shadow)
+        sum += kv.second;
+    return sum;
+}
+
+void
+explicitCaptures(Engine &engine, std::uint64_t lba)
+{
+    std::uint64_t page = lba / 4;
+    engine.schedule(100, [page] { (void)page; });
+}

@@ -1,0 +1,40 @@
+// Fixture: R10 violations — the alias-laundered shapes the regex
+// lint cannot see: unordered iteration behind a typedef chain, a
+// default-capture lambda, and libc randomness behind a using-decl.
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <unordered_map>
+
+using L2pTable = std::unordered_map<std::uint64_t, std::uint64_t>;
+using Mapping = L2pTable;  // second hop in the alias chain
+
+struct Engine {
+    void schedule(std::uint64_t delay, std::function<void()> fn);
+};
+
+std::uint64_t
+sumMappings(const Mapping &table)
+{
+    Mapping shadow = table;
+    std::uint64_t sum = 0;
+    for (const auto &kv : shadow)  // trip:R10
+        sum += kv.second;
+    return sum;
+}
+
+void
+hiddenCaptures(Engine &engine, std::uint64_t lba)
+{
+    std::uint64_t page = lba / 4;
+    engine.schedule(100, [=] { (void)page; });  // trip:R10
+}
+
+using std::rand;  // trip:R10
+
+int
+launderedRandom()
+{
+    return rand();  // trip:R10
+}

@@ -1,0 +1,30 @@
+// Fixture: R9 tick-safety violations — narrowing casts and
+// declarations that truncate a u64 nanosecond count, plus an
+// unguarded latency subtraction (advisory).
+
+#include <cstdint>
+
+using Tick = std::uint64_t;
+
+Tick now();
+
+void
+truncateTicks()
+{
+    Tick start = now();
+    std::uint32_t t32 = static_cast<std::uint32_t>(now());  // trip:R9
+    int delta = static_cast<int>(now() - start);            // trip:R9
+    long span = now() - start;                              // trip:R9
+    (void)t32;
+    (void)delta;
+    (void)span;
+}
+
+Tick
+unguardedLatency(Tick issued)
+{
+    Tick done = now();
+    // No visible ordering guard between the operands: wraps if the
+    // pair is ever reversed (advisory warning, not an error).
+    return done - issued;  // trip:R9
+}

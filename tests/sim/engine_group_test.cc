@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "sim/engine.hh"
 #include "sim/engine_group.hh"
 #include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace dssd
 {
@@ -227,6 +231,74 @@ TEST(EngineGroupTest, WorkerCountDoesNotChangeTheSchedule)
     EXPECT_EQ(trace(2), serial);
     EXPECT_EQ(trace(4), serial);
     EXPECT_EQ(trace(16), serial);
+}
+
+// Shard-engine trace emissions flow through per-shard buffered
+// Tracers drained at the epoch barriers (attachTracer): the merged
+// file must be byte-identical for any worker count, and must carry
+// both the shard-side and host-side events.
+TEST(EngineGroupTest, AttachedTracerMergesShardSpansDeterministically)
+{
+    auto traceRun = [](unsigned threads) {
+        std::string path = "/tmp/dssd_group_trace_" +
+                           std::to_string(threads) + ".json";
+        {
+            Engine host;
+            Tracer tracer(path);
+            host.setTracer(&tracer);
+            EngineGroup g(host, 4, kLookahead, threads);
+            g.attachTracer(&tracer);
+            for (unsigned s = 0; s < 4; ++s) {
+                g.postToShard(s, kLookahead + 11 * s, [&g, s] {
+                    Engine &e = g.shardEngine(s);
+                    Tracer *t = e.tracer();
+                    EXPECT_NE(t, nullptr);
+                    EXPECT_TRUE(t->buffered());
+                    int pid =
+                        t->process("shard" + std::to_string(s));
+                    int tid = t->lane(pid, "unit");
+                    t->slice(pid, tid, "work", "test", e.now(),
+                             e.now() + 10);
+                    t->asyncBegin(pid, "op", "round", s, e.now());
+                    t->asyncEnd(pid, "op", "round", s, e.now() + 5);
+                    g.postToHost(s, [&g, s] {
+                        Tracer *ht = g.hostEngine().tracer();
+                        int hpid = ht->process("host");
+                        ht->counter(hpid, "completions",
+                                    g.hostEngine().now(),
+                                    static_cast<double>(s));
+                    });
+                });
+            }
+            g.run();
+            tracer.finish();
+        }
+        std::ifstream in(path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::remove(path.c_str());
+        return ss.str();
+    };
+
+    std::string serial = traceRun(1);
+    // All four shard process rows, the host row, and paired spans.
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_NE(serial.find("shard" + std::to_string(s)),
+                  std::string::npos);
+    EXPECT_NE(serial.find("\"host\""), std::string::npos);
+    EXPECT_NE(serial.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(serial.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_EQ(traceRun(2), serial);
+    EXPECT_EQ(traceRun(4), serial);
+}
+
+TEST(EngineGroupDeathTest, AttachTracerTwiceIsFatal)
+{
+    Engine host;
+    Tracer tracer;
+    EngineGroup g(host, 2, kLookahead, 1);
+    g.attachTracer(&tracer);
+    EXPECT_DEATH(g.attachTracer(&tracer), "already has a tracer");
 }
 
 // Epochs are skipped across idle gaps: two bursts separated by a long

@@ -1,0 +1,1583 @@
+#!/usr/bin/env python3
+"""dssd_analyze: AST-grounded whole-program analyzer for the dssd tree.
+
+Where tools/lint/dssd_lint.py works line-by-line with regexes,
+dssd_analyze builds a per-translation-unit *fact database* (types,
+class fields, lambda captures and the call they are scheduled
+through, casts, trace-span sites, alias chains), merges it across the
+whole program, and runs pluggable rule passes over the merged facts.
+That lets it see through typedefs, associate a lambda with the
+mailbox call it crosses a thread boundary on, and check completeness
+properties ("every stat member is registered somewhere") that no
+single line can witness.
+
+Fact extraction has two interchangeable frontends producing the same
+schema (facts carry no frontend-specific shape, so rules never care):
+
+ - clang: drives `clang -fsyntax-only -Xclang -ast-dump=json` per TU
+   using the flags recorded in compile_commands.json, then walks the
+   JSON AST keeping facts for project files only. Real type
+   information: sees through aliases, macro expansions, and implicit
+   conversions. Used by CI (which installs clang).
+ - text: a bundled lexical extractor (comment/string-stripped token
+   scanning with brace/paren matching and alias resolution). No
+   toolchain dependency, so it runs anywhere — including containers
+   without a clang driver — at the cost of some precision.
+
+Facts are cached per source file/TU under --cache-dir, keyed by the
+content hash, the frontend, and the extractor version, so re-runs
+only re-parse what changed.
+
+Rule families (see DESIGN.md §13 for the catalog and rationale):
+
+ R7  shard confinement / pointer escape: pooled allocator handles
+     (sim/pool.hh PoolPtr/BlockPool, makePooled results) are
+     thread-confined to their owning shard; capturing one in a lambda
+     that crosses the EngineGroup host<->shard message path
+     (postToShard/postToHost) smuggles a non-atomic refcount across
+     threads. Also: no global/static pooled state, and shard engines
+     (EngineGroup::shardEngine) may only be touched by the array
+     front-end and the sim layer.
+
+ R8  registration/pairing completeness: every Counter / SampleStat /
+     RateSeries member of a class must be referenced by a
+     registerStats method of that class (otherwise the stat silently
+     never reaches --stats dumps); every async trace span (cat, name)
+     opened by Tracer::asyncBegin must be closed by a matching
+     asyncEnd somewhere in the program, and vice versa.
+
+ R9  tick safety: Tick is an unsigned 64-bit nanosecond count.
+     Narrowing or sign-flipping casts of tick expressions, and
+     declarations that seed a narrower integer from one, truncate
+     after ~4.3 s of simulated time (or go negative); both are flagged.
+     Unguarded tick subtraction is reported as a warning (advisory).
+
+ R10 AST-backed upgrades of lint R1-R3: unordered-container iteration
+     detection through type aliases and cross-TU member types,
+     default-capture detection from the parsed capture list, and
+     unqualified libc randomness/time pulled in via using-directives.
+
+Findings are suppressed either by an inline
+    // analyze:allow <RULE>  <justification>
+comment on the offending line (or the line above), or by an entry in
+the allowlist file (--allowlist, default tools/analyze/ALLOWLIST);
+every allowlist entry must carry a `#` justification or the run
+fails. Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+Self-test mode (--self-test DIR) analyzes each fixture TU in DIR
+standalone and checks its findings against the `// trip:<RULE>`
+annotations in the fixture: annotated lines must fire exactly, and
+files without annotations must come back clean. The fixtures are the
+golden regression suite for the rules themselves (tests/analyze/).
+"""
+
+import argparse
+import fnmatch
+import hashlib
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+EXTRACTOR_VERSION = 7  # bump to invalidate cached facts
+
+# ---------------------------------------------------------------------------
+# Source text helpers (shared with the regex lint's philosophy: never
+# match inside strings or comments).
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(line):
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    cut = line.find("//")
+    if cut >= 0:
+        line = line[:cut]
+    return line
+
+
+def logical_lines(text):
+    """Yield (lineno, code, raw) with block comments, // comments and
+    string/char literal contents removed from `code`."""
+    in_block = False
+    for i, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                yield i, "", raw
+                continue
+            line = line[end + 2:]
+            in_block = False
+        line = re.sub(r"/\*.*?\*/", " ", line)
+        start = line.find("/*")
+        if start >= 0:
+            line = line[:start]
+            in_block = True
+        yield i, strip_comments_and_strings(line), raw
+
+
+class SourceText:
+    """A file's stripped code as one stream with offset->line mapping."""
+
+    def __init__(self, text):
+        self.lines = list(logical_lines(text))
+        self.raw_lines = [raw for _, _, raw in self.lines]
+        parts = []
+        self.line_starts = []
+        off = 0
+        for _, code, _ in self.lines:
+            self.line_starts.append(off)
+            parts.append(code)
+            off += len(code) + 1
+        self.code = "\n".join(parts)
+
+    def line_of(self, offset):
+        import bisect
+        return bisect.bisect_right(self.line_starts, offset)
+
+    def raw_line(self, lineno):
+        if 1 <= lineno <= len(self.raw_lines):
+            return self.raw_lines[lineno - 1]
+        return ""
+
+
+def match_delim(code, open_pos, open_ch, close_ch):
+    """Offset just past the delimiter matching code[open_pos], or -1."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _raw_call_args(raw_text, callee):
+    """Top-level argument strings of `callee(...)` in raw (unstripped)
+    source text: quote-aware paren matching, then a quote-aware
+    top-level comma split. Empty list when parsing fails."""
+    at = raw_text.find(callee + "(")
+    if at < 0:
+        at2 = re.search(re.escape(callee) + r"\s*\(", raw_text)
+        if not at2:
+            return []
+        open_pos = raw_text.find("(", at2.start())
+    else:
+        open_pos = at + len(callee)
+    depth = 0
+    in_str = False
+    args, cur = [], []
+    i = open_pos
+    while i < len(raw_text):
+        c = raw_text[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                cur.append(raw_text[i - 2:i])
+                continue
+            cur.append(c)
+            if c == '"':
+                in_str = False
+            i += 1
+            continue
+        if c == '"':
+            in_str = True
+            cur.append(c)
+        elif c == "(":
+            depth += 1
+            if depth > 1:
+                cur.append(c)
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(cur).strip())
+                return [a for a in args if a]
+            cur.append(c)
+        elif c == "," and depth == 1:
+            args.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(c)
+        i += 1
+    return []
+
+
+def split_top_commas(s):
+    """Split on commas not nested in (), [], <>, {}."""
+    parts, depth_round, depth_square, depth_brace, depth_angle = [], 0, 0, 0, 0
+    cur = []
+    for c in s:
+        if c == "(":
+            depth_round += 1
+        elif c == ")":
+            depth_round -= 1
+        elif c == "[":
+            depth_square += 1
+        elif c == "]":
+            depth_square -= 1
+        elif c == "{":
+            depth_brace += 1
+        elif c == "}":
+            depth_brace -= 1
+        elif c == "<":
+            depth_angle += 1
+        elif c == ">" and depth_angle > 0:
+            depth_angle -= 1
+        elif c == "," and not (depth_round or depth_square or
+                               depth_brace or depth_angle):
+            parts.append("".join(cur))
+            cur = []
+            continue
+        cur.append(c)
+    if cur:
+        parts.append("".join(cur))
+    return [p.strip() for p in parts if p.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Fact schema
+#
+# One dict per analyzed file:
+#   file            repo-relative path the facts belong to
+#   aliases         {alias: underlying-type-string}
+#   classes         [{name, line, stat_fields: [{name, type, line}],
+#                     pool_fields: [{name, type, line}],
+#                     unordered_fields: [{name, type, line}],
+#                     registered: [member-name, ...] | None}]
+#                   (registered is non-None iff a registerStats body
+#                    for the class was seen in this file)
+#   lambdas         [{line, default: '='|'&'|None, captures: [{name,
+#                     ref, init}], sink: call-name|None}]
+#   pooled_names    [name, ...]  (locals/params of pooled type)
+#   spans           [{kind: 'begin'|'end', cat, name, line}]
+#   tick_names      [name, ...]  (Tick-typed variables/params)
+#   narrow_casts    [{line, to, expr}]
+#   narrow_decls    [{line, to, name, expr}]
+#   tick_subs       [{line, a, b, guarded}]
+#   unordered_names [{name, via, line}]  (alias-declared unordered vars)
+#   iterations      [{name, line}]      (range-for / .begin() walks)
+#   shard_engine_uses [{line}]
+#   global_pooled   [{name, line}]
+#   using_libc      [{name, line}]      (using std::rand / using namespace std)
+#   libc_calls      [{name, line}]      (bare rand()/time()/srand() calls)
+# ---------------------------------------------------------------------------
+
+POOLED_TYPES = ("PoolPtr", "BlockPool", "PoolAllocator")
+STAT_TYPES = ("Counter", "SampleStat", "RateSeries")
+SINK_CALLS = ("postToShard", "postToHost", "schedule", "scheduleAbs")
+CROSSING_SINKS = ("postToShard", "postToHost")
+TICK_CALLS = ("now", "nextEventTick", "firstGcStart", "lastGcEnd",
+              "lookahead", "gcFirstStart", "gcLastEnd")
+
+# Integer destinations that can hold a full Tick without truncation or
+# sign flip. Everything else integral is a narrowing target.
+TICK_SAFE_TARGETS = {
+    "Tick", "dssd::Tick", "std::uint64_t", "uint64_t",
+    "unsigned long long", "unsigned long long int", "std::size_t",
+    "size_t", "std::uintmax_t", "uintmax_t", "unsigned long",
+    "double", "long double", "float",  # float loses precision, not range
+}
+NARROW_TARGET = re.compile(
+    r"^(?:const\s+)?(?:signed\s+)?("
+    r"std::u?int(?:8|16|32)_t|u?int(?:8|16|32)_t|"
+    r"std::int64_t|int64_t|long long|long|int|short|char|unsigned|"
+    r"unsigned\s+(?:int|short|char|long)"
+    r")$")
+
+
+def is_narrow_target(t):
+    t = re.sub(r"\s+", " ", t.strip())
+    t = t.replace("const ", "")
+    if t in TICK_SAFE_TARGETS:
+        return False
+    return bool(NARROW_TARGET.match(t))
+
+
+def empty_facts(rel):
+    return {
+        "file": rel, "aliases": {}, "classes": [], "lambdas": [],
+        "pooled_names": [], "spans": [], "tick_names": [],
+        "narrow_casts": [], "narrow_decls": [], "tick_subs": [],
+        "unordered_names": [], "iterations": [], "shard_engine_uses": [],
+        "global_pooled": [], "using_libc": [], "libc_calls": [],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Text frontend
+# ---------------------------------------------------------------------------
+
+ALIAS_RE = re.compile(r"\busing\s+(\w+)\s*=\s*([^;]+);")
+TYPEDEF_RE = re.compile(r"\btypedef\s+(.{1,120}?)\s+(\w+)\s*;")
+CLASS_RE = re.compile(r"\b(?:class|struct)\s+(\w+)\s*(?:final\s*)?"
+                      r"(?::[^;{]*)?{")
+FIELD_RE = re.compile(
+    r"(?:^|[;{}\n])\s*(?:mutable\s+)?(?:const\s+)?"
+    r"((?:\w+::)*\w+(?:\s*<[^;()]*?>)?)\s+(_?\w+)\s*(?:[;{]|=[^=])")
+REGSTATS_CC_RE = re.compile(r"\b(\w+)::registerStats\s*\(")
+LAMBDA_RE = re.compile(r"\[([^\[\]]*)\]\s*(?:\([^)]*\))?\s*"
+                       r"(?:mutable\s*)?(?:noexcept\s*)?(?:->[^{]{0,60})?\{")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(?:\*\s*)?([A-Za-z_]\w*)\s*\)")
+BEGIN_WALK_RE = re.compile(r"\b([A-Za-z_]\w*)\s*[.]\s*c?begin\s*\(")
+# Member-call prefix required so declarations in headers (or fixture
+# stubs) don't register as span sites.
+SPAN_RE = re.compile(r"(?:\.|->)\s*async(Begin|End)\s*\(")
+CAST_RE = re.compile(r"\bstatic_cast\s*<\s*([^<>]+?)\s*>\s*\(")
+TICK_DECL_RE = re.compile(r"\bTick\s+(\w+)\s*(?![\w(])")
+TICK_SUB_RE = re.compile(r"\b(\w+)\s*-\s*(\w+)\b")
+SHARD_ENGINE_RE = re.compile(r"(?:\.|->)\s*shardEngine\s*\(")
+USING_LIBC_RE = re.compile(
+    r"\busing\s+(?:std::(rand|srand|time|clock)|(namespace\s+std))\s*;")
+LIBC_CALL_RE = re.compile(r"(?<![\w:.])(rand|srand|time|clock)\s*\(")
+POOLED_LOCAL_RE = re.compile(
+    r"\b(?:PoolPtr|PoolAllocator\s*<[^>]*>)\s+(\w+)\b|"
+    r"\b(?:auto|const auto)\s*&?\s+(\w+)\s*=\s*"
+    r"[^;]*(?:makePooled|PoolPtr::make)\b")
+# No '(' terminator: `PoolPtr makePooled();` is a function
+# declaration, not pooled state.
+GLOBAL_POOLED_RE = re.compile(
+    r"^(?:static\s+)?(?:PoolPtr|BlockPool)\s+(\w+)\s*[;={]")
+
+UNORDERED_IN_TYPE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)")
+
+
+def resolve_alias(name, aliases, depth=0):
+    """Chase alias chains: the final underlying type string."""
+    seen = name
+    while depth < 8 and seen in aliases:
+        seen = aliases[seen].strip()
+        # "std::unordered_map<K, V>" or another alias name
+        head = re.match(r"(\w+)\s*$", seen)
+        if head and head.group(1) in aliases and head.group(1) != seen:
+            seen = head.group(1)
+        depth += 1
+    return seen
+
+
+def _parse_captures(capture_text):
+    default = None
+    captures = []
+    for item in split_top_commas(capture_text):
+        if item in ("=", "&"):
+            default = item
+            continue
+        if item == "this" or item == "*this":
+            captures.append({"name": "this", "ref": False, "init": False})
+            continue
+        m = re.match(r"(&?)\s*(\w+)\s*=\s*(.*)$", item, re.S)
+        if m:
+            captures.append({"name": m.group(2), "ref": bool(m.group(1)),
+                             "init": True, "init_expr": m.group(3)})
+            continue
+        m = re.match(r"(&?)\s*(\w+)$", item)
+        if m:
+            captures.append({"name": m.group(2), "ref": bool(m.group(1)),
+                             "init": False})
+    return default, captures
+
+
+def _class_spans(code):
+    """[(name, body_start, body_end)] for every class/struct in code."""
+    spans = []
+    for m in CLASS_RE.finditer(code):
+        open_pos = code.find("{", m.end() - 1)
+        if open_pos < 0:
+            continue
+        end = match_delim(code, open_pos, "{", "}")
+        if end < 0:
+            continue
+        spans.append((m.group(1), open_pos + 1, end - 1))
+    return spans
+
+
+def _mask_nested(code, outer_start, outer_end, spans):
+    """Body text of [outer_start, outer_end) with nested class bodies
+    blanked, so field scans attribute members to the right class."""
+    body = list(code[outer_start:outer_end])
+    for _, s, e in spans:
+        if s > outer_start and e <= outer_end and \
+                not (s == outer_start and e == outer_end):
+            for i in range(s - outer_start, e - outer_start):
+                if body[i] != "\n":
+                    body[i] = " "
+    return "".join(body)
+
+
+def extract_text(rel, text):
+    """The bundled lexical frontend: same fact schema as clang's."""
+    src = SourceText(text)
+    code = src.code
+    f = empty_facts(rel)
+
+    for m in ALIAS_RE.finditer(code):
+        f["aliases"][m.group(1)] = m.group(2).strip()
+    for m in TYPEDEF_RE.finditer(code):
+        f["aliases"][m.group(2)] = m.group(1).strip()
+
+    # --- classes: stat/pool/unordered members + inline registerStats
+    spans = _class_spans(code)
+    for name, body_start, body_end in spans:
+        masked = _mask_nested(code, body_start, body_end, spans)
+        cls = {"name": name, "line": src.line_of(body_start),
+               "stat_fields": [], "pool_fields": [],
+               "unordered_fields": [], "registered": None}
+        for fm in FIELD_RE.finditer(masked):
+            ftype, fname = fm.group(1).strip(), fm.group(2)
+            base = ftype.split("<")[0].strip()
+            line = src.line_of(body_start + fm.start(1))
+            entry = {"name": fname, "type": ftype, "line": line}
+            base_last = base.split("::")[-1]
+            if base_last in STAT_TYPES:
+                cls["stat_fields"].append(entry)
+            elif base_last in POOLED_TYPES:
+                cls["pool_fields"].append(entry)
+            resolved = resolve_alias(base, f["aliases"])
+            if UNORDERED_IN_TYPE.search(ftype) or \
+                    UNORDERED_IN_TYPE.search(resolved):
+                cls["unordered_fields"].append(entry)
+        # inline registerStats body inside the class
+        rm = re.search(r"\bregisterStats\s*\(", masked)
+        if rm:
+            open_pos = masked.find("{", rm.end())
+            semi_pos = masked.find(";", rm.end())
+            if open_pos >= 0 and (semi_pos < 0 or open_pos < semi_pos):
+                end = match_delim(masked, open_pos, "{", "}")
+                if end > 0:
+                    cls["registered"] = sorted(set(
+                        re.findall(r"[&.]\s*(_?\w+)\b|\b(_\w+)\b",
+                                   masked[open_pos:end]) and
+                        [a or b for a, b in re.findall(
+                            r"[&.]\s*(_?\w+)\b|\b(_\w+)\b",
+                            masked[open_pos:end])]))
+        f["classes"].append(cls)
+
+    # --- out-of-line registerStats bodies (ClassName::registerStats)
+    for m in REGSTATS_CC_RE.finditer(code):
+        open_pos = code.find("{", m.end())
+        if open_pos < 0:
+            continue
+        # Skip declarations (a ';' before the '{' means no body here).
+        semi = code.find(";", m.end())
+        if 0 <= semi < open_pos:
+            continue
+        end = match_delim(code, open_pos, "{", "}")
+        if end < 0:
+            continue
+        body = code[open_pos:end]
+        mentioned = sorted(set(
+            a or b for a, b in
+            re.findall(r"[&.]\s*(_?\w+)\b|\b(_\w+)\b", body)))
+        f["classes"].append({
+            "name": m.group(1), "line": src.line_of(m.start()),
+            "stat_fields": [], "pool_fields": [], "unordered_fields": [],
+            "registered": mentioned})
+
+    # --- pooled locals/params and file-scope pooled state
+    for m in POOLED_LOCAL_RE.finditer(code):
+        f["pooled_names"].append(m.group(1) or m.group(2))
+    class_ranges = [(s, e) for _, s, e in spans]
+
+    def inside_class(off):
+        return any(s <= off < e for s, e in class_ranges)
+
+    for lineno, line_code, _ in src.lines:
+        gm = GLOBAL_POOLED_RE.match(line_code.strip())
+        if gm:
+            off = src.line_starts[lineno - 1]
+            if not inside_class(off):
+                # Function-local statics share the pattern; a leading
+                # indent distinguishes file scope in this codebase.
+                if line_code == line_code.lstrip():
+                    f["global_pooled"].append(
+                        {"name": gm.group(1), "line": lineno})
+
+    # --- lambdas + their scheduling sink
+    sink_spans = []
+    for m in re.finditer(r"\b(" + "|".join(SINK_CALLS) + r")\s*\(", code):
+        end = match_delim(code, m.end() - 1, "(", ")")
+        if end > 0:
+            sink_spans.append((m.start(), end, m.group(1)))
+    for m in LAMBDA_RE.finditer(code):
+        prev = code[:m.start()].rstrip()[-1:]
+        if prev and prev not in "(,={;&|!<>+-*/%:?":
+            continue  # array subscript or attribute, not a lambda
+        default, captures = _parse_captures(m.group(1))
+        sink = None
+        best = None
+        for s, e, name in sink_spans:
+            if s <= m.start() < e:
+                if best is None or s > best[0]:
+                    best = (s, e, name)
+        if best:
+            sink = best[2]
+        f["lambdas"].append({
+            "line": src.line_of(m.start()), "default": default,
+            "captures": captures, "sink": sink})
+
+    # --- async span sites: parse the call's raw text (strings
+    # intact) so multi-line calls and dynamic names resolve correctly.
+    for m in SPAN_RE.finditer(code):
+        end = match_delim(code, m.end() - 1, "(", ")")
+        if end < 0:
+            continue
+        lineno = src.line_of(m.start())
+        end_line = src.line_of(end - 1)
+        raw_call = "\n".join(src.raw_line(n)
+                             for n in range(lineno, end_line + 1))
+        args = _raw_call_args(raw_call, "async" + m.group(1))
+        # (pid, cat, name, id, when) — cat/name are args 1 and 2.
+
+        def span_arg(i):
+            if i >= len(args):
+                return "<dyn>"
+            lm = re.fullmatch(r'"((?:[^"\\]|\\.)*)"', args[i].strip())
+            return lm.group(1) if lm else "<dyn>"
+        f["spans"].append({"kind": m.group(1).lower(),
+                           "cat": span_arg(1), "name": span_arg(2),
+                           "line": lineno})
+
+    # --- tick-typed names and unsafe narrowing
+    tick_names = set()
+    for m in TICK_DECL_RE.finditer(code):
+        tick_names.add(m.group(1))
+    f["tick_names"] = sorted(tick_names)
+
+    def is_tickish(expr):
+        if re.search(r"\b(" + "|".join(TICK_CALLS) + r")\s*\(", expr):
+            return True
+        toks = set(re.findall(r"[A-Za-z_]\w*", expr))
+        return bool(toks & tick_names)
+
+    for m in CAST_RE.finditer(code):
+        target = m.group(1)
+        end = match_delim(code, m.end() - 1, "(", ")")
+        if end < 0:
+            continue
+        inner = code[m.end():end - 1]
+        if is_narrow_target(target) and is_tickish(inner):
+            f["narrow_casts"].append({
+                "line": src.line_of(m.start()),
+                "to": re.sub(r"\s+", " ", target.strip()),
+                "expr": re.sub(r"\s+", " ", inner.strip())[:60]})
+
+    decl_re = re.compile(
+        r"\b((?:unsigned\s+)?(?:long\s+long|long|int|short|char)|"
+        r"(?:std::)?u?int(?:8|16|32|64)_t|(?:std::)?size_t|Tick|"
+        r"double|float)\s+(\w+)\s*=\s*([^;=][^;]*);")
+    for m in decl_re.finditer(code):
+        target, name, expr = m.group(1), m.group(2), m.group(3)
+        if is_narrow_target(target) and is_tickish(expr):
+            f["narrow_decls"].append({
+                "line": src.line_of(m.start()),
+                "to": re.sub(r"\s+", " ", target.strip()),
+                "name": name,
+                "expr": re.sub(r"\s+", " ", expr.strip())[:60]})
+
+    # --- tick subtraction guard heuristic (advisory)
+    for m in TICK_SUB_RE.finditer(code):
+        a, b = m.group(1), m.group(2)
+        if a in tick_names and b in tick_names:
+            guard = re.search(
+                r"\b{a}\s*[<>]=?\s*{b}\b|\b{b}\s*[<>]=?\s*{a}\b|"
+                r"\bmax\s*\(|\bmin\s*\(".format(a=re.escape(a),
+                                                b=re.escape(b)), code)
+            f["tick_subs"].append({
+                "line": src.line_of(m.start()), "a": a, "b": b,
+                "guarded": bool(guard)})
+
+    # --- alias-declared unordered containers + iteration sites
+    unordered_vars = {}
+    for alias, underlying in f["aliases"].items():
+        resolved = resolve_alias(alias, f["aliases"])
+        if UNORDERED_IN_TYPE.search(resolved):
+            for dm in re.finditer(
+                    r"\b" + re.escape(alias) + r"\s*&?\s+(\w+)\s*[;={(]",
+                    code):
+                unordered_vars[dm.group(1)] = alias
+    for cls in f["classes"]:
+        for fld in cls["unordered_fields"]:
+            unordered_vars.setdefault(fld["name"], cls["name"])
+    for name, via in sorted(unordered_vars.items()):
+        f["unordered_names"].append({"name": name, "via": via})
+    for lineno, line_code, _ in src.lines:
+        hits = set(RANGE_FOR_RE.findall(line_code)) | \
+            set(BEGIN_WALK_RE.findall(line_code))
+        for h in sorted(hits):
+            f["iterations"].append({"name": h, "line": lineno})
+
+    # --- shard-engine access sites
+    for m in SHARD_ENGINE_RE.finditer(code):
+        f["shard_engine_uses"].append({"line": src.line_of(m.start())})
+
+    # --- libc randomness/time via using-decls (R10's R1 upgrade)
+    for m in USING_LIBC_RE.finditer(code):
+        f["using_libc"].append({
+            "name": m.group(1) or "namespace std",
+            "line": src.line_of(m.start())})
+    if f["using_libc"]:
+        for m in LIBC_CALL_RE.finditer(code):
+            f["libc_calls"].append({"name": m.group(1),
+                                    "line": src.line_of(m.start())})
+
+    return f
+
+
+# ---------------------------------------------------------------------------
+# Clang frontend: walk `clang -Xclang -ast-dump=json` output, keeping
+# facts for project files. Type facts use qualType (which preserves
+# alias sugar) plus desugaredQualType when present, so alias chains are
+# resolved by the compiler rather than our regexes.
+# ---------------------------------------------------------------------------
+
+
+def find_clang():
+    for name in ("clang++", "clang", "clang++-18", "clang++-17",
+                 "clang++-16", "clang++-15", "clang++-14"):
+        from shutil import which
+        if which(name):
+            return name
+    return None
+
+
+def clang_tu_args(entry):
+    """compile_commands entry -> clang args for a syntax-only dump."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    out = []
+    skip = 0
+    for a in argv[1:]:
+        if skip:
+            skip -= 1
+            continue
+        if a in ("-c", "-o"):
+            skip = 1 if a == "-o" else 0
+            continue
+        if a.startswith("-o"):
+            continue
+        # gcc-specific or irrelevant-to-parse flags clang may reject
+        if a.startswith(("-f", "-W", "-g", "-O", "-march", "-mtune")):
+            continue
+        out.append(a)
+    return out
+
+
+def run_clang_dump(clang, entry, source):
+    args = [clang, "-fsyntax-only", "-w", "-Xclang", "-ast-dump=json"]
+    args += clang_tu_args(entry)
+    args.append(source)
+    proc = subprocess.run(args, cwd=entry.get("directory", "."),
+                          capture_output=True, text=True)
+    if proc.returncode != 0 and not proc.stdout.strip():
+        raise RuntimeError(
+            f"clang AST dump failed for {source}:\n{proc.stderr[-2000:]}")
+    return json.loads(proc.stdout)
+
+
+def qual_types(node):
+    t = node.get("type", {})
+    return t.get("qualType", ""), t.get("desugaredQualType",
+                                        t.get("qualType", ""))
+
+
+class ClangWalker:
+    """Stateful pre-order walk tracking the current file, producing
+    per-file fact dicts for files under the project root."""
+
+    def __init__(self, root):
+        self.root = Path(root).resolve()
+        self.facts = {}
+        self.current_file = None
+
+    def rel_of(self, path):
+        try:
+            return str(Path(path).resolve().relative_to(self.root))
+        except ValueError:
+            return None
+
+    def file_facts(self):
+        if self.current_file is None:
+            return None
+        if self.current_file not in self.facts:
+            self.facts[self.current_file] = empty_facts(self.current_file)
+        return self.facts[self.current_file]
+
+    def update_loc(self, node):
+        loc = node.get("loc", {})
+        f = loc.get("file") or loc.get("spellingLoc", {}).get("file") \
+            or node.get("range", {}).get("begin", {}).get("file")
+        if f:
+            self.current_file = self.rel_of(f)
+
+    def line_of(self, node):
+        loc = node.get("loc", {})
+        return loc.get("line") or loc.get("spellingLoc", {}).get("line") \
+            or node.get("range", {}).get("begin", {}).get("line") or 0
+
+    def walk(self, node, ctx=None):
+        if not isinstance(node, dict):
+            return
+        self.update_loc(node)
+        kind = node.get("kind", "")
+        ff = self.file_facts()
+        handler = getattr(self, "on_" + kind, None)
+        new_ctx = ctx
+        if handler and ff is not None:
+            new_ctx = handler(node, ff, ctx) or ctx
+        for child in node.get("inner", []) or []:
+            self.walk(child, new_ctx)
+
+    # -- declarations ----------------------------------------------
+
+    def on_TypeAliasDecl(self, node, ff, ctx):
+        name = node.get("name")
+        qt, dq = qual_types(node)
+        if name:
+            ff["aliases"][name] = dq or qt
+
+    on_TypedefDecl = on_TypeAliasDecl
+
+    def on_CXXRecordDecl(self, node, ff, ctx):
+        if not node.get("completeDefinition"):
+            return ctx
+        name = node.get("name")
+        if not name:
+            return ctx
+        cls = {"name": name, "line": self.line_of(node),
+               "stat_fields": [], "pool_fields": [],
+               "unordered_fields": [], "registered": None}
+        for child in node.get("inner", []) or []:
+            if child.get("kind") != "FieldDecl":
+                continue
+            fname = child.get("name")
+            if not fname:
+                continue
+            qt, dq = qual_types(child)
+            base = qt.split("<")[0].split("::")[-1].strip()
+            entry = {"name": fname, "type": qt,
+                     "line": self.line_of(child)}
+            if base in STAT_TYPES:
+                cls["stat_fields"].append(entry)
+            if base in POOLED_TYPES:
+                cls["pool_fields"].append(entry)
+            if UNORDERED_IN_TYPE.search(qt) or UNORDERED_IN_TYPE.search(dq):
+                cls["unordered_fields"].append(entry)
+        ff["classes"].append(cls)
+        return {"class": name}
+
+    def on_CXXMethodDecl(self, node, ff, ctx):
+        name = node.get("name")
+        if name == "registerStats" and node.get("inner"):
+            mentioned = set()
+
+            def collect(n):
+                if isinstance(n, dict):
+                    if n.get("kind") in ("MemberExpr", "DeclRefExpr"):
+                        nm = n.get("name") or \
+                            n.get("referencedDecl", {}).get("name")
+                        if nm:
+                            mentioned.add(nm)
+                    for c in n.get("inner", []) or []:
+                        collect(c)
+            collect(node)
+            cls_name = (ctx or {}).get("class") or \
+                (node.get("parentDeclContextId") and None)
+            # Out-of-line definitions carry the class in the qualified
+            # name ("dssd::Foo::registerStats" is not present in JSON;
+            # fall back to mangledName-ish scanning of the semantic
+            # parent is unreliable — record under the lexical class
+            # when known, else a wildcard the merge step resolves).
+            ff["classes"].append({
+                "name": cls_name or "?", "line": self.line_of(node),
+                "stat_fields": [], "pool_fields": [],
+                "unordered_fields": [],
+                "registered": sorted(mentioned)})
+        return ctx
+
+    def on_VarDecl(self, node, ff, ctx):
+        qt, dq = qual_types(node)
+        base = qt.split("<")[0].split("::")[-1].strip()
+        name = node.get("name")
+        if not name:
+            return ctx
+        if base in POOLED_TYPES or "makePooled" in json.dumps(
+                node.get("inner", [])[:1])[:200]:
+            ff["pooled_names"].append(name)
+            sc = node.get("storageClass")
+            if sc == "static" or (ctx or {}).get("file_scope"):
+                ff["global_pooled"].append(
+                    {"name": name, "line": self.line_of(node)})
+        if qt == "Tick" or dq == "unsigned long" or \
+                qt.endswith("Tick"):
+            if qt.endswith("Tick"):
+                ff["tick_names"].append(name)
+        if UNORDERED_IN_TYPE.search(dq):
+            ff["unordered_names"].append({"name": name, "via": qt})
+        # narrowing declaration with a tick-sugared initializer
+        if is_narrow_target(qt):
+            init = (node.get("inner") or [{}])[0]
+            if self._expr_is_tick(init):
+                ff["narrow_decls"].append({
+                    "line": self.line_of(node), "to": qt,
+                    "name": name, "expr": "<init>"})
+        return ctx
+
+    on_ParmVarDecl = on_VarDecl
+
+    def _expr_is_tick(self, node):
+        if not isinstance(node, dict):
+            return False
+        qt, _ = qual_types(node)
+        if qt.endswith("Tick"):
+            return True
+        return any(self._expr_is_tick(c)
+                   for c in node.get("inner", []) or [])
+
+    # -- expressions -----------------------------------------------
+
+    def on_LambdaExpr(self, node, ff, ctx):
+        line = self.line_of(node)
+        captures = []
+        closure = None
+        for child in node.get("inner", []) or []:
+            if child.get("kind") == "CXXRecordDecl":
+                closure = child
+                continue
+            if child.get("kind") == "DeclRefExpr":
+                rd = child.get("referencedDecl", {})
+                nm = rd.get("name")
+                if nm:
+                    captures.append({
+                        "name": nm, "ref": False, "init": False,
+                        "type": rd.get("type", {}).get("qualType", "")})
+
+        def mark_pooled(caps):
+            for c in caps:
+                t = c.get("type", "")
+                base = t.split("<")[0].split("::")[-1].strip()
+                if base in POOLED_TYPES:
+                    ff["pooled_names"].append(c["name"])
+        mark_pooled(captures)
+        ff["lambdas"].append({
+            "line": line, "default": None, "captures": captures,
+            "sink": (ctx or {}).get("sink")})
+        return ctx
+
+    def on_CXXMemberCallExpr(self, node, ff, ctx):
+        callee = ""
+        inner = node.get("inner", []) or []
+        if inner:
+            me = inner[0]
+            callee = me.get("name", "") or \
+                me.get("referencedDecl", {}).get("name", "")
+            if not callee:
+                # MemberExpr spells the member in "name" on most
+                # versions; fall back to the printed member token.
+                callee = me.get("member", {}).get("name", "") \
+                    if isinstance(me.get("member"), dict) else ""
+        line = self.line_of(node)
+        if callee in ("asyncBegin", "asyncEnd"):
+            lits = []
+
+            def strings(n):
+                if isinstance(n, dict):
+                    if n.get("kind") == "StringLiteral":
+                        lits.append(n.get("value", "").strip('"'))
+                    for c in n.get("inner", []) or []:
+                        strings(c)
+            strings(node)
+            cat = lits[0] if len(lits) >= 1 else "<dyn>"
+            name = lits[1] if len(lits) >= 2 else "<dyn>"
+            ff["spans"].append({
+                "kind": "begin" if callee == "asyncBegin" else "end",
+                "cat": cat, "name": name, "line": line})
+        if callee == "shardEngine":
+            ff["shard_engine_uses"].append({"line": line})
+        if callee in SINK_CALLS:
+            return {**(ctx or {}), "sink": callee}
+        return ctx
+
+    on_CallExpr = on_CXXMemberCallExpr
+
+    def on_StaticCastExpr(self, node, ff, ctx):
+        qt, _ = qual_types(node)
+        if is_narrow_target(qt):
+            if any(self._expr_is_tick(c)
+                   for c in node.get("inner", []) or []):
+                ff["narrow_casts"].append({
+                    "line": self.line_of(node), "to": qt,
+                    "expr": "<expr>"})
+        return ctx
+
+    on_CXXStaticCastExpr = on_StaticCastExpr
+    on_CStyleCastExpr = on_StaticCastExpr
+    on_CXXFunctionalCastExpr = on_StaticCastExpr
+
+    def on_CXXForRangeStmt(self, node, ff, ctx):
+        for child in node.get("inner", []) or []:
+            qt, dq = qual_types(child) if isinstance(child, dict) \
+                else ("", "")
+            if UNORDERED_IN_TYPE.search(dq or ""):
+                nm = None
+
+                def first_ref(n):
+                    nonlocal nm
+                    if nm is None and isinstance(n, dict):
+                        if n.get("kind") in ("DeclRefExpr", "MemberExpr"):
+                            nm = n.get("name") or \
+                                n.get("referencedDecl", {}).get("name")
+                        for c in n.get("inner", []) or []:
+                            first_ref(c)
+                first_ref(child)
+                ff["iterations"].append({
+                    "name": nm or "<range>",
+                    "line": self.line_of(node)})
+        return ctx
+
+
+def extract_clang_tu(clang, entry, root):
+    ast = run_clang_dump(clang, entry, entry["file"])
+    walker = ClangWalker(root)
+    walker.walk(ast, {"file_scope": True})
+    return list(walker.facts.values())
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+
+def cache_key(frontend, payload_bytes):
+    h = hashlib.sha256()
+    h.update(f"v{EXTRACTOR_VERSION}:{frontend}:".encode())
+    h.update(payload_bytes)
+    return h.hexdigest()
+
+
+def cached_extract(cache_dir, frontend, key, producer):
+    if cache_dir:
+        path = Path(cache_dir) / f"{frontend}-{key}.json"
+        if path.exists():
+            try:
+                return json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                pass
+    result = producer()
+    if cache_dir:
+        Path(cache_dir).mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result), encoding="utf-8")
+        tmp.replace(path)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Program: merged whole-program facts + indexes the rules query.
+# ---------------------------------------------------------------------------
+
+
+class Program:
+    def __init__(self, per_file_facts):
+        # Merge duplicate file entries (clang mode: a header's facts
+        # arrive once per including TU) by (file) keeping the union.
+        merged = {}
+        for f in per_file_facts:
+            cur = merged.setdefault(f["file"], empty_facts(f["file"]))
+            cur["aliases"].update(f["aliases"])
+            for key in ("classes", "lambdas", "pooled_names", "spans",
+                        "tick_names", "narrow_casts", "narrow_decls",
+                        "tick_subs", "unordered_names", "iterations",
+                        "shard_engine_uses", "global_pooled",
+                        "using_libc", "libc_calls"):
+                seen = {json.dumps(x, sort_keys=True) for x in cur[key]} \
+                    if cur[key] and isinstance(cur[key][0], dict) else \
+                    set(cur[key])
+                for item in f[key]:
+                    token = json.dumps(item, sort_keys=True) \
+                        if isinstance(item, dict) else item
+                    if token not in seen:
+                        seen.add(token)
+                        cur[key].append(item)
+        self.files = merged
+
+        # class name -> merged view {stat_fields, registered(set|None)}
+        self.classes = {}
+        for ff in self.files.values():
+            for cls in ff["classes"]:
+                cur = self.classes.setdefault(cls["name"], {
+                    "stat_fields": {}, "pool_fields": {},
+                    "unordered_fields": {}, "registered": None,
+                    "decl_file": ff["file"], "line": cls["line"]})
+                for fld in cls["stat_fields"]:
+                    cur["stat_fields"].setdefault(
+                        fld["name"], (ff["file"], fld["line"], fld["type"]))
+                for fld in cls["pool_fields"]:
+                    cur["pool_fields"].setdefault(
+                        fld["name"], (ff["file"], fld["line"], fld["type"]))
+                for fld in cls["unordered_fields"]:
+                    cur["unordered_fields"].setdefault(
+                        fld["name"], (ff["file"], fld["line"], fld["type"]))
+                if cls["registered"] is not None:
+                    if cur["registered"] is None:
+                        cur["registered"] = set()
+                    cur["registered"].update(cls["registered"])
+
+        self.pooled_names = set()
+        for ff in self.files.values():
+            self.pooled_names.update(ff["pooled_names"])
+            for cls in ff["classes"]:
+                for fld in cls["pool_fields"]:
+                    self.pooled_names.add(fld["name"])
+
+        self.unordered_member_names = {}
+        for name, cls in self.classes.items():
+            for fname, (file, line, ftype) in cls["unordered_fields"].items():
+                self.unordered_member_names[fname] = (name, file, line)
+
+
+class Finding:
+    def __init__(self, rule, file, line, key, message, severity="error"):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.key = key
+        self.message = message
+        self.severity = severity
+
+    def render(self):
+        sev = "" if self.severity == "error" else f" ({self.severity})"
+        return f"{self.file}:{self.line}: [{self.rule}]{sev} {self.message}"
+
+
+RULES = {}
+
+
+def rule(rid, title):
+    def wrap(fn):
+        RULES[rid] = (title, fn)
+        return fn
+    return wrap
+
+
+# ---------------------------------------------------------------------------
+# R7: shard confinement / pointer escape
+# ---------------------------------------------------------------------------
+
+# Files allowed to touch shard engines directly: the array front-end
+# that owns them and the sim layer that implements the group.
+SHARD_ENGINE_OWNERS = ("src/core/array.cc", "src/core/array.hh",
+                       "src/sim/")
+
+
+@rule("R7", "shard confinement / pointer escape")
+def rule_r7(prog):
+    for ff in prog.files.values():
+        for lam in ff["lambdas"]:
+            if lam["sink"] not in CROSSING_SINKS:
+                continue
+            for cap in lam["captures"]:
+                name = cap["name"]
+                pooled = name in prog.pooled_names or (
+                    cap.get("init") and any(
+                        p in cap.get("init_expr", "")
+                        for p in ("makePooled", "PoolPtr")))
+                if pooled:
+                    yield Finding(
+                        "R7", ff["file"], lam["line"],
+                        f"capture:{name}",
+                        f"lambda passed to {lam['sink']}() captures "
+                        f"pooled handle '{name}': PoolPtr refcounts are "
+                        f"non-atomic and shard-confined; crossing the "
+                        f"host<->shard message path hands the refcount "
+                        f"to another thread. Copy the payload out, or "
+                        f"allocate it from the receiving side's pool")
+        for g in ff["global_pooled"]:
+            if ff["file"].endswith("sim/pool.hh"):
+                continue
+            yield Finding(
+                "R7", ff["file"], g["line"], f"global:{g['name']}",
+                f"file-scope pooled object '{g['name']}': pools are "
+                f"owned by one shard's component tree; global pooled "
+                f"state is reachable from every shard thread")
+        for use in ff["shard_engine_uses"]:
+            if any(ff["file"].startswith(p) or
+                   ("/" + p) in ("/" + ff["file"])
+                   for p in SHARD_ENGINE_OWNERS):
+                continue
+            yield Finding(
+                "R7", ff["file"], use["line"], "shardEngine",
+                "direct shardEngine() access outside the array "
+                "front-end (core/array.*) and sim/: model code must "
+                "reach shard state through the EngineGroup message "
+                "path, never by scheduling on another shard's engine")
+
+
+# ---------------------------------------------------------------------------
+# R8: registration / pairing completeness
+# ---------------------------------------------------------------------------
+
+
+@rule("R8", "stat registration and trace-span pairing completeness")
+def rule_r8(prog):
+    for cname, cls in sorted(prog.classes.items()):
+        if not cls["stat_fields"]:
+            continue
+        if cls["registered"] is None:
+            # A stats-bearing class with no registerStats anywhere.
+            for fname, (file, line, ftype) in \
+                    sorted(cls["stat_fields"].items()):
+                yield Finding(
+                    "R8", file, line, f"{cname}::{fname}",
+                    f"{cname} declares {ftype} '{fname}' but has no "
+                    f"registerStats() anywhere in the program; the "
+                    f"stat can never reach a --stats dump")
+            continue
+        for fname, (file, line, ftype) in \
+                sorted(cls["stat_fields"].items()):
+            if fname not in cls["registered"]:
+                yield Finding(
+                    "R8", file, line, f"{cname}::{fname}",
+                    f"{ftype} member '{fname}' of {cname} is never "
+                    f"referenced by {cname}::registerStats(); it will "
+                    f"be invisible in every --stats dump")
+
+    begins, ends = {}, {}
+    for ff in prog.files.values():
+        for sp in ff["spans"]:
+            d = begins if sp["kind"] == "begin" else ends
+            d.setdefault((sp["cat"], sp["name"]),
+                         (ff["file"], sp["line"]))
+    for key, (file, line) in sorted(begins.items()):
+        if key not in ends and ("<dyn>", "<dyn>") not in ends and \
+                (key[0], "<dyn>") not in ends:
+            yield Finding(
+                "R8", file, line, f"span:{key[0]}/{key[1]}",
+                f"async span ({key[0]}, {key[1]}) is opened by "
+                f"asyncBegin but never closed by any asyncEnd in the "
+                f"program; the span will dangle in every trace")
+    for key, (file, line) in sorted(ends.items()):
+        if key not in begins and ("<dyn>", "<dyn>") not in begins and \
+                (key[0], "<dyn>") not in begins:
+            yield Finding(
+                "R8", file, line, f"span:{key[0]}/{key[1]}",
+                f"async span ({key[0]}, {key[1]}) is closed by "
+                f"asyncEnd but never opened by any asyncBegin in the "
+                f"program")
+
+
+# ---------------------------------------------------------------------------
+# R9: tick safety
+# ---------------------------------------------------------------------------
+
+
+@rule("R9", "tick narrowing and latency arithmetic")
+def rule_r9(prog):
+    for ff in prog.files.values():
+        for c in ff["narrow_casts"]:
+            yield Finding(
+                "R9", ff["file"], c["line"], f"cast:{c['to']}",
+                f"narrowing cast of a Tick expression to '{c['to']}' "
+                f"({c['expr']}): Tick is u64 nanoseconds; anything "
+                f"smaller or signed truncates after ~4.3 s of simulated "
+                f"time. Keep ticks in Tick and convert at the edge "
+                f"with ticksToUs()/ticksToMs()")
+        for d in ff["narrow_decls"]:
+            yield Finding(
+                "R9", ff["file"], d["line"], f"decl:{d['name']}",
+                f"'{d['to']} {d['name']} = {d['expr']}' seeds a "
+                f"narrower integer from a Tick expression; declare it "
+                f"Tick (or convert explicitly at a reporting edge)")
+        for s in ff["tick_subs"]:
+            if not s["guarded"]:
+                yield Finding(
+                    "R9", ff["file"], s["line"],
+                    f"sub:{s['a']}-{s['b']}",
+                    f"tick subtraction '{s['a']} - {s['b']}' with no "
+                    f"visible ordering guard in this file: Tick is "
+                    f"unsigned, so a reversed pair wraps to ~1.8e19",
+                    severity="warning")
+
+
+# ---------------------------------------------------------------------------
+# R10: AST-backed upgrades of lint R1-R3
+# ---------------------------------------------------------------------------
+
+
+@rule("R10", "alias-aware upgrades of lint R1-R3")
+def rule_r10(prog):
+    # R2 upgrade: iteration over unordered containers reached through
+    # an alias or a member declared in another file.
+    tracked = {}
+    for ff in prog.files.values():
+        for un in ff["unordered_names"]:
+            tracked[un["name"]] = (un.get("via", "?"), ff["file"])
+    tracked.update({k: (v[0], v[1])
+                    for k, v in prog.unordered_member_names.items()})
+    for ff in prog.files.values():
+        suppressed_lines = set()
+        for it in ff["iterations"]:
+            if it["name"] in tracked:
+                via, decl_file = tracked[it["name"]]
+                yield Finding(
+                    "R10", ff["file"], it["line"],
+                    f"unordered-iter:{it['name']}",
+                    f"iteration over '{it['name']}' whose resolved type "
+                    f"(via {via}, declared in {decl_file}) is an "
+                    f"unordered container: traversal order depends on "
+                    f"hash seed and rehash history. Use a sorted "
+                    f"accessor or an ordered container")
+        for lam in ff["lambdas"]:
+            if lam["default"]:
+                yield Finding(
+                    "R10", ff["file"], lam["line"],
+                    f"default-capture:{lam['default']}",
+                    f"lambda with default capture [{lam['default']}] "
+                    f"hides the capture set; spell captures out so the "
+                    f"event callback's inline footprint is auditable")
+        for u in ff["using_libc"]:
+            yield Finding(
+                "R10", ff["file"], u["line"], f"using:{u['name']}",
+                f"'using {u['name']}' pulls unqualified libc "
+                f"randomness/time into scope, defeating the R1 "
+                f"determinism lint's qualified-name patterns")
+        for c in ff["libc_calls"]:
+            yield Finding(
+                "R10", ff["file"], c["line"], f"libc:{c['name']}",
+                f"unqualified {c['name']}() reached through a "
+                f"using-declaration: wall clocks and the C PRNG break "
+                f"run-to-run determinism; use sim/rng.hh")
+
+
+# ---------------------------------------------------------------------------
+# Suppression: inline allow comments + the allowlist file.
+# ---------------------------------------------------------------------------
+
+INLINE_ALLOW = re.compile(r"//\s*analyze:allow\s+(R\d+)\b")
+# R10's unordered-iteration check is the alias-aware upgrade of lint
+# R2, so a walk the lint already sanctioned stays sanctioned here.
+LINT_ALLOW_UNORDERED = "lint:allow unordered-iteration"
+
+
+def load_allowlist(path):
+    """[(rule, pattern, justification)]; malformed entries are fatal."""
+    entries = []
+    problems = []
+    if not path or not Path(path).exists():
+        return entries, problems
+    for no, raw in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "#" not in line:
+            problems.append(
+                f"{path}:{no}: allowlist entry has no '#' justification "
+                f"comment; every suppression must say why")
+            continue
+        body, _, justification = line.partition("#")
+        if not justification.strip():
+            problems.append(
+                f"{path}:{no}: empty justification after '#'")
+            continue
+        parts = body.split()
+        if len(parts) != 2 or not re.match(r"^R\d+$", parts[0]):
+            problems.append(
+                f"{path}:{no}: expected 'R<N> <file-glob>:<key-glob>'; "
+                f"got '{body.strip()}'")
+            continue
+        entries.append((parts[0], parts[1], justification.strip(), no))
+    return entries, problems
+
+
+def apply_suppressions(findings, allow_entries, sources_root):
+    kept = []
+    used = set()
+    raw_cache = {}
+    for f in findings:
+        # inline allow on the line or the line above
+        path = Path(sources_root) / f.file
+        if path not in raw_cache:
+            try:
+                raw_cache[path] = path.read_text(
+                    encoding="utf-8").splitlines()
+            except OSError:
+                raw_cache[path] = []
+        raws = raw_cache[path]
+        inline = False
+        for lineno in (f.line, f.line - 1):
+            if 1 <= lineno <= len(raws):
+                m = INLINE_ALLOW.search(raws[lineno - 1])
+                if m and m.group(1) == f.rule:
+                    inline = True
+                if f.rule == "R10" and \
+                        f.key.startswith("unordered-iter:") and \
+                        LINT_ALLOW_UNORDERED in raws[lineno - 1]:
+                    inline = True
+        if inline:
+            continue
+        target = f"{f.file}:{f.key}"
+        matched = False
+        for rid, pattern, _just, no in allow_entries:
+            if rid == f.rule and fnmatch.fnmatch(target, pattern):
+                matched = True
+                used.add(no)
+        if not matched:
+            kept.append(f)
+    unused = [(rid, pat, no) for rid, pat, _j, no in allow_entries
+              if no not in used]
+    return kept, unused
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def analyze_files(paths, root, frontend, cache_dir):
+    """Per-file (text) or per-TU (clang) extraction -> Program."""
+    facts = []
+    if frontend == "text":
+        for path in paths:
+            rel = str(Path(path).resolve().relative_to(Path(root).resolve()))
+            data = Path(path).read_bytes()
+            key = cache_key("text", data)
+            facts.append(cached_extract(
+                cache_dir, "text", key,
+                lambda d=data, r=rel: extract_text(
+                    r, d.decode("utf-8", "replace"))))
+        return Program(facts)
+    raise SystemExit(f"unknown frontend '{frontend}'")
+
+
+def analyze_clang(build_dir, root, cache_dir, only_src=True):
+    clang = find_clang()
+    if not clang:
+        raise SystemExit(
+            "dssd_analyze: no clang driver found for --frontend clang; "
+            "install clang or use --frontend text")
+    ccj = Path(build_dir) / "compile_commands.json"
+    if not ccj.exists():
+        raise SystemExit(f"dssd_analyze: {ccj} not found; configure "
+                         f"cmake first (CMAKE_EXPORT_COMPILE_COMMANDS)")
+    entries = json.loads(ccj.read_text(encoding="utf-8"))
+    facts = []
+    root_r = Path(root).resolve()
+    for entry in entries:
+        src = Path(entry["file"])
+        try:
+            rel = str(src.resolve().relative_to(root_r))
+        except ValueError:
+            continue
+        if only_src and not rel.startswith("src/"):
+            continue
+        data = src.read_bytes() + json.dumps(
+            clang_tu_args(entry), sort_keys=True).encode()
+        key = cache_key("clang", data)
+
+        def produce(e=entry, r=rel, s=src):
+            # A TU the clang path cannot handle (driver quirk, flag
+            # mismatch, JSON shape drift) degrades to the text
+            # extractor for that file rather than killing the run.
+            try:
+                return extract_clang_tu(clang, e, root_r)
+            except (RuntimeError, json.JSONDecodeError, OSError,
+                    KeyError, TypeError) as exc:
+                print(f"dssd_analyze: note: clang frontend failed on "
+                      f"{r} ({exc}); using text extraction for it",
+                      file=sys.stderr)
+                return [extract_text(
+                    r, s.read_text(encoding="utf-8", errors="replace"))]
+        facts.extend(cached_extract(cache_dir, "clang", key, produce))
+    # clang facts are keyed to src/-relative? no: repo-relative; keep
+    # only src/ files so test/bench code is out of scope like the lint.
+    facts = [f for f in facts if f["file"].startswith("src/")]
+    # Strip the src/ prefix? No: findings print repo-relative paths.
+    return Program(facts)
+
+
+def run_rules(prog, selected):
+    findings = []
+    for rid, (_title, fn) in sorted(RULES.items()):
+        if selected and rid not in selected:
+            continue
+        findings.extend(fn(prog))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule, f.key))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test over fixture TUs
+# ---------------------------------------------------------------------------
+
+TRIP_RE = re.compile(r"//\s*trip:(R\d+)\b")
+
+
+def self_test(fixture_dir, frontend, selected):
+    fixture_dir = Path(fixture_dir)
+    fixtures = sorted(fixture_dir.glob("*.cc"))
+    if not fixtures:
+        print(f"dssd_analyze: no fixtures under {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for fx in fixtures:
+        text = fx.read_text(encoding="utf-8")
+        expected = set()
+        for no, raw in enumerate(text.splitlines(), 1):
+            for m in TRIP_RE.finditer(raw):
+                if not selected or m.group(1) in selected:
+                    expected.add((no, m.group(1)))
+        facts = extract_text(fx.name, text)
+        prog = Program([facts])
+        findings = [f for f in run_rules(prog, selected)
+                    if f.severity == "error"]
+        # Fixtures may annotate warnings explicitly with trip:R9w? No:
+        # warnings participate when annotated via trip on the line.
+        warn = [f for f in run_rules(prog, selected)
+                if f.severity != "error"]
+        got = {(f.line, f.rule) for f in findings}
+        got_warn = {(f.line, f.rule) for f in warn}
+        missing = expected - got - got_warn
+        surplus = got - expected
+        status = "ok" if not missing and not surplus else "FAIL"
+        print(f"  {status:4s} {fx.name}: expected {len(expected)} "
+              f"finding(s), got {len(got)} error(s) + "
+              f"{len(got_warn)} warning(s)")
+        for line, rid in sorted(missing):
+            print(f"       missing: {fx.name}:{line} [{rid}] "
+                  f"(annotated but did not fire)")
+            failures += 1
+        for line, rid in sorted(surplus):
+            msg = next(f.message for f in findings
+                       if (f.line, f.rule) == (line, rid))
+            print(f"       surplus: {fx.name}:{line} [{rid}] {msg}")
+            failures += 1
+    if failures:
+        print(f"dssd_analyze --self-test: {failures} mismatch(es)")
+        return 1
+    print(f"dssd_analyze --self-test: {len(fixtures)} fixture(s) ok "
+          f"({frontend} frontend)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------------
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="whole-program analyzer for the dssd tree "
+                    "(rules R7-R10; see DESIGN.md §13)")
+    ap.add_argument("--root", default=".",
+                    help="repository root (default .)")
+    ap.add_argument("--src", default="src",
+                    help="source tree to analyze, relative to --root")
+    ap.add_argument("--build-dir", default="build",
+                    help="build dir holding compile_commands.json "
+                         "(clang frontend)")
+    ap.add_argument("--frontend", choices=("auto", "clang", "text"),
+                    default="auto",
+                    help="fact extractor: clang AST JSON or the "
+                         "bundled text extractor (auto: clang when a "
+                         "driver exists, else text)")
+    ap.add_argument("--cache-dir", default=None,
+                    help="fact cache directory (default "
+                         "<build-dir>/analyze-cache; '' disables)")
+    ap.add_argument("--rule", default=None,
+                    help="comma-separated rule subset (e.g. R7,R9)")
+    ap.add_argument("--allowlist",
+                    default="tools/analyze/ALLOWLIST",
+                    help="allowlist file (relative to --root)")
+    ap.add_argument("--self-test", metavar="DIR", default=None,
+                    help="analyze fixture TUs in DIR standalone and "
+                         "check their // trip:<RULE> annotations")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--json", metavar="FILE", default=None,
+                    help="also write findings as JSON")
+    ap.add_argument("-W", "--warnings-as-errors", action="store_true",
+                    help="advisory findings fail the run too")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rid, (title, _fn) in sorted(RULES.items()):
+            print(f"{rid:4s} {title}")
+        return 0
+
+    selected = None
+    if args.rule:
+        selected = {r.strip() for r in args.rule.split(",") if r.strip()}
+        unknown = selected - set(RULES)
+        if unknown:
+            print(f"dssd_analyze: unknown rule(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    frontend = args.frontend
+    if frontend == "auto":
+        frontend = "clang" if find_clang() else "text"
+
+    if args.self_test:
+        return self_test(args.self_test, frontend, selected)
+
+    root = Path(args.root)
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = str(Path(args.build_dir) / "analyze-cache")
+    if cache_dir == "":
+        cache_dir = None
+
+    if frontend == "clang":
+        prog = analyze_clang(args.build_dir, root, cache_dir)
+    else:
+        src_root = root / args.src
+        if not src_root.is_dir():
+            print(f"dssd_analyze: no such directory: {src_root}",
+                  file=sys.stderr)
+            return 2
+        paths = sorted(src_root.rglob("*.hh")) + \
+            sorted(src_root.rglob("*.cc"))
+        prog = analyze_files(paths, root, "text", cache_dir)
+
+    allow_path = root / args.allowlist
+    entries, problems = load_allowlist(allow_path)
+    for p in problems:
+        print(p)
+    findings = run_rules(prog, selected)
+    findings, unused = apply_suppressions(findings, entries, root)
+
+    errors = [f for f in findings if f.severity == "error"]
+    warnings = [f for f in findings if f.severity != "error"]
+    for f in findings:
+        print(f.render())
+    for rid, pat, no in unused:
+        print(f"{allow_path}:{no}: note: allowlist entry "
+              f"'{rid} {pat}' matched nothing (stale?)")
+
+    if args.json:
+        doc = [{"rule": f.rule, "file": f.file, "line": f.line,
+                "key": f.key, "severity": f.severity,
+                "message": f.message} for f in findings]
+        Path(args.json).write_text(json.dumps(doc, indent=1),
+                                   encoding="utf-8")
+
+    n_files = len(prog.files)
+    print(f"dssd_analyze: {n_files} file(s), {len(errors)} error(s), "
+          f"{len(warnings)} warning(s) [{frontend} frontend]")
+    if problems:
+        return 2
+    if errors or (args.warnings_as_errors and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,8 +16,6 @@ R2  iteration order: no iteration over std::unordered_map or
     pick a victim, or feed an audit makes results differ between
     otherwise-identical runs. Use the sorted accessors (e.g.
     SuperblockRemapTable::entriesSorted()) or an ordered container.
-    A deliberate, order-insensitive walk may be whitelisted with a
-    trailing comment: // lint:allow unordered-iteration
 
 R3  event-callback budget: the engine stores callbacks inline in
     pooled 160-byte event nodes (kInlineCallbackBytes). sim/engine.hh
@@ -52,15 +50,42 @@ R6  confined threading: all cross-thread machinery lives in
     deterministic (tick, shard, emission-order) merge exists to
     prevent - route new parallelism through it.
 
-Exit status is non-zero when any rule fires; diagnostics are
-file:line: messages suitable for CI annotation.
+Suppression: any rule may be waived for one line with a trailing
+comment on the flagged line or the line directly above it, naming
+the rule by id or by slug:
+
+    // lint:allow R2
+    // lint:allow unordered-iteration
+
+(the slug form is the legacy spelling for R2 and remains valid for
+every rule; slugs are listed in RULE_NAMES). A suppression is a
+claim that the flagged construct is deliberate and safe - say why
+in the surrounding comment.
+
+Usage: dssd_lint.py [--rule R2 ...] [root]
+--rule restricts the run to the named rule(s) (id or slug,
+repeatable); the default is all rules. Exit status is non-zero when
+any active rule fires; diagnostics are file:line: messages suitable
+for CI annotation.
 """
 
+import argparse
 import re
 import sys
 from pathlib import Path
 
-ALLOW_UNORDERED = "lint:allow unordered-iteration"
+# Rule ids and their slug names; `// lint:allow <id-or-slug>`
+# suppresses the rule on that line (or the line below the comment).
+RULE_NAMES = {
+    "R1": "determinism",
+    "R2": "unordered-iteration",
+    "R3": "capture-budget",
+    "R4": "header-hygiene",
+    "R5": "layering",
+    "R6": "threading",
+}
+
+ALLOW_RE = re.compile(r"lint:allow\s+([A-Za-z0-9-]+)")
 
 # R1: forbidden calls/types, with the reason shown in the diagnostic.
 R1_PATTERNS = [
@@ -176,17 +201,30 @@ def expected_guard(rel):
         + "_HH"
 
 
-def lint_file(path, rel, errors):
+def lint_file(path, rel, errors, active):
     text = path.read_text(encoding="utf-8")
     lines = list(logical_lines(text))
+
+    def allowed(no, rule):
+        """True when the raw line (or the one above) carries a
+        `lint:allow` tag naming @p rule by id or slug."""
+        tags = set()
+        for idx in (no - 1, no - 2):
+            if 0 <= idx < len(lines):
+                tags.update(t.lower()
+                            for t in ALLOW_RE.findall(lines[idx][2]))
+        return rule.lower() in tags or RULE_NAMES[rule] in tags
+
+    def report(no, rule, msg):
+        if rule in active and not allowed(no, rule):
+            errors.append(f"{path}:{no}: [{rule}] {msg}")
 
     # R1 ------------------------------------------------------------
     if rel not in R1_EXEMPT:
         for no, code, _ in lines:
             for pat, why in R1_PATTERNS:
                 if pat.search(code):
-                    errors.append(
-                        f"{path}:{no}: [R1] {pat.pattern!r}: {why}")
+                    report(no, "R1", f"{pat.pattern!r}: {why}")
 
     # R2 ------------------------------------------------------------
     unordered_names = set()
@@ -201,37 +239,32 @@ def lint_file(path, rel, errors):
                     header.read_text(encoding="utf-8")):
                 for m in UNORDERED_DECL.finditer(code):
                     unordered_names.add(m.group(1))
-    for idx, (no, code, raw) in enumerate(lines):
-        # Suppression works on the flagged line or the line above it.
-        if ALLOW_UNORDERED in raw or \
-                (idx > 0 and ALLOW_UNORDERED in lines[idx - 1][2]):
-            continue
+    for no, code, _ in lines:
         hits = set(RANGE_FOR.findall(code)) | set(BEGIN_WALK.findall(code))
         for name in hits & unordered_names:
-            errors.append(
-                f"{path}:{no}: [R2] iteration over unordered container "
-                f"'{name}' has hash-seed-dependent order; use a sorted "
-                f"accessor or append '// {ALLOW_UNORDERED}'")
+            report(no, "R2",
+                   f"iteration over unordered container '{name}' has "
+                   f"hash-seed-dependent order; use a sorted accessor "
+                   f"or append '// lint:allow {RULE_NAMES['R2']}'")
 
     # R3 ------------------------------------------------------------
     for no, code, _ in lines:
         if R3_DEFAULT_CAPTURE.search(code):
-            errors.append(
-                f"{path}:{no}: [R3] default lambda capture hides the "
-                f"capture set; spell captures out so the event "
-                f"callback's inline-storage footprint is visible")
+            report(no, "R3",
+                   "default lambda capture hides the capture set; "
+                   "spell captures out so the event callback's "
+                   "inline-storage footprint is visible")
     if rel == Path("sim") / "engine.hh":
         if "kInlineCallbackBytes = 128" not in text:
-            errors.append(
-                f"{path}:1: [R3] engine.hh no longer pins "
-                f"kInlineCallbackBytes = 128; the event-callback "
-                f"budget contract moved or changed")
+            report(1, "R3",
+                   "engine.hh no longer pins kInlineCallbackBytes = "
+                   "128; the event-callback budget contract moved or "
+                   "changed")
         if not re.search(r"static_assert\s*\(\s*sizeof\s*\(\s*Event\s*\)"
                          r"\s*==\s*160", text):
-            errors.append(
-                f"{path}:1: [R3] engine.hh lost the "
-                f"static_assert(sizeof(Event) == 160) pinning the "
-                f"pooled event-node size")
+            report(1, "R3",
+                   "engine.hh lost the static_assert(sizeof(Event) == "
+                   "160) pinning the pooled event-node size")
 
     # R4 ------------------------------------------------------------
     if path.suffix == ".hh":
@@ -243,24 +276,22 @@ def lint_file(path, rel, errors):
                 break
         want = expected_guard(rel)
         if guard is None:
-            errors.append(f"{path}:1: [R4] missing include guard "
-                          f"(expected {want})")
+            report(1, "R4", f"missing include guard (expected {want})")
         elif guard[1] != want:
-            errors.append(f"{path}:{guard[0]}: [R4] include guard "
-                          f"{guard[1]} should spell the header path: "
-                          f"{want}")
+            report(guard[0], "R4",
+                   f"include guard {guard[1]} should spell the header "
+                   f"path: {want}")
         for no, code, _ in lines:
             if USING_NAMESPACE.search(code):
-                errors.append(
-                    f"{path}:{no}: [R4] 'using namespace' in a header "
-                    f"pollutes every includer")
+                report(no, "R4",
+                       "'using namespace' in a header pollutes every "
+                       "includer")
     for no, _, raw in lines:
         m = INCLUDE_QUOTED.match(raw)
         if m and "/" not in m.group(1):
-            errors.append(
-                f"{path}:{no}: [R4] project include \"{m.group(1)}\" "
-                f"must use its subdir-qualified path (e.g. "
-                f"\"sim/engine.hh\")")
+            report(no, "R4",
+                   f"project include \"{m.group(1)}\" must use its "
+                   f"subdir-qualified path (e.g. \"sim/engine.hh\")")
 
     # R6 ------------------------------------------------------------
     if rel not in R6_EXEMPT:
@@ -268,36 +299,73 @@ def lint_file(path, rel, errors):
             for pat, what in R6_PATTERNS:
                 m = pat.search(code)
                 if m:
-                    errors.append(
-                        f"{path}:{no}: [R6] {what} '{m.group(0)}' "
-                        f"outside sim/engine_group.*: model code is "
-                        f"thread-confined; cross-thread work must flow "
-                        f"through the EngineGroup's deterministic "
-                        f"merge, never an ad-hoc thread")
+                    report(no, "R6",
+                           f"{what} '{m.group(0)}' outside "
+                           f"sim/engine_group.*: model code is "
+                           f"thread-confined; cross-thread work must "
+                           f"flow through the EngineGroup's "
+                           f"deterministic merge, never an ad-hoc "
+                           f"thread")
 
     # R5 ------------------------------------------------------------
     layer = rel.parts[0] if len(rel.parts) > 1 else None
     if layer in LAYER_DEPS:
-        allowed = LAYER_DEPS[layer] | {layer}
+        edges = LAYER_DEPS[layer] | {layer}
         for no, _, raw in lines:
             m = INCLUDE_QUOTED.match(raw)
             if not m or "/" not in m.group(1):
                 continue
             target = m.group(1).split("/")[0]
-            if target in LAYER_DEPS and target not in allowed:
-                errors.append(
-                    f"{path}:{no}: [R5] layering violation: {layer}/ may "
-                    f"not include \"{m.group(1)}\" ({layer} -> {target} "
-                    f"is not an edge of the dependency DAG; allowed: "
-                    f"{', '.join(sorted(LAYER_DEPS[layer])) or 'none'})")
+            if target in LAYER_DEPS and target not in edges:
+                report(no, "R5",
+                       f"layering violation: {layer}/ may not include "
+                       f"\"{m.group(1)}\" ({layer} -> {target} is not "
+                       f"an edge of the dependency DAG; allowed: "
+                       f"{', '.join(sorted(LAYER_DEPS[layer])) or 'none'})")
     elif layer is not None and path.suffix in {".hh", ".cc"}:
-        errors.append(
-            f"{path}:1: [R5] directory src/{layer}/ is not in the "
-            f"layering DAG; add it to LAYER_DEPS in dssd_lint.py")
+        report(1, "R5",
+               f"directory src/{layer}/ is not in the layering DAG; "
+               f"add it to LAYER_DEPS in dssd_lint.py")
+
+
+def resolve_rule(name):
+    """Canonical rule id for @p name (id like 'R2' or slug like
+    'unordered-iteration'), or None."""
+    up = name.upper()
+    if up in RULE_NAMES:
+        return up
+    low = name.lower()
+    for rid, slug in RULE_NAMES.items():
+        if slug == low:
+            return rid
+    return None
 
 
 def main(argv):
-    root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    ap = argparse.ArgumentParser(
+        prog="dssd_lint",
+        description="Determinism and hygiene lint for dssd sources.")
+    ap.add_argument("root", nargs="?", default="src",
+                    help="source tree to lint (default: src)")
+    ap.add_argument("--rule", action="append", default=[],
+                    metavar="RULE",
+                    help="run only this rule (id like R2 or slug like "
+                         "unordered-iteration); repeatable")
+    opts = ap.parse_args(argv[1:])
+
+    active = set()
+    for name in opts.rule:
+        rid = resolve_rule(name)
+        if rid is None:
+            print(f"dssd_lint: unknown rule: {name} (known: "
+                  f"{', '.join(f'{r} ({s})' for r, s in sorted(RULE_NAMES.items()))})",
+                  file=sys.stderr)
+            return 2
+        active.add(rid)
+    if not active:
+        active = set(RULE_NAMES)
+
+    root = Path(opts.root)
     if not root.is_dir():
         print(f"dssd_lint: no such directory: {root}", file=sys.stderr)
         return 2
@@ -307,7 +375,7 @@ def main(argv):
         return 2
     errors = []
     for f in files:
-        lint_file(f, f.relative_to(root), errors)
+        lint_file(f, f.relative_to(root), errors, active)
     for e in errors:
         print(e)
     print(f"dssd_lint: {len(files)} files, {len(errors)} problem(s)")

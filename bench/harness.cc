@@ -57,11 +57,22 @@ BenchOpts::parse(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (std::strcmp(argv[i], "--timing") == 0)
             o.timing = true;
+        else if ((v = value("--array-gc", i))) {
+            auto policy = parseArrayGcPolicy(v);
+            if (!policy) {
+                fatal("unknown --array-gc policy '%s' (supported: "
+                      "uncoordinated staggered token greedy)",
+                      v);
+            }
+            o.arrayGc = *policy;
+        } else if (std::strcmp(argv[i], "--parity") == 0)
+            o.parity = true;
         else
             fatal("unknown option '%s' (supported: --full --seed=N "
                   "--threads=N --json=FILE --trace=FILE --stats=FILE "
                   "--faults --fault-seed=N --shards=N "
-                  "--engine-threads=N --timing)",
+                  "--engine-threads=N --array-gc=POLICY --parity "
+                  "--timing)",
                   argv[i]);
     }
     return o;
@@ -176,6 +187,9 @@ runExperiment(const ExpParams &p)
         SsdArrayParams ap;
         ap.shards = p.shards;
         ap.engineThreads = p.engineThreads;
+        ap.gc.policy = p.arrayGc;
+        ap.gc.maxConcurrent = p.arrayGcMaxConcurrent;
+        ap.parity = p.parity;
         array = std::make_unique<SsdArray>(engine, cfg, ap);
         array->prefill(p.prefillFill, p.prefillInvalid);
     } else {
@@ -327,6 +341,8 @@ runExperiment(const ExpParams &p)
         r.p999LatencyUs = drv->allLatency().percentile(99.9) / tickUs;
         r.readAvgLatencyUs = drv->readLatency().mean() / tickUs;
         r.readP99LatencyUs = drv->readLatency().percentile(99) / tickUs;
+        r.readP999LatencyUs =
+            drv->readLatency().percentile(99.9) / tickUs;
         r.ioCompleted = drv->completed();
         auto series = drv->ioBytes().ratePerSec();
         for (double v : series)

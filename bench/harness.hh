@@ -63,6 +63,11 @@ struct BenchOpts
     /// Emit wall-clock timings to stderr (and a timing series into
     /// --json). Stdout stays byte-identical with or without it.
     bool timing = false;
+    /// Array-level GC coordination policy override (benches that
+    /// sweep policies themselves, like fig19, ignore it).
+    ArrayGcPolicy arrayGc = ArrayGcPolicy::Uncoordinated;
+    /// Rotating-parity striping + degraded reads (shards >= 2).
+    bool parity = false;
 
     static BenchOpts parse(int argc, char **argv);
 
@@ -98,6 +103,13 @@ struct ExpParams
     /// Engine-group workers (see BenchOpts::engineThreads). Any value
     /// > 0 forces the SsdArray front-end even at shards == 1.
     unsigned engineThreads = 0;
+    /// Array-level GC coordination policy (fig19; needs shards > 1 to
+    /// matter). Uncoordinated keeps today's per-shard behavior.
+    ArrayGcPolicy arrayGc = ArrayGcPolicy::Uncoordinated;
+    /// Staggered/GlobalGreedy cap on concurrently-collecting shards.
+    unsigned arrayGcMaxConcurrent = 1;
+    /// Rotating-parity striping + degraded reads (shards >= 2).
+    bool parity = false;
     const char *traceName = nullptr; ///< overrides synthetic workload
     /// Trace arrival rate (0 = closed-loop). Open-loop replay keeps
     /// the device below saturation so GC interference is what shapes
@@ -160,6 +172,7 @@ struct ExpResult
     double p999LatencyUs = 0;
     double readAvgLatencyUs = 0;
     double readP99LatencyUs = 0;
+    double readP999LatencyUs = 0;
     double busIoUtil = 0;          ///< system-bus utilization by I/O
     double busGcUtil = 0;          ///< system-bus utilization by GC
     LatencyBreakdown ioBreakdown;  ///< mean per-component (ticks)

@@ -35,6 +35,25 @@
  *    the group drains at every epoch barrier (EngineGroup::
  *    attachTracer), so --trace works for any worker count and the
  *    trace file is byte-identical across counts.
+ *
+ * Array GC coordination (core/array_gc.hh): with any policy other
+ * than Uncoordinated — or whenever parity is on — the array installs
+ * GcCoordinationHooks on every shard's GcEngine and arbitrates
+ * collection grants on the host engine. Legacy mode then charges the
+ * same firmware latency on the grant/force paths that group mode pays
+ * through postToShard, so the coordinated schedule is identical for
+ * engineThreads 0 and >= 1.
+ *
+ * Parity (params.parity, Modulo sharding, N >= 2 shards): RAID-5
+ * style rotating parity. Stripe g holds one page at local LPN g on
+ * every shard; shard g % N stores the stripe's parity page and the
+ * other N-1 shards store data, so the host-visible LPN space shrinks
+ * to (N-1)/N of the raw capacity. Every data write also issues a
+ * parity update to the stripe's parity shard (the stolen-bandwidth
+ * cost) and completes only when both land. While a shard holds a GC
+ * grant, reads targeting it are served degraded: the N-1 peer pages
+ * of the stripe are read instead and the data is reconstructed,
+ * trading one busy-shard access for a fan-out over idle shards.
  */
 
 #ifndef DSSD_CORE_ARRAY_HH
@@ -44,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "core/array_gc.hh"
 #include "core/ssd.hh"
 #include "sim/engine_group.hh"
 
@@ -68,6 +88,10 @@ struct SsdArrayParams
      * count; 1 keeps everything on the calling thread).
      */
     unsigned engineThreads = 0;
+    /** Array-level GC scheduling (see core/array_gc.hh). */
+    ArrayGcParams gc;
+    /** Rotating-parity striping + degraded reads (Modulo, N >= 2). */
+    bool parity = false;
 };
 
 /** N independent Ssd shards behind one logical LPN space. */
@@ -129,13 +153,35 @@ class SsdArray
     Ssd &shard(unsigned s) { return *_shards[s]; }
     const Ssd &shard(unsigned s) const { return *_shards[s]; }
 
-    /** Total logical pages across the array. */
+    /** Total host-visible logical pages across the array ((N-1)/N of
+     *  the raw capacity when parity is on). */
     Lpn lpnCount() const;
 
-    /** The shard serving global @p lpn. */
+    /** The shard serving global @p lpn (the data shard with parity). */
     unsigned shardOf(Lpn lpn) const;
-    /** @p lpn translated into its shard's local LPN space. */
+    /** @p lpn translated into its shard's local LPN space (the stripe
+     *  index when parity is on). */
     Lpn localLpn(Lpn lpn) const;
+
+    /** The stripe global @p lpn belongs to (parity mode). */
+    Lpn stripeOf(Lpn lpn) const;
+    /** The shard holding stripe @p stripe's parity page. */
+    unsigned parityShardOf(Lpn stripe) const
+    {
+        return static_cast<unsigned>(stripe % _shards.size());
+    }
+
+    /** The grant arbiter, or null when the array is uncoordinated. */
+    ArrayGcScheduler *gcScheduler() { return _gcSched.get(); }
+
+    bool parityEnabled() const { return _params.parity; }
+    std::uint64_t degradedReads() const { return _degradedReads; }
+    std::uint64_t reconstructionReads() const { return _reconReads; }
+    std::uint64_t parityWrites() const { return _parityWrites; }
+    std::uint64_t parityWritesInFlight() const
+    {
+        return _parityInFlight;
+    }
 
     //
     // Aggregates over all shards.
@@ -160,11 +206,31 @@ class SsdArray
      */
     void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
-    /** Register every shard's invariant checks, named "shardN.<check>".
-     *  The auditor must not outlive this array. */
+    /** Register every shard's invariant checks, named "shardN.<check>",
+     *  plus the array's parity-group consistency check when parity is
+     *  on. The auditor must not outlive this array. */
     void registerAudits(Auditor &auditor);
 
   private:
+    /** Whether the GC scheduler + coordination hooks are installed. */
+    bool coordinated() const { return _gcSched != nullptr; }
+
+    /** Install the scheduler and per-shard GcCoordinationHooks. */
+    void installCoordination();
+
+    /** Send a grant to shard @p s (postToShard in group mode, a
+     *  firmware-latency event in legacy mode — same charge). */
+    void deliverGrant(unsigned s);
+
+    /** Cross into shard @p s and read/write local @p lpn, paying the
+     *  firmware fan-out latency in both modes; @p done runs host-side. */
+    void dispatchRead(unsigned s, Lpn lpn, Callback done);
+    void dispatchWrite(unsigned s, Lpn lpn, Callback done);
+
+    /** Parity-aware per-page host paths (parity mode only). */
+    void parityRead(Lpn lpn, Callback done);
+    void parityWrite(Lpn lpn, Callback done);
+
     Engine &_engine;
     SsdArrayParams _params;
     /// Declared before _shards: shard Ssds borrow the group's engines,
@@ -172,6 +238,21 @@ class SsdArray
     std::unique_ptr<EngineGroup> _group;
     std::vector<std::unique_ptr<Ssd>> _shards;
     Lpn _lpnsPerShard = 0;
+
+    std::unique_ptr<ArrayGcScheduler> _gcSched;
+
+    // Parity bookkeeping (empty when parity is off). Versions are
+    // per-stripe write sequence numbers; every data write bumps the
+    // stripe's data version at issue and its parity version when the
+    // parity update lands, so at any host instant
+    //   sum(data - parity) == in-flight parity updates
+    // (the auditor's parity-group consistency check).
+    std::vector<std::uint32_t> _dataVersion;
+    std::vector<std::uint32_t> _parityVersion;
+    std::uint64_t _parityInFlight = 0;
+    std::uint64_t _parityWrites = 0;
+    std::uint64_t _degradedReads = 0;
+    std::uint64_t _reconReads = 0;
 };
 
 } // namespace dssd

@@ -1,0 +1,238 @@
+#include "core/array_gc.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
+
+namespace dssd
+{
+
+const char *
+arrayGcPolicyName(ArrayGcPolicy policy)
+{
+    switch (policy) {
+      case ArrayGcPolicy::Uncoordinated:
+        return "uncoordinated";
+      case ArrayGcPolicy::Staggered:
+        return "staggered";
+      case ArrayGcPolicy::TokenBucket:
+        return "token";
+      case ArrayGcPolicy::GlobalGreedy:
+        return "greedy";
+    }
+    return "?";
+}
+
+std::optional<ArrayGcPolicy>
+parseArrayGcPolicy(const std::string &name)
+{
+    if (name == "uncoordinated")
+        return ArrayGcPolicy::Uncoordinated;
+    if (name == "staggered")
+        return ArrayGcPolicy::Staggered;
+    if (name == "token")
+        return ArrayGcPolicy::TokenBucket;
+    if (name == "greedy")
+        return ArrayGcPolicy::GlobalGreedy;
+    return std::nullopt;
+}
+
+ArrayGcScheduler::ArrayGcScheduler(Engine &host,
+                                   const ArrayGcParams &params,
+                                   unsigned shards, GrantFn deliver)
+    : _host(host), _params(params), _deliver(std::move(deliver)),
+      _state(shards, ShardState::Idle), _requestAt(shards, 0),
+      _grantAt(shards, 0), _reserved(shards, 0),
+      _tokens(std::min<std::int64_t>(
+          _params.tokenCap,
+          static_cast<std::int64_t>(_params.tokensPerEpoch)))
+{
+    if (shards == 0)
+        fatal("ArrayGcScheduler needs at least one shard");
+    if (_params.maxConcurrent == 0)
+        fatal("ArrayGcScheduler maxConcurrent must be >= 1");
+    if (_params.policy == ArrayGcPolicy::TokenBucket &&
+        (_params.tokensPerEpoch == 0 || _params.tokenEpoch == 0)) {
+        fatal("TokenBucket needs a positive refill rate and epoch");
+    }
+}
+
+void
+ArrayGcScheduler::requestGrant(unsigned shard, std::uint32_t pressure)
+{
+    if (shard >= _state.size())
+        panic("requestGrant for shard %u of %zu", shard, _state.size());
+    if (_state[shard] != ShardState::Idle)
+        panic("shard %u requested a grant it already holds or awaits",
+              shard);
+    ++_requests;
+    _state[shard] = ShardState::Waiting;
+    _requestAt[shard] = _host.now();
+    _queue.push_back({shard, pressure, _seq++});
+    std::size_t before = _queue.size();
+    pump();
+    // Still queued after the pump: the policy made it wait.
+    if (_queue.size() == before)
+        ++_waits;
+}
+
+void
+ArrayGcScheduler::releaseGrant(unsigned shard, std::uint64_t copies,
+                               std::uint64_t erases)
+{
+    if (shard >= _state.size() || _state[shard] != ShardState::Granted)
+        panic("releaseGrant from shard %u without a grant", shard);
+    _state[shard] = ShardState::Idle;
+    --_active;
+    ++_releases;
+    _grantTicks.sample(
+        static_cast<double>(_host.now() - _grantAt[shard]));
+    if (_params.policy == ArrayGcPolicy::TokenBucket) {
+        // Reconcile the up-front reservation against the window's
+        // actual cost; cheap windows refund, expensive ones leave the
+        // bucket in debt.
+        std::int64_t cost = static_cast<std::int64_t>(copies + erases);
+        _tokens = std::min<std::int64_t>(
+            _params.tokenCap, _tokens - (cost - _reserved[shard]));
+        _reserved[shard] = 0;
+        _tokensSpent += copies + erases;
+    }
+#if DSSD_TRACING
+    Tracer *tr = _host.tracer();
+    if (tr) {
+        int pid = tr->process("array");
+        tr->asyncEnd(pid, "array-gc", "grant-window", shard,
+                     _host.now());
+    }
+#endif
+    pump();
+}
+
+void
+ArrayGcScheduler::grantAt(std::size_t queue_index)
+{
+    Waiter w = _queue[queue_index];
+    _queue.erase(_queue.begin() +
+                 static_cast<std::ptrdiff_t>(queue_index));
+    _state[w.shard] = ShardState::Granted;
+    ++_active;
+    ++_grants;
+    if (_params.policy == ArrayGcPolicy::TokenBucket) {
+        _reserved[w.shard] =
+            static_cast<std::int64_t>(_params.tokensPerEpoch);
+        _tokens -= _reserved[w.shard];
+    }
+    _grantAt[w.shard] = _host.now();
+    _grantLog.push_back(w.shard);
+    _waitTicks.sample(
+        static_cast<double>(_host.now() - _requestAt[w.shard]));
+#if DSSD_TRACING
+    Tracer *tr = _host.tracer();
+    if (tr) {
+        int pid = tr->process("array");
+        tr->asyncBegin(pid, "array-gc", "grant-window", w.shard,
+                       _host.now());
+    }
+#endif
+    _deliver(w.shard);
+}
+
+void
+ArrayGcScheduler::pump()
+{
+    switch (_params.policy) {
+      case ArrayGcPolicy::Uncoordinated:
+        while (!_queue.empty())
+            grantAt(0);
+        return;
+      case ArrayGcPolicy::Staggered:
+        while (_active < _params.maxConcurrent && !_queue.empty())
+            grantAt(0);
+        return;
+      case ArrayGcPolicy::GlobalGreedy:
+        while (_active < _params.maxConcurrent && !_queue.empty()) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < _queue.size(); ++i) {
+                if (_queue[i].pressure > _queue[best].pressure ||
+                    (_queue[i].pressure == _queue[best].pressure &&
+                     _queue[i].shard < _queue[best].shard)) {
+                    best = i;
+                }
+            }
+            grantAt(best);
+        }
+        return;
+      case ArrayGcPolicy::TokenBucket:
+        refillTokens();
+        // Each grant reserves an epoch's refill, so one pump admits
+        // only as many shards as the bucket can cover.
+        while (!_queue.empty() && _tokens > 0)
+            grantAt(0);
+        if (!_queue.empty())
+            scheduleTokenWake();
+        return;
+    }
+}
+
+void
+ArrayGcScheduler::refillTokens()
+{
+    std::uint64_t epochs = _host.now() / _params.tokenEpoch;
+    if (epochs <= _epochsCredited)
+        return;
+    std::uint64_t delta = epochs - _epochsCredited;
+    _epochsCredited = epochs;
+    _tokens = std::min<std::int64_t>(
+        _params.tokenCap,
+        _tokens +
+            static_cast<std::int64_t>(delta * _params.tokensPerEpoch));
+}
+
+void
+ArrayGcScheduler::scheduleTokenWake()
+{
+    if (_wakeArmed)
+        return;
+    _wakeArmed = true;
+    Tick now = _host.now();
+    Tick next = (now / _params.tokenEpoch + 1) * _params.tokenEpoch;
+    if (next <= now)
+        panic("token epoch boundary did not advance past now");
+    _host.schedule(next - now, [this] {
+        _wakeArmed = false;
+        pump();
+    });
+}
+
+void
+ArrayGcScheduler::registerStats(StatRegistry &reg,
+                                const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".requests", [this] {
+        return static_cast<double>(_requests);
+    });
+    reg.addScalar(prefix + ".grants", [this] {
+        return static_cast<double>(_grants);
+    });
+    reg.addScalar(prefix + ".waits", [this] {
+        return static_cast<double>(_waits);
+    });
+    reg.addScalar(prefix + ".releases", [this] {
+        return static_cast<double>(_releases);
+    });
+    reg.addScalar(prefix + ".active", [this] {
+        return static_cast<double>(_active);
+    });
+    reg.addScalar(prefix + ".tokens_spent", [this] {
+        return static_cast<double>(_tokensSpent);
+    });
+    reg.addScalar(prefix + ".tokens", [this] {
+        return static_cast<double>(_tokens);
+    });
+    reg.addSample(prefix + ".wait_ticks", &_waitTicks);
+    reg.addSample(prefix + ".grant_window", &_grantTicks);
+}
+
+} // namespace dssd

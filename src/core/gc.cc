@@ -13,7 +13,8 @@ namespace dssd
 
 GcEngine::GcEngine(Ssd &ssd, const GcParams &params)
     : _ssd(ssd), _params(params),
-      _units(ssd.mapping().unitCount()), _firstStart(maxTick)
+      _units(ssd.mapping().unitCount()), _firstStart(maxTick),
+      _roundStart(maxTick)
 {
 }
 
@@ -25,23 +26,124 @@ GcEngine::noteAllocation(std::uint32_t unit)
         return;
     if (!_ssd.mapping().gcNeeded(unit))
         return;
+    // Under a held grant collection may start directly; otherwise a
+    // coordinated engine queues the unit behind a grant request.
+    if (coordinated() && _grant != GrantState::Held) {
+        u.wantsGc = true;
+        requestIfNeeded();
+        return;
+    }
     startUnit(unit);
 }
 
 void
 GcEngine::forceAll(unsigned victims_per_unit, Callback done)
 {
-    if (_forcedPending != 0)
+    if (_forcedPending != 0 || _pendingForce)
         panic("forceAll while a forced GC round is still running");
+    if (coordinated() && _grant != GrantState::Held) {
+        _pendingForce = true;
+        _pendingForceVictims = victims_per_unit;
+        _pendingForceDone = std::move(done);
+        requestIfNeeded();
+        return;
+    }
+    beginForcedRound(victims_per_unit, std::move(done));
+}
+
+void
+GcEngine::beginForcedRound(unsigned victims_per_unit, Callback done)
+{
     _forceDone = std::move(done);
     _forcedPending = static_cast<unsigned>(_units.size());
+    ++_startingBatch;
     for (std::uint32_t unit = 0; unit < _units.size(); ++unit) {
         UnitState &u = _units[unit];
         u.forced = true;
         u.forcedRemaining = victims_per_unit;
+        u.wantsGc = false; // the forced round covers every unit
         if (!u.active)
             startUnit(unit);
     }
+    --_startingBatch;
+    maybeReleaseGrant();
+}
+
+void
+GcEngine::setCoordination(GcCoordinationHooks hooks)
+{
+    if (_activeUnits != 0 || _grant != GrantState::None)
+        panic("setCoordination while collection is in progress");
+    _hooks = std::move(hooks);
+}
+
+void
+GcEngine::grantCollection()
+{
+    if (_grant != GrantState::Requested)
+        panic("grantCollection without an outstanding request");
+    _grant = GrantState::Held;
+    _grantCopies0 = _pagesMoved;
+    _grantErases0 = _blocksErased;
+    ++_startingBatch;
+    if (_pendingForce) {
+        _pendingForce = false;
+        Callback done = std::move(_pendingForceDone);
+        _pendingForceDone = nullptr;
+        beginForcedRound(_pendingForceVictims, std::move(done));
+    }
+    for (std::uint32_t unit = 0; unit < _units.size(); ++unit) {
+        UnitState &u = _units[unit];
+        if (!u.wantsGc)
+            continue;
+        u.wantsGc = false;
+        // The threshold may have been restored while the request was
+        // queued (e.g. by a forced round that just ran).
+        if (!u.active && _ssd.mapping().gcNeeded(unit))
+            startUnit(unit);
+    }
+    --_startingBatch;
+    maybeReleaseGrant();
+}
+
+std::uint32_t
+GcEngine::freeBlockPressure() const
+{
+    const PageMapping &map = _ssd.mapping();
+    std::uint32_t worst = 0;
+    for (std::uint32_t unit = 0; unit < map.unitCount(); ++unit)
+        worst = std::max(worst, map.freeBlockPressure(unit));
+    return worst;
+}
+
+void
+GcEngine::requestIfNeeded()
+{
+    if (_grant != GrantState::None)
+        return;
+    bool want = _pendingForce;
+    for (std::uint32_t unit = 0; !want && unit < _units.size(); ++unit)
+        want = _units[unit].wantsGc;
+    if (!want)
+        return;
+    _grant = GrantState::Requested;
+    _hooks.request(freeBlockPressure());
+}
+
+void
+GcEngine::maybeReleaseGrant()
+{
+    if (_grant != GrantState::Held || _startingBatch != 0 ||
+        _activeUnits != 0) {
+        return;
+    }
+    _grant = GrantState::None;
+    std::uint64_t copies = _pagesMoved - _grantCopies0;
+    std::uint64_t erases = _blocksErased - _grantErases0;
+    if (_hooks.release)
+        _hooks.release(copies, erases);
+    // Work queued while the window was closing asks again.
+    requestIfNeeded();
 }
 
 void
@@ -52,6 +154,10 @@ GcEngine::startUnit(std::uint32_t unit)
     ++_activeUnits;
     if (_firstStart == maxTick)
         _firstStart = _ssd.engine().now();
+    if (_activeUnits == 1) {
+        _roundStart = _ssd.engine().now();
+        ++_rounds;
+    }
 #if DSSD_TRACING
     Tracer *tr = _ssd.engine().tracer();
     if (tr) {
@@ -85,6 +191,7 @@ GcEngine::collectNext(std::uint32_t unit)
         return;
     }
     u.victim = *victim;
+    u.victimForced = u.forced;
     u.lpns = map.validLpns(unit, u.victim);
     u.nextLpn = 0;
     u.inFlight = 0;
@@ -241,7 +348,9 @@ GcEngine::victimDrained(std::uint32_t unit)
         _ssd.mapping().eraseBlock(unit, victim);
         ++_blocksErased;
         UnitState &uu = _units[unit];
-        if (uu.forced && uu.forcedRemaining > 0)
+        // Only victims picked under force consume the forced budget;
+        // a threshold victim that straddled forceAll does not.
+        if (uu.victimForced && uu.forcedRemaining > 0)
             --uu.forcedRemaining;
         collectNext(unit);
     });
@@ -260,10 +369,14 @@ GcEngine::finishUnit(std::uint32_t unit)
         tr->asyncEnd(pid, "gc", "gc-round", unit, _ssd.engine().now());
     }
 #endif
-    if (_activeUnits == 0)
+    if (_activeUnits == 0) {
         _lastEnd = _ssd.engine().now();
+        _roundDuration.sample(
+            static_cast<double>(_lastEnd - _roundStart));
+    }
     if (u.forced) {
         u.forced = false;
+        u.victimForced = false;
         u.forcedRemaining = 0;
         if (_forcedPending == 0)
             panic("forced GC accounting underflow");
@@ -273,6 +386,7 @@ GcEngine::finishUnit(std::uint32_t unit)
             cb();
         }
     }
+    maybeReleaseGrant();
 }
 
 void
@@ -288,7 +402,11 @@ GcEngine::registerStats(StatRegistry &reg,
     reg.addScalar(prefix + ".active_units", [this] {
         return static_cast<double>(_activeUnits);
     });
+    reg.addScalar(prefix + ".rounds", [this] {
+        return static_cast<double>(_rounds);
+    });
     reg.addSample(prefix + ".copy_latency", &_copyLatency);
+    reg.addSample(prefix + ".round_duration", &_roundDuration);
 }
 
 } // namespace dssd

@@ -272,6 +272,15 @@ PageMapping::gcSatisfied(std::uint32_t unit) const
     return freeBlockCount(unit) >= _params.gcFreeBlockTarget;
 }
 
+std::uint32_t
+PageMapping::freeBlockPressure(std::uint32_t unit) const
+{
+    std::uint32_t free = freeBlockCount(unit);
+    if (free >= _params.gcFreeBlockTarget)
+        return 0;
+    return _params.gcFreeBlockTarget - free;
+}
+
 std::optional<std::uint32_t>
 PageMapping::pickVictim(std::uint32_t unit) const
 {

@@ -140,6 +140,14 @@ class PageMapping
     bool gcSatisfied(std::uint32_t unit) const;
 
     /**
+     * Free-block pressure of @p unit: how many blocks below the GC
+     * free-block target it currently sits (0 when at or above the
+     * target). Array-level GC schedulers rank shards by their worst
+     * unit's pressure (see core/array_gc.hh).
+     */
+    std::uint32_t freeBlockPressure(std::uint32_t unit) const;
+
+    /**
      * Greedy victim selection: the non-free, non-active block in
      * @p unit with the fewest valid pages (full blocks only).
      */

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -119,6 +120,45 @@ TEST(SsdArrayTest, SubmitFansOutAndCompletesExactlyOnce)
     EXPECT_EQ(arr.hostWrites(), 8u);
     EXPECT_EQ(arr.shard(0).hostWrites(), 4u);
     EXPECT_EQ(arr.shard(1).hostWrites(), 4u);
+}
+
+TEST(SsdArrayTest, SubmitAcceptsTheLastPageOfTheDevice)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(2));
+    IoRequest r;
+    r.kind = IoRequest::Kind::Write;
+    r.offset = (arr.lpnCount() - 1) * arr.config().geom.pageBytes;
+    r.bytes = arr.config().geom.pageBytes;
+    bool done = false;
+    arr.submit(r, [&done] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(arr.hostWrites(), 1u);
+}
+
+TEST(SsdArrayDeathTest, SubmitPastTheEndIsFatal)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(2));
+    // One page in range, one page past the end: must be rejected
+    // loudly instead of silently wrapping around the LPN space.
+    IoRequest r;
+    r.kind = IoRequest::Kind::Write;
+    r.offset = (arr.lpnCount() - 1) * arr.config().geom.pageBytes;
+    r.bytes = 2 * arr.config().geom.pageBytes;
+    EXPECT_DEATH(arr.submit(r, [] {}), "extends beyond");
+}
+
+TEST(SsdArrayDeathTest, SubmitWithOffsetBeyondTheEndIsFatal)
+{
+    Engine e;
+    SsdArray arr(e, testConfig(ArchKind::Baseline), arrayParams(2));
+    IoRequest r;
+    r.kind = IoRequest::Kind::Read;
+    r.offset = arr.lpnCount() * arr.config().geom.pageBytes;
+    r.bytes = arr.config().geom.pageBytes;
+    EXPECT_DEATH(arr.submit(r, [] {}), "extends beyond");
 }
 
 TEST(SsdArrayTest, ReadsAggregateAcrossShards)
@@ -284,8 +324,13 @@ stressRun(unsigned shards, unsigned threads, std::uint64_t seed)
                 req.kind = rng.uniformReal() < 0.3
                                ? IoRequest::Kind::Read
                                : IoRequest::Kind::Write;
-                req.offset = rng.uniformInt(0, lpns - 1) * page;
-                req.bytes = page * (1 + rng.uniformInt(0, 3));
+                Lpn first = rng.uniformInt(0, lpns - 1);
+                req.offset = first * page;
+                // Clamp at the device end: out-of-range requests are
+                // a fatal host error, not silent wraparound.
+                req.bytes = page * std::min<std::uint64_t>(
+                                       1 + rng.uniformInt(0, 3),
+                                       lpns - first);
                 arr.submit(req, [this] {
                     --inflight;
                     ++completed;

@@ -175,6 +175,72 @@ TEST(GcEngineTest, TinyTailSlicesYieldToIo)
     EXPECT_GT(ssd.gc().pagesMoved(), 0u);
 }
 
+TEST(GcEngineTest, StraddlingThresholdVictimKeepsTheForcedBudget)
+{
+    Engine e;
+    Ssd ssd(e, gcConfig(ArchKind::Baseline));
+    ssd.prefill(0.85, 0.3);
+    // Rewrite pages one at a time until a threshold-triggered round
+    // is mid-victim, keeping no other host work in flight so the
+    // forced round below is the only erase source.
+    Lpn lpns = ssd.mapping().lpnCount();
+    std::uint64_t issued = 0, completed = 0;
+    while (!ssd.gc().anyActive()) {
+        if (issued == completed)
+            ssd.writePage(issued++ % lpns, [&] { ++completed; });
+        ASSERT_TRUE(e.step()) << "GC never triggered";
+    }
+    ASSERT_TRUE(ssd.gc().anyActive());
+    EXPECT_EQ(ssd.gc().activeUnits(), 1u);
+
+    // forceAll lands while the threshold victim is still draining:
+    // that victim must not consume the forced budget, so the round
+    // erases one forced victim per unit ON TOP of the straddler —
+    // unitCount + 1 erases, not unitCount.
+    std::uint64_t before = ssd.gc().blocksErased();
+    unsigned done = 0;
+    std::uint64_t erased_at_done = 0;
+    ssd.gc().forceAll(1, [&] {
+        ++done;
+        erased_at_done = ssd.gc().blocksErased();
+    });
+    e.run();
+    EXPECT_EQ(done, 1u);
+    EXPECT_EQ(erased_at_done - before, ssd.mapping().unitCount() + 1);
+    EXPECT_FALSE(ssd.gc().anyActive());
+}
+
+TEST(GcEngineTest, RoundTimingTracksEveryRound)
+{
+    Engine e;
+    Ssd ssd(e, gcConfig(ArchKind::Baseline));
+    ssd.prefill(0.8, 0.3);
+    ssd.gc().forceAll(1, [] {});
+    e.run();
+    ASSERT_EQ(ssd.gc().roundsStarted(), 1u);
+    ASSERT_EQ(ssd.gc().roundDuration().count(), 1u);
+    Tick first_start = ssd.gc().firstGcStart();
+    ASSERT_LT(first_start, maxTick);
+
+    // A second round after an idle gap: its span must be measured
+    // from its own start tick, not the first round's.
+    Tick rearm = e.now() + 5 * tickMs;
+    bool second_done = false;
+    e.schedule(5 * tickMs, [&] {
+        ssd.gc().forceAll(1, [&second_done] { second_done = true; });
+    });
+    e.run();
+    EXPECT_TRUE(second_done);
+    EXPECT_EQ(ssd.gc().roundsStarted(), 2u);
+    EXPECT_EQ(ssd.gc().roundDuration().count(), 2u);
+    EXPECT_GE(ssd.gc().lastRoundStart(), rearm);
+    // Neither sampled span covers the idle gap between the rounds.
+    EXPECT_LT(ssd.gc().roundDuration().max(),
+              static_cast<double>(5 * tickMs));
+    // The set-once first-start marker is unchanged by later rounds.
+    EXPECT_EQ(ssd.gc().firstGcStart(), first_start);
+}
+
 TEST(GcEngineDeathTest, DoubleForceIsRejected)
 {
     Engine e;

@@ -43,6 +43,10 @@ usage()
         "  --engine-threads=N  per-shard engines under the conservative\n"
         "                  engine group with N workers (0 = one shared\n"
         "                  engine; any N >= 1 is bit-identical to N=1)\n"
+        "  --array-gc=P    array GC coordination policy: uncoordinated|\n"
+        "                  staggered|token|greedy (default uncoordinated)\n"
+        "  --parity        rotating-parity striping + degraded reads\n"
+        "                  (needs --shards >= 2)\n"
         "  --window-ms=N   measurement window (default 30)\n"
         "  --channels=N --ways=N --planes=N   geometry (8/4/8)\n"
         "  --blocks=N --pages=N               per-plane geometry (16/16)\n"
@@ -144,6 +148,16 @@ main(int argc, char **argv)
             p.queueDepth = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (flagValue(argv[i], "--shards", &v))
             p.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--array-gc", &v)) {
+            auto policy = parseArrayGcPolicy(v);
+            if (!policy) {
+                fatal("unknown --array-gc policy '%s' (supported: "
+                      "uncoordinated staggered token greedy)",
+                      v);
+            }
+            p.arrayGc = *policy;
+        } else if (std::strcmp(argv[i], "--parity") == 0)
+            p.parity = true;
         else if (flagValue(argv[i], "--engine-threads", &v))
             p.engineThreads =
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
@@ -238,7 +252,15 @@ main(int argc, char **argv)
                                             p.requestBytes / kKiB))
                                   .c_str(),
                 p.shards > 1
-                    ? strformat(", %u shards", p.shards).c_str()
+                    ? strformat(", %u shards%s%s", p.shards,
+                                p.arrayGc != ArrayGcPolicy::Uncoordinated
+                                    ? strformat(" [%s]",
+                                                arrayGcPolicyName(
+                                                    p.arrayGc))
+                                          .c_str()
+                                    : "",
+                                p.parity ? " +parity" : "")
+                          .c_str()
                     : "",
                 p.queueDepth, ticksToMs(p.window),
                 p.runGc ? "on" : "off", gcPolicyName(p.gcPolicy));

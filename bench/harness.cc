@@ -67,12 +67,38 @@ BenchOpts::parse(int argc, char **argv)
             o.arrayGc = *policy;
         } else if (std::strcmp(argv[i], "--parity") == 0)
             o.parity = true;
-        else
+        else if ((v = value("--tenants", i))) {
+            if (!parseTenantSpec(v))
+                fatal("bad --tenants spec '%s' (a count or "
+                      "';'-separated \"qd:N,w:N,prio:N,rate:B,"
+                      "burst:B,slo:US,name:S\" groups)",
+                      v);
+            o.tenants = v;
+        } else if ((v = value("--arbiter", i))) {
+            if (!parseArbiterPolicy(v))
+                fatal("unknown --arbiter policy '%s' (supported: rr "
+                      "wrr prio)",
+                      v);
+            o.arbiter = v;
+        } else if ((v = value("--arrival", i))) {
+            if (!parseArrivalSpec(v))
+                fatal("bad --arrival spec '%s' (closed | "
+                      "poisson:IOPS | pareto:IOPS[:ALPHA], with "
+                      "optional \",diurnal:AMP[:PERIOD_MS]\" and "
+                      "\",burst:FACTOR[:ON_MS[:OFF_MS]]\")",
+                      v);
+            o.arrival = v;
+        } else if ((v = value("--slo", i))) {
+            o.sloUs = std::strtod(v, nullptr);
+            if (o.sloUs <= 0.0)
+                fatal("--slo needs a positive latency target in us");
+        } else
             fatal("unknown option '%s' (supported: --full --seed=N "
                   "--threads=N --json=FILE --trace=FILE --stats=FILE "
                   "--faults --fault-seed=N --shards=N "
                   "--engine-threads=N --array-gc=POLICY --parity "
-                  "--timing)",
+                  "--tenants=SPEC --arbiter=POLICY --arrival=SPEC "
+                  "--slo=US --timing)",
                   argv[i]);
     }
     return o;
@@ -229,18 +255,52 @@ runExperiment(const ExpParams &p)
         gen = std::make_unique<SyntheticGenerator>(sp);
     }
 
+    auto submit_fn = [s = single.get(), a = array.get()](
+                         const IoRequest &r, Engine::Callback cb) {
+        if (s)
+            s->submit(r, std::move(cb));
+        else
+            a->submit(r, std::move(cb));
+    };
+
     std::unique_ptr<QueueDriver> drv;
-    if (p.queueDepth > 0) {
-        drv = std::make_unique<QueueDriver>(
-            engine, *gen,
-            [s = single.get(), a = array.get()](const IoRequest &r,
-                                                Engine::Callback cb) {
-                if (s)
-                    s->submit(r, std::move(cb));
-                else
-                    a->submit(r, std::move(cb));
-            },
-            p.queueDepth);
+    std::unique_ptr<NvmeHost> host;
+    std::vector<std::unique_ptr<Generator>> tenant_gens;
+    if (!p.hostTenants.empty()) {
+        // Multi-tenant host front-end: one generator (and one
+        // submission queue) per tenant, decisions by the arbiter.
+        NvmeHostParams hp;
+        hp.policy = p.arbiter;
+        hp.deviceDepth = p.hostDeviceDepth;
+        host = std::make_unique<NvmeHost>(engine, submit_fn, hp);
+        for (std::size_t i = 0; i < p.hostTenants.size(); ++i) {
+            const HostTenant &ht = p.hostTenants[i];
+            SyntheticParams sp;
+            sp.readRatio = ht.readRatio;
+            sp.sequential = ht.sequential;
+            sp.requestBytes = ht.requestBytes;
+            sp.footprintBytes = std::max<std::uint64_t>(
+                lpn_count * cfg.geom.pageBytes / 2,
+                4 * ht.requestBytes);
+            sp.count = 0;
+            // Distinct request and arrival streams per tenant, both
+            // derived from the experiment seed.
+            sp.seed = p.seed + 1000 * (i + 1);
+            std::unique_ptr<Generator> g =
+                std::make_unique<SyntheticGenerator>(sp);
+            bool open = ht.arrival.kind != ArrivalKind::Closed;
+            if (open) {
+                g = std::make_unique<OpenLoopGenerator>(
+                    std::move(g), ht.arrival,
+                    p.seed + 1000 * (i + 1) + 500);
+            }
+            host->addTenant(ht.tenant, *g, open);
+            tenant_gens.push_back(std::move(g));
+        }
+        host->start();
+    } else if (p.queueDepth > 0) {
+        drv = std::make_unique<QueueDriver>(engine, *gen, submit_fn,
+                                            p.queueDepth);
         drv->start();
     }
 
@@ -296,6 +356,8 @@ runExperiment(const ExpParams &p)
         gc_loop->stopped = true;
     if (drv)
         drv->stop();
+    if (host)
+        host->stop();
     if (array)
         array->run();
     else
@@ -330,6 +392,8 @@ runExperiment(const ExpParams &p)
             array->registerStats(reg, "ssd0");
         if (drv)
             drv->registerStats(reg, "host");
+        if (host)
+            host->registerStats(reg, "host");
         reg.writeJson(p.statsPath);
     }
 
@@ -347,6 +411,36 @@ runExperiment(const ExpParams &p)
         auto series = drv->ioBytes().ratePerSec();
         for (double v : series)
             r.ioBwSeries.push_back(v / 1e9);
+    }
+    if (host) {
+        r.ioBytesPerSec = host->ioBytes().averageRate(0, p.window);
+        r.avgLatencyUs = host->allLatency().mean() / tickUs;
+        r.p99LatencyUs = host->allLatency().percentile(99) / tickUs;
+        r.p999LatencyUs =
+            host->allLatency().percentile(99.9) / tickUs;
+        r.readAvgLatencyUs = host->readLatency().mean() / tickUs;
+        r.readP99LatencyUs =
+            host->readLatency().percentile(99) / tickUs;
+        r.readP999LatencyUs =
+            host->readLatency().percentile(99.9) / tickUs;
+        r.ioCompleted = host->completed();
+        auto series = host->ioBytes().ratePerSec();
+        for (double v : series)
+            r.ioBwSeries.push_back(v / 1e9);
+        for (unsigned t = 0; t < host->tenantCount(); ++t) {
+            const TenantStats &ts = host->tenantStats(t);
+            TenantResult tr;
+            tr.ioBytesPerSec = ts.ioBytes().averageRate(0, p.window);
+            tr.avgLatencyUs = ts.latency().mean() / tickUs;
+            tr.p99LatencyUs = ts.latency().percentile(99) / tickUs;
+            tr.p999LatencyUs =
+                ts.latency().percentile(99.9) / tickUs;
+            tr.sloCompliance = ts.sloCompliance();
+            tr.completed = ts.completed();
+            tr.dropped = ts.dropped();
+            tr.sloViolations = ts.sloViolations();
+            r.tenants.push_back(tr);
+        }
     }
     r.gcPagesMoved =
         single ? single->gc().pagesMoved() : array->gcPagesMoved();

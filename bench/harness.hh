@@ -24,6 +24,8 @@
 #include "core/gc.hh"
 #include "core/ssd.hh"
 #include "hil/driver.hh"
+#include "hil/nvme_host.hh"
+#include "workload/arrival.hh"
 
 namespace dssd
 {
@@ -68,6 +70,17 @@ struct BenchOpts
     ArrayGcPolicy arrayGc = ArrayGcPolicy::Uncoordinated;
     /// Rotating-parity striping + degraded reads (shards >= 2).
     bool parity = false;
+    /// Multi-tenant host overrides (fig20): raw --tenants spec (see
+    /// parseTenantSpec), empty = bench default tenant mix.
+    std::string tenants;
+    /// --arbiter policy override (benches that sweep policies
+    /// themselves ignore it).
+    std::string arbiter;
+    /// --arrival spec override (see parseArrivalSpec).
+    std::string arrival;
+    /// --slo latency target override in microseconds (0 = bench
+    /// default).
+    double sloUs = 0.0;
 
     static BenchOpts parse(int argc, char **argv);
 
@@ -77,6 +90,24 @@ struct BenchOpts
 
 /** Print a bench banner naming the figure/table being regenerated. */
 void banner(const std::string &id, const std::string &what);
+
+/**
+ * One fleet tenant of the multi-queue host front-end. When
+ * ExpParams::hostTenants is non-empty the experiment drives the
+ * device through an NvmeHost (per-tenant queues + arbitration)
+ * instead of the single QueueDriver.
+ */
+struct HostTenant
+{
+    TenantParams tenant;
+    /// Per-tenant synthetic workload.
+    double readRatio = 0.5;
+    bool sequential = false;
+    std::uint64_t requestBytes = 4 * kKiB;
+    /// Arrival process; Closed pulls at queue-depth pace, anything
+    /// else stamps open-loop arrival times (see workload/arrival.hh).
+    ArrivalParams arrival;
+};
 
 /** Parameters of one interference experiment. */
 struct ExpParams
@@ -110,6 +141,15 @@ struct ExpParams
     unsigned arrayGcMaxConcurrent = 1;
     /// Rotating-parity striping + degraded reads (shards >= 2).
     bool parity = false;
+    /// Multi-tenant host front-end (fig20): when non-empty, an
+    /// NvmeHost with these tenants replaces the QueueDriver (which
+    /// then ignores queueDepth).
+    std::vector<HostTenant> hostTenants;
+    /// Submission-queue arbitration policy for the host front-end.
+    ArbiterPolicy arbiter = ArbiterPolicy::RoundRobin;
+    /// Shared device-slot budget gating arbitration (0 = sum of
+    /// tenant queue depths; see NvmeHostParams::deviceDepth).
+    unsigned hostDeviceDepth = 0;
     const char *traceName = nullptr; ///< overrides synthetic workload
     /// Trace arrival rate (0 = closed-loop). Open-loop replay keeps
     /// the device below saturation so GC interference is what shapes
@@ -162,6 +202,19 @@ struct ExpParams
     std::string statsPath;
 };
 
+/** Per-tenant measurements (host front-end experiments only). */
+struct TenantResult
+{
+    double ioBytesPerSec = 0;
+    double avgLatencyUs = 0;
+    double p99LatencyUs = 0;
+    double p999LatencyUs = 0;
+    double sloCompliance = 1.0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t sloViolations = 0;
+};
+
 /** Measurements from one interference experiment. */
 struct ExpResult
 {
@@ -179,6 +232,8 @@ struct ExpResult
     LatencyBreakdown cbBreakdown;
     std::uint64_t gcPagesMoved = 0;
     std::uint64_t ioCompleted = 0;
+    /// One entry per ExpParams::hostTenants tenant (empty otherwise).
+    std::vector<TenantResult> tenants;
     std::vector<double> ioBwSeries;    ///< GB/s per ms window
     std::vector<double> busIoSeries;   ///< utilization per ms window
     std::vector<double> busGcSeries;

@@ -1,0 +1,155 @@
+#include "hil/arbiter.hh"
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+const char *
+arbiterPolicyName(ArbiterPolicy policy)
+{
+    switch (policy) {
+      case ArbiterPolicy::RoundRobin:
+        return "rr";
+      case ArbiterPolicy::WeightedRoundRobin:
+        return "wrr";
+      case ArbiterPolicy::StrictPriority:
+        return "prio";
+    }
+    return "?";
+}
+
+std::optional<ArbiterPolicy>
+parseArbiterPolicy(const std::string &name)
+{
+    if (name == "rr" || name == "round-robin")
+        return ArbiterPolicy::RoundRobin;
+    if (name == "wrr" || name == "weighted")
+        return ArbiterPolicy::WeightedRoundRobin;
+    if (name == "prio" || name == "priority")
+        return ArbiterPolicy::StrictPriority;
+    return std::nullopt;
+}
+
+Arbiter::Arbiter(ArbiterPolicy policy, std::uint64_t quantum_bytes)
+    : _policy(policy), _quantum(quantum_bytes)
+{
+    if (quantum_bytes == 0)
+        fatal("arbiter quantum must be > 0");
+}
+
+unsigned
+Arbiter::addQueue(unsigned weight, unsigned priority)
+{
+    if (weight == 0)
+        fatal("arbiter queue weight must be > 0");
+    _weights.push_back(weight);
+    _priorities.push_back(priority);
+    _deficit.push_back(0);
+    return static_cast<unsigned>(_weights.size() - 1);
+}
+
+int
+Arbiter::pick(const std::vector<ArbiterQueueState> &states)
+{
+    if (states.size() != _weights.size())
+        fatal("arbiter pick: %zu states for %zu queues", states.size(),
+              _weights.size());
+    if (states.empty())
+        return -1;
+    switch (_policy) {
+      case ArbiterPolicy::RoundRobin:
+        return pickRoundRobin(states);
+      case ArbiterPolicy::WeightedRoundRobin:
+        return pickWeighted(states);
+      case ArbiterPolicy::StrictPriority:
+        return pickPriority(states);
+    }
+    return -1;
+}
+
+int
+Arbiter::pickRoundRobin(const std::vector<ArbiterQueueState> &states)
+{
+    unsigned n = queueCount();
+    for (unsigned step = 1; step <= n; ++step) {
+        unsigned q = (_cursor + step) % n;
+        if (states[q].eligible) {
+            _cursor = q;
+            return static_cast<int>(q);
+        }
+    }
+    return -1;
+}
+
+int
+Arbiter::pickWeighted(const std::vector<ArbiterQueueState> &states)
+{
+    unsigned n = queueCount();
+    bool any = false;
+    for (const ArbiterQueueState &s : states)
+        any = any || s.eligible;
+    if (!any)
+        return -1;
+
+    // Deficit round robin: continue serving the cursor's queue while
+    // its deficit covers the head; otherwise advance, recharging each
+    // eligible queue by quantum * weight on entry. An ineligible
+    // (empty or blocked) queue forfeits its deficit, per DRR.
+    unsigned q = _cursor;
+    // Large requests may need several whole recharge rounds; the cap
+    // only guards against a logic error, not a legitimate state.
+    std::uint64_t guard = 0;
+    std::uint64_t max_rounds = 0;
+    for (const ArbiterQueueState &s : states) {
+        if (s.eligible)
+            max_rounds = std::max(max_rounds,
+                                  s.headBytes / _quantum + 2);
+    }
+    while (guard++ <= static_cast<std::uint64_t>(n) * max_rounds) {
+        if (states[q].eligible) {
+            if (!_charged) {
+                _deficit[q] += _quantum * _weights[q];
+                _charged = true;
+            }
+            if (_deficit[q] >= states[q].headBytes) {
+                _deficit[q] -= states[q].headBytes;
+                _cursor = q;
+                return static_cast<int>(q);
+            }
+        } else {
+            _deficit[q] = 0;
+        }
+        q = (q + 1) % n;
+        _charged = false;
+    }
+    fatal("weighted arbiter failed to converge");
+}
+
+int
+Arbiter::pickPriority(const std::vector<ArbiterQueueState> &states)
+{
+    unsigned n = queueCount();
+    bool any = false;
+    unsigned best = 0;
+    for (unsigned q = 0; q < n; ++q) {
+        if (states[q].eligible) {
+            if (!any || _priorities[q] > best)
+                best = _priorities[q];
+            any = true;
+        }
+    }
+    if (!any)
+        return -1;
+    // Round-robin within the winning priority level.
+    for (unsigned step = 1; step <= n; ++step) {
+        unsigned q = (_cursor + step) % n;
+        if (states[q].eligible && _priorities[q] == best) {
+            _cursor = q;
+            return static_cast<int>(q);
+        }
+    }
+    return -1;
+}
+
+} // namespace dssd

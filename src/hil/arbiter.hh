@@ -1,0 +1,109 @@
+/**
+ * @file
+ * NVMe-style submission-queue arbitration.
+ *
+ * The multi-queue host front-end (hil/nvme_host.hh) keeps one
+ * Arbiter deciding which queue's head request enters the device when
+ * a device slot frees. Three policies, mirroring the NVMe arbitration
+ * mechanisms:
+ *
+ *  - RoundRobin: rotate over queues with an eligible head;
+ *  - WeightedRoundRobin: deficit round robin — each visit to a queue
+ *    recharges a byte deficit proportional to its weight, and the
+ *    queue keeps sending while its deficit covers the head request,
+ *    so bandwidth shares converge to the weight ratio regardless of
+ *    request sizes;
+ *  - StrictPriority: the highest-priority eligible queue always wins;
+ *    ties rotate round-robin within the priority level.
+ *
+ * The arbiter is a pure deterministic state machine: no randomness,
+ * no wall clock, decisions depend only on the visible queue states
+ * and its own cursors, so simulations replay identically.
+ */
+
+#ifndef DSSD_HIL_ARBITER_HH
+#define DSSD_HIL_ARBITER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dssd
+{
+
+/** Submission-queue arbitration policy. */
+enum class ArbiterPolicy
+{
+    RoundRobin,
+    WeightedRoundRobin,
+    StrictPriority,
+};
+
+/** Short policy name ("rr", "wrr", "prio"). */
+const char *arbiterPolicyName(ArbiterPolicy policy);
+
+/** Parse an --arbiter value; nullopt if unknown. */
+std::optional<ArbiterPolicy> parseArbiterPolicy(const std::string &name);
+
+/** One queue's arbitration-visible state for a pick() call. */
+struct ArbiterQueueState
+{
+    /// Head request present and admissible (slots + tokens available).
+    bool eligible = false;
+    /// Bytes of the head request (the DRR service charge).
+    std::uint64_t headBytes = 0;
+};
+
+/** Deterministic submission-queue arbiter (see file comment). */
+class Arbiter
+{
+  public:
+    /**
+     * @param quantumBytes DRR recharge per unit weight per visit.
+     *        Must cover typical request sizes within a few visits; the
+     *        default equals one 4 KiB page.
+     */
+    explicit Arbiter(ArbiterPolicy policy,
+                     std::uint64_t quantum_bytes = 4 * kKiB);
+
+    /** Register a queue; returns its index. Weight scales the DRR
+     *  quantum; priority orders StrictPriority (higher wins). */
+    unsigned addQueue(unsigned weight = 1, unsigned priority = 0);
+
+    ArbiterPolicy policy() const { return _policy; }
+    unsigned queueCount() const
+    {
+        return static_cast<unsigned>(_weights.size());
+    }
+
+    /**
+     * Choose the next queue to serve. @p states must have one entry
+     * per registered queue. Returns the queue index and charges its
+     * DRR deficit, or -1 when no queue is eligible.
+     */
+    int pick(const std::vector<ArbiterQueueState> &states);
+
+  private:
+    int pickRoundRobin(const std::vector<ArbiterQueueState> &states);
+    int pickWeighted(const std::vector<ArbiterQueueState> &states);
+    int pickPriority(const std::vector<ArbiterQueueState> &states);
+
+    ArbiterPolicy _policy;
+    std::uint64_t _quantum;
+    std::vector<unsigned> _weights;
+    std::vector<unsigned> _priorities;
+    /// DRR byte deficits (WeightedRoundRobin only).
+    std::vector<std::uint64_t> _deficit;
+    /// Queue the cursor parks on; RR scans start one past it.
+    unsigned _cursor = 0;
+    /// WRR: whether the cursor's queue was already recharged during
+    /// its current service visit.
+    bool _charged = false;
+};
+
+} // namespace dssd
+
+#endif // DSSD_HIL_ARBITER_HH

@@ -1,0 +1,247 @@
+#include "workload/arrival.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace dssd
+{
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Closed:
+        return "closed";
+      case ArrivalKind::Poisson:
+        return "poisson";
+      case ArrivalKind::Pareto:
+        return "pareto";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Split @p s on @p sep into non-empty fields. */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find(sep, start);
+        if (end == std::string::npos)
+            end = s.size();
+        out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+/** Parse a rate like "80000" or "80k"; nullopt on junk. */
+std::optional<double>
+parseRate(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || v <= 0.0)
+        return std::nullopt;
+    if (*end == 'k' || *end == 'K') {
+        v *= 1000.0;
+        ++end;
+    }
+    if (*end != '\0')
+        return std::nullopt;
+    return v;
+}
+
+std::optional<double>
+parseNum(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        return std::nullopt;
+    return v;
+}
+
+} // namespace
+
+std::optional<ArrivalParams>
+parseArrivalSpec(const std::string &spec)
+{
+    ArrivalParams p;
+    std::vector<std::string> clauses = split(spec, ',');
+    if (clauses.empty())
+        return std::nullopt;
+
+    // First clause: the distribution.
+    std::vector<std::string> head = split(clauses[0], ':');
+    if (head[0] == "closed") {
+        if (head.size() != 1)
+            return std::nullopt;
+        p.kind = ArrivalKind::Closed;
+    } else if (head[0] == "poisson" || head[0] == "pareto") {
+        p.kind = head[0] == "poisson" ? ArrivalKind::Poisson
+                                      : ArrivalKind::Pareto;
+        if (head.size() < 2)
+            return std::nullopt;
+        auto rate = parseRate(head[1]);
+        if (!rate)
+            return std::nullopt;
+        p.iops = *rate;
+        if (p.kind == ArrivalKind::Pareto && head.size() >= 3) {
+            auto alpha = parseNum(head[2]);
+            if (!alpha || *alpha <= 1.0)
+                return std::nullopt;
+            p.paretoAlpha = *alpha;
+        } else if (p.kind == ArrivalKind::Poisson && head.size() > 2) {
+            return std::nullopt;
+        }
+        if (head.size() > 3)
+            return std::nullopt;
+    } else {
+        return std::nullopt;
+    }
+
+    // Modifier clauses.
+    for (std::size_t i = 1; i < clauses.size(); ++i) {
+        std::vector<std::string> f = split(clauses[i], ':');
+        if (f[0] == "diurnal") {
+            if (p.kind == ArrivalKind::Closed || f.size() < 2 ||
+                f.size() > 3)
+                return std::nullopt;
+            auto amp = parseNum(f[1]);
+            if (!amp || *amp < 0.0 || *amp >= 1.0)
+                return std::nullopt;
+            p.diurnalAmp = *amp;
+            if (f.size() == 3) {
+                auto period = parseNum(f[2]);
+                if (!period || *period <= 0.0)
+                    return std::nullopt;
+                p.diurnalPeriod = msToTicks(*period);
+            }
+        } else if (f[0] == "burst") {
+            if (p.kind == ArrivalKind::Closed || f.size() < 2 ||
+                f.size() > 4)
+                return std::nullopt;
+            auto factor = parseNum(f[1]);
+            if (!factor || *factor < 1.0)
+                return std::nullopt;
+            p.burstFactor = *factor;
+            if (f.size() >= 3) {
+                auto on = parseNum(f[2]);
+                if (!on || *on <= 0.0)
+                    return std::nullopt;
+                p.burstOn = msToTicks(*on);
+            }
+            if (f.size() == 4) {
+                auto off = parseNum(f[3]);
+                if (!off || *off <= 0.0)
+                    return std::nullopt;
+                p.burstOff = msToTicks(*off);
+            }
+        } else {
+            return std::nullopt;
+        }
+    }
+    return p;
+}
+
+//
+// ArrivalProcess
+//
+
+ArrivalProcess::ArrivalProcess(const ArrivalParams &params,
+                               std::uint64_t seed)
+    : _params(params), _rng(seed)
+{
+    if (params.kind != ArrivalKind::Closed && params.iops <= 0.0)
+        fatal("open-loop arrivals need a positive rate");
+    if (params.kind == ArrivalKind::Pareto && params.paretoAlpha <= 1.0)
+        fatal("pareto arrivals need alpha > 1 (got %g)",
+              params.paretoAlpha);
+    if (params.diurnalAmp < 0.0 || params.diurnalAmp >= 1.0)
+        fatal("diurnal amplitude must be in [0, 1)");
+    if (params.burstFactor < 1.0)
+        fatal("burst factor must be >= 1");
+}
+
+double
+ArrivalProcess::rateFactorAt(double t) const
+{
+    double f = 1.0;
+    if (_params.diurnalAmp > 0.0) {
+        double period = static_cast<double>(_params.diurnalPeriod);
+        f *= 1.0 + _params.diurnalAmp *
+                       std::sin(2.0 * M_PI * t / period);
+    }
+    if (_params.burstFactor > 1.0) {
+        double cycle =
+            static_cast<double>(_params.burstOn + _params.burstOff);
+        double phase = std::fmod(t, cycle);
+        if (phase < static_cast<double>(_params.burstOn))
+            f *= _params.burstFactor;
+    }
+    return f;
+}
+
+Tick
+ArrivalProcess::next()
+{
+    // A normalized (mean 1) inter-arrival draw, scaled by the mean
+    // period and the instantaneous rate factor at the current clock.
+    double unit;
+    if (_params.kind == ArrivalKind::Pareto) {
+        // Bounded-below Pareto with mean 1: xm = (alpha-1)/alpha,
+        // sampled by inverse CDF xm / U^(1/alpha).
+        double alpha = _params.paretoAlpha;
+        double xm = (alpha - 1.0) / alpha;
+        double u = _rng.uniformReal();
+        if (u <= 0.0)
+            u = 1e-12; // uniformReal is [0,1); guard the open end
+        unit = xm / std::pow(u, 1.0 / alpha);
+    } else {
+        unit = _rng.exponential(1.0);
+    }
+    double mean_ns = 1e9 / _params.iops;
+    _clock += unit * mean_ns / rateFactorAt(_clock);
+    return static_cast<Tick>(_clock);
+}
+
+//
+// OpenLoopGenerator
+//
+
+OpenLoopGenerator::OpenLoopGenerator(std::unique_ptr<Generator> inner,
+                                     const ArrivalParams &params,
+                                     std::uint64_t seed)
+    : _inner(std::move(inner)), _arrivals(params, seed)
+{
+    if (!_inner)
+        fatal("open-loop generator needs an inner generator");
+    if (params.kind == ArrivalKind::Closed)
+        fatal("open-loop generator needs an open-loop arrival kind");
+    _name = strformat("%s-%s", arrivalKindName(params.kind),
+                      _inner->name().c_str());
+}
+
+std::optional<IoRequest>
+OpenLoopGenerator::next()
+{
+    auto req = _inner->next();
+    if (!req)
+        return std::nullopt;
+    req->issueAt = _arrivals.next();
+    return req;
+}
+
+} // namespace dssd

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Open-loop arrival processes for fleet-style workloads.
+ *
+ * The paper evaluates everything through one closed-loop queue at
+ * fixed depth 64: a new request is issued the instant a slot frees, so
+ * offered load can never exceed service capacity and overload is
+ * invisible. Fleet traffic is the opposite — millions of independent
+ * clients submit on their own schedule regardless of device state.
+ * An ArrivalProcess models that: it stamps a request stream with
+ * inter-arrival times drawn from a Poisson or heavy-tailed (bounded
+ * Pareto) process, optionally modulated by a diurnal rate swing and
+ * an on/off burst profile. The multi-tenant NVMe host (hil/nvme_host)
+ * enqueues each request at its arrival time without holding a queue
+ * slot for it, so a backlog — and the latency it costs — actually
+ * builds when offered load passes capacity.
+ *
+ * Determinism: every draw comes from a dedicated seeded Rng and the
+ * modulation factors are pure functions of the arrival clock, so a
+ * given (params, seed) always produces the same timestamp sequence.
+ */
+
+#ifndef DSSD_WORKLOAD_ARRIVAL_HH
+#define DSSD_WORKLOAD_ARRIVAL_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/rng.hh"
+#include "workload/generator.hh"
+
+namespace dssd
+{
+
+/** Inter-arrival distribution of an open-loop stream. */
+enum class ArrivalKind
+{
+    Closed,  ///< no timestamps: issue when a queue slot frees
+    Poisson, ///< exponential inter-arrivals (memoryless clients)
+    Pareto,  ///< bounded-Pareto inter-arrivals (heavy-tailed bursts)
+};
+
+/** Short name used in CLI flags and bench tables. */
+const char *arrivalKindName(ArrivalKind kind);
+
+/** Open-loop arrival parameters. */
+struct ArrivalParams
+{
+    ArrivalKind kind = ArrivalKind::Closed;
+    /// Mean arrival rate in requests per second (Poisson/Pareto).
+    double iops = 0.0;
+    /// Pareto tail index; must be > 1 so the mean exists. Lower alpha
+    /// means heavier tails (more extreme arrival clumps).
+    double paretoAlpha = 1.5;
+    /// Diurnal modulation: the instantaneous rate is scaled by
+    /// 1 + amp * sin(2*pi*t / period). 0 disables it.
+    double diurnalAmp = 0.0;
+    Tick diurnalPeriod = 10 * tickMs;
+    /// Burst modulation: during the first burstOn ticks of every
+    /// (burstOn + burstOff) cycle the rate is multiplied by
+    /// burstFactor. 1 disables it.
+    double burstFactor = 1.0;
+    Tick burstOn = 1 * tickMs;
+    Tick burstOff = 4 * tickMs;
+};
+
+/**
+ * Parse an arrival spec string:
+ *   "closed"
+ *   "poisson:IOPS"
+ *   "pareto:IOPS[:ALPHA]"
+ * optionally followed by comma-separated modifiers
+ *   "diurnal:AMP[:PERIOD_MS]"
+ *   "burst:FACTOR[:ON_MS[:OFF_MS]]"
+ * e.g. "poisson:80000,burst:8:1:4". IOPS accepts a "k" suffix
+ * (thousands). Returns nullopt on malformed input.
+ */
+std::optional<ArrivalParams> parseArrivalSpec(const std::string &spec);
+
+/** Deterministic arrival-timestamp source (see file comment). */
+class ArrivalProcess
+{
+  public:
+    /** @param seed Dedicated stream seed; keep it decoupled from the
+     *         request-content seed so arrival draws don't perturb
+     *         offsets or sizes. */
+    ArrivalProcess(const ArrivalParams &params, std::uint64_t seed);
+
+    /** Advance the clock by one inter-arrival and return the new
+     *  absolute arrival tick (non-decreasing). */
+    Tick next();
+
+    /** Instantaneous rate multiplier at @p t (diurnal x burst). */
+    double rateFactorAt(double t) const;
+
+    const ArrivalParams &params() const { return _params; }
+
+  private:
+    ArrivalParams _params;
+    Rng _rng;
+    double _clock = 0.0; ///< arrival time accumulator, ns
+};
+
+/**
+ * Wraps any Generator and stamps its requests with open-loop arrival
+ * timestamps. The inner generator keeps producing kind/offset/size
+ * exactly as before (same draws, same sequence); only issueAt changes.
+ */
+class OpenLoopGenerator : public Generator
+{
+  public:
+    OpenLoopGenerator(std::unique_ptr<Generator> inner,
+                      const ArrivalParams &params, std::uint64_t seed);
+
+    std::optional<IoRequest> next() override;
+    const std::string &name() const override { return _name; }
+
+  private:
+    std::unique_ptr<Generator> _inner;
+    ArrivalProcess _arrivals;
+    std::string _name;
+};
+
+} // namespace dssd
+
+#endif // DSSD_WORKLOAD_ARRIVAL_HH

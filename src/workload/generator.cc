@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -222,6 +224,32 @@ TraceFileLoader::TraceFileLoader(const std::string &path,
         r.offset = offset;
         r.bytes = size;
         r.issueAt = usToTicks(ts_us);
+        // Optional fifth column: the submitting tenant. Absent means
+        // tenant 0 (legacy four-column traces parse identically).
+        std::string tenant_tok;
+        if (ss >> tenant_tok) {
+            if (tenant_tok.empty() || tenant_tok[0] == '-' ||
+                tenant_tok.find_first_not_of("0123456789") !=
+                    std::string::npos) {
+                fatal("trace %s:%zu: bad tenant id '%s' (expected a "
+                      "non-negative integer)",
+                      path.c_str(), lineno, tenant_tok.c_str());
+            }
+            char *endp = nullptr;
+            unsigned long long t =
+                std::strtoull(tenant_tok.c_str(), &endp, 10);
+            if (t > std::numeric_limits<std::uint32_t>::max()) {
+                fatal("trace %s:%zu: tenant id %llu out of range",
+                      path.c_str(), lineno, t);
+            }
+            r.tenant = static_cast<std::uint32_t>(t);
+            std::string extra;
+            if (ss >> extra) {
+                fatal("trace %s:%zu: trailing field '%s' after tenant "
+                      "id",
+                      path.c_str(), lineno, extra.c_str());
+            }
+        }
         if (!_requests.empty() && r.issueAt < _requests.back().issueAt)
             sorted = false;
         _requests.push_back(r);

@@ -122,14 +122,18 @@ class TraceSynthesizer : public Generator
 
 /**
  * Loads a plain-text trace: one request per line,
- * "<timestamp_us> <R|W> <offset_bytes> <size_bytes>".
- * Lines starting with '#' are ignored.
+ * "<timestamp_us> <R|W> <offset_bytes> <size_bytes> [tenant_id]".
+ * Lines starting with '#' are ignored. The fifth column is optional
+ * and names the submitting tenant for multi-tenant replay; lines
+ * without it default to tenant 0, so existing four-column traces load
+ * byte-identically.
  *
- * The loader validates as it parses: zero-size requests and (when
- * @p device_bytes is given) requests extending beyond the device are
- * fatal() with the offending line number; out-of-order timestamps are
- * tolerated — the trace is sorted by issue time with a warning, since
- * multi-initiator captures commonly interleave slightly out of order.
+ * The loader validates as it parses: zero-size requests, malformed or
+ * negative tenant ids, and (when @p device_bytes is given) requests
+ * extending beyond the device are fatal() with the offending line
+ * number; out-of-order timestamps are tolerated — the trace is sorted
+ * by issue time with a warning, since multi-initiator captures
+ * commonly interleave slightly out of order.
  */
 class TraceFileLoader : public Generator
 {

@@ -25,6 +25,9 @@ struct IoRequest
     /// Earliest issue time; 0 means "as soon as a queue slot frees"
     /// (closed-loop). Trace replays may carry absolute timestamps.
     Tick issueAt = 0;
+    /// Submitting tenant (multi-tenant host front-end). Single-stream
+    /// generators and legacy traces leave it at 0.
+    std::uint32_t tenant = 0;
 
     bool isRead() const { return kind == Kind::Read; }
     bool isWrite() const { return kind == Kind::Write; }

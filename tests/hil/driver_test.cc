@@ -290,6 +290,92 @@ TEST(QueueDriverTest, QueueDepthShrinkDrainsNaturally)
     EXPECT_EQ(ssd.inFlight, 0u);
 }
 
+// Regression tests for shrink-while-running: the excess in-flight
+// requests must drain naturally — never be cancelled — and the run
+// must still finish exactly once.
+
+TEST(QueueDriverTest, ShrinkWhileRunningDrainsExcessInFlight)
+{
+    Engine e;
+    FakeSsd ssd{e, 1000};
+    SyntheticParams p;
+    p.count = 30;
+    SyntheticGenerator gen(p);
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &r, Engine::Callback cb) {
+                        ssd.submit(r, std::move(cb));
+                    },
+                    8);
+    int finish_count = 0;
+    drv.onFinished([&] { ++finish_count; });
+    e.schedule(500, [&drv] { drv.setQueueDepth(2); });
+    drv.start();
+    e.runUntil(999);
+    // All 8 pre-shrink requests stay in flight to completion.
+    EXPECT_EQ(drv.queueDepth(), 2u);
+    EXPECT_EQ(drv.outstanding(), 8u);
+    e.runUntil(1000);
+    // The excess drained in one service round; refills obey the new
+    // depth from then on.
+    EXPECT_EQ(drv.outstanding(), 2u);
+    e.run();
+    EXPECT_EQ(ssd.maxInFlight, 8u);
+    EXPECT_EQ(drv.completed(), 30u);
+    EXPECT_EQ(finish_count, 1);
+    EXPECT_TRUE(drv.finished());
+}
+
+TEST(QueueDriverTest, StopBeforeFinalCompletionSameTickFinishesOnce)
+{
+    Engine e;
+    FakeSsd ssd{e, 100};
+    ListGen gen;
+    IoRequest r;
+    r.bytes = 4096;
+    gen.reqs.push_back(r);
+    int finish_count = 0;
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &rq, Engine::Callback cb) {
+                        ssd.submit(rq, std::move(cb));
+                    },
+                    1);
+    drv.onFinished([&] { ++finish_count; });
+    // Scheduled before start(): at t=100 the stop event runs ahead of
+    // the completion queued by submit() in the same tick.
+    e.scheduleAbs(100, [&drv] { drv.stop(); });
+    drv.start();
+    e.run();
+    EXPECT_EQ(finish_count, 1);
+    EXPECT_TRUE(drv.finished());
+    EXPECT_EQ(drv.completed(), 1u);
+}
+
+TEST(QueueDriverTest, StopAfterFinalCompletionSameTickFinishesOnce)
+{
+    Engine e;
+    FakeSsd ssd{e, 100};
+    ListGen gen;
+    IoRequest r;
+    r.bytes = 4096;
+    gen.reqs.push_back(r);
+    int finish_count = 0;
+    QueueDriver drv(e, gen,
+                    [&](const IoRequest &rq, Engine::Callback cb) {
+                        ssd.submit(rq, std::move(cb));
+                    },
+                    1);
+    drv.onFinished([&] { ++finish_count; });
+    drv.start();
+    // Scheduled after start(): the completion fires first at t=100 and
+    // finishes the drained run; the stop lands on an already-finished
+    // driver and must not re-fire the callback.
+    e.scheduleAbs(100, [&drv] { drv.stop(); });
+    e.run();
+    EXPECT_EQ(finish_count, 1);
+    EXPECT_TRUE(drv.finished());
+    EXPECT_EQ(drv.completed(), 1u);
+}
+
 TEST(QueueDriverTest, StatWindowIsRuntimeConfigurable)
 {
     Engine e;

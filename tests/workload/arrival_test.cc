@@ -1,0 +1,194 @@
+/** Unit tests for open-loop arrival processes. */
+
+#include <gtest/gtest.h>
+
+#include "workload/arrival.hh"
+
+namespace dssd
+{
+namespace
+{
+
+TEST(ArrivalSpecTest, ParsesKinds)
+{
+    auto c = parseArrivalSpec("closed");
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->kind, ArrivalKind::Closed);
+
+    auto p = parseArrivalSpec("poisson:100k");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->kind, ArrivalKind::Poisson);
+    EXPECT_DOUBLE_EQ(p->iops, 1e5);
+
+    auto pa = parseArrivalSpec("pareto:50000:1.2");
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(pa->kind, ArrivalKind::Pareto);
+    EXPECT_DOUBLE_EQ(pa->iops, 5e4);
+    EXPECT_DOUBLE_EQ(pa->paretoAlpha, 1.2);
+}
+
+TEST(ArrivalSpecTest, ParsesModifiers)
+{
+    auto b = parseArrivalSpec("poisson:80000,burst:8:1:4");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_DOUBLE_EQ(b->burstFactor, 8.0);
+    EXPECT_EQ(b->burstOn, 1 * tickMs);
+    EXPECT_EQ(b->burstOff, 4 * tickMs);
+
+    auto d = parseArrivalSpec("poisson:10k,diurnal:0.5:20");
+    ASSERT_TRUE(d.has_value());
+    EXPECT_DOUBLE_EQ(d->diurnalAmp, 0.5);
+    EXPECT_EQ(d->diurnalPeriod, 20 * tickMs);
+}
+
+TEST(ArrivalSpecTest, RejectsMalformedSpecs)
+{
+    EXPECT_FALSE(parseArrivalSpec("").has_value());
+    EXPECT_FALSE(parseArrivalSpec("poisson").has_value());
+    EXPECT_FALSE(parseArrivalSpec("poisson:").has_value());
+    EXPECT_FALSE(parseArrivalSpec("poisson:-5").has_value());
+    EXPECT_FALSE(parseArrivalSpec("poisson:0").has_value());
+    EXPECT_FALSE(parseArrivalSpec("uniform:100").has_value());
+    // Pareto alpha <= 1 has no finite mean rate.
+    EXPECT_FALSE(parseArrivalSpec("pareto:1000:0.5").has_value());
+    EXPECT_FALSE(parseArrivalSpec("poisson:1k,burst").has_value());
+    EXPECT_FALSE(parseArrivalSpec("poisson:1k,bogus:2").has_value());
+}
+
+TEST(ArrivalProcessTest, TimestampsAreNonDecreasing)
+{
+    ArrivalParams p;
+    p.kind = ArrivalKind::Pareto;
+    p.iops = 1e6;
+    p.paretoAlpha = 1.2;
+    ArrivalProcess ap(p, 7);
+    Tick prev = 0;
+    for (int i = 0; i < 5000; ++i) {
+        Tick t = ap.next();
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(ArrivalProcessTest, PoissonMeanMatchesConfiguredRate)
+{
+    ArrivalParams p;
+    p.kind = ArrivalKind::Poisson;
+    p.iops = 1e6; // mean inter-arrival 1 us = 1000 ticks
+    ArrivalProcess ap(p, 11);
+    const int n = 20000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = ap.next();
+    double mean = static_cast<double>(last) / n;
+    EXPECT_NEAR(mean, 1000.0, 50.0);
+}
+
+TEST(ArrivalProcessTest, ParetoMeanMatchesConfiguredRate)
+{
+    ArrivalParams p;
+    p.kind = ArrivalKind::Pareto;
+    p.iops = 1e6;
+    p.paretoAlpha = 1.5;
+    ArrivalProcess ap(p, 11);
+    const int n = 50000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = ap.next();
+    double mean = static_cast<double>(last) / n;
+    // Heavy tails converge slowly; just pin the right decade.
+    EXPECT_GT(mean, 500.0);
+    EXPECT_LT(mean, 2000.0);
+}
+
+TEST(ArrivalProcessTest, DeterministicBySeed)
+{
+    ArrivalParams p;
+    p.kind = ArrivalKind::Poisson;
+    p.iops = 1e5;
+    ArrivalProcess a(p, 3), b(p, 3), c(p, 4);
+    bool diverged = false;
+    for (int i = 0; i < 1000; ++i) {
+        Tick ta = a.next();
+        Tick tc = c.next();
+        ASSERT_EQ(ta, b.next());
+        diverged = diverged || ta != tc;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(ArrivalProcessTest, BurstWindowScalesRate)
+{
+    ArrivalParams p;
+    p.kind = ArrivalKind::Poisson;
+    p.iops = 1e5;
+    p.burstFactor = 8.0;
+    p.burstOn = 1 * tickMs;
+    p.burstOff = 4 * tickMs;
+    ArrivalProcess ap(p, 1);
+    // Inside the on-window of every 5 ms cycle.
+    EXPECT_DOUBLE_EQ(ap.rateFactorAt(0.5 * tickMs), 8.0);
+    EXPECT_DOUBLE_EQ(ap.rateFactorAt(5.5 * tickMs), 8.0);
+    // Inside the off-window.
+    EXPECT_DOUBLE_EQ(ap.rateFactorAt(3.0 * tickMs), 1.0);
+    EXPECT_DOUBLE_EQ(ap.rateFactorAt(9.0 * tickMs), 1.0);
+}
+
+TEST(ArrivalProcessTest, DiurnalSwingModulatesRate)
+{
+    ArrivalParams p;
+    p.kind = ArrivalKind::Poisson;
+    p.iops = 1e5;
+    p.diurnalAmp = 0.5;
+    p.diurnalPeriod = 10 * tickMs;
+    ArrivalProcess ap(p, 1);
+    // Peak at a quarter period, trough at three quarters.
+    EXPECT_NEAR(ap.rateFactorAt(2.5 * tickMs), 1.5, 1e-9);
+    EXPECT_NEAR(ap.rateFactorAt(7.5 * tickMs), 0.5, 1e-9);
+    EXPECT_NEAR(ap.rateFactorAt(0.0), 1.0, 1e-9);
+}
+
+TEST(OpenLoopGeneratorTest, StampsTimesWithoutPerturbingContent)
+{
+    SyntheticParams sp;
+    sp.count = 500;
+    sp.readRatio = 0.5;
+    sp.sequential = false;
+    SyntheticGenerator bare(sp);
+    ArrivalParams ap;
+    ap.kind = ArrivalKind::Poisson;
+    ap.iops = 1e6;
+    OpenLoopGenerator open(std::make_unique<SyntheticGenerator>(sp), ap,
+                           99);
+    Tick prev = 0;
+    int n = 0;
+    while (true) {
+        auto rb = bare.next();
+        auto ro = open.next();
+        ASSERT_EQ(rb.has_value(), ro.has_value());
+        if (!rb)
+            break;
+        // Same draws, same sequence: only issueAt changes.
+        EXPECT_EQ(ro->offset, rb->offset);
+        EXPECT_EQ(ro->bytes, rb->bytes);
+        EXPECT_EQ(ro->kind, rb->kind);
+        EXPECT_GE(ro->issueAt, prev);
+        prev = ro->issueAt;
+        ++n;
+    }
+    EXPECT_EQ(n, 500);
+    EXPECT_GT(prev, 0u);
+}
+
+TEST(OpenLoopGeneratorDeathTest, ClosedKindIsFatal)
+{
+    SyntheticParams sp;
+    sp.count = 10;
+    ArrivalParams ap; // kind = Closed
+    EXPECT_DEATH(OpenLoopGenerator(
+                     std::make_unique<SyntheticGenerator>(sp), ap, 1),
+                 "open-loop arrival kind");
+}
+
+} // namespace
+} // namespace dssd

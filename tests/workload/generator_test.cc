@@ -328,5 +328,56 @@ TEST(TraceFileLoaderDeathTest, OffsetPastDeviceEndIsFatal)
     std::remove(path.c_str());
 }
 
+// Optional fifth column: the submitting tenant id.
+
+TEST(TraceFileLoaderTest, TenantColumnParsed)
+{
+    std::string path = writeTrace("tenant", "0 W 0 4096 3\n"
+                                            "10 R 4096 4096\n"
+                                            "20 W 8192 4096 0\n");
+    TraceFileLoader g(path);
+    auto r1 = g.next();
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->tenant, 3u);
+    auto r2 = g.next();
+    ASSERT_TRUE(r2.has_value());
+    // Legacy four-column lines default to tenant 0.
+    EXPECT_EQ(r2->tenant, 0u);
+    auto r3 = g.next();
+    ASSERT_TRUE(r3.has_value());
+    EXPECT_EQ(r3->tenant, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileLoaderDeathTest, NonNumericTenantIsFatal)
+{
+    std::string path = writeTrace("badtenant", "0 W 0 4096 db\n");
+    EXPECT_DEATH({ TraceFileLoader g(path); }, ":1: bad tenant id");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileLoaderDeathTest, NegativeTenantIsFatal)
+{
+    std::string path = writeTrace("negtenant", "0 W 0 4096 4\n"
+                                               "10 R 4096 4096 -1\n");
+    EXPECT_DEATH({ TraceFileLoader g(path); }, ":2: bad tenant id");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileLoaderDeathTest, OutOfRangeTenantIsFatal)
+{
+    std::string path =
+        writeTrace("bigtenant", "0 W 0 4096 4294967296\n");
+    EXPECT_DEATH({ TraceFileLoader g(path); }, "out of range");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileLoaderDeathTest, TrailingFieldAfterTenantIsFatal)
+{
+    std::string path = writeTrace("trailing", "0 W 0 4096 1 junk\n");
+    EXPECT_DEATH({ TraceFileLoader g(path); }, "trailing field");
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace dssd

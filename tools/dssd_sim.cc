@@ -39,6 +39,17 @@ usage()
         "  --random        random offsets (default sequential)\n"
         "  --buffer=B      real|hit|miss (default miss)\n"
         "  --qd=N          queue depth (default 64)\n"
+        "  --tenants=SPEC  multi-tenant host front-end: a count or\n"
+        "                  ';'-separated \"qd:N,w:N,prio:N,rate:B,\n"
+        "                  burst:B,slo:US,name:S\" groups\n"
+        "  --arbiter=P     submission-queue arbitration: rr|wrr|prio\n"
+        "                  (default rr; needs --tenants)\n"
+        "  --arrival=SPEC  open-loop arrivals for every tenant:\n"
+        "                  closed | poisson:IOPS | pareto:IOPS[:ALPHA]\n"
+        "                  [,diurnal:AMP[:PERIOD_MS]]\n"
+        "                  [,burst:FACTOR[:ON_MS[:OFF_MS]]]\n"
+        "  --slo=US        per-tenant latency SLO target in us\n"
+        "                  (tenants with slo:0 inherit it)\n"
         "  --shards=N      run an N-shard SsdArray front-end (default 1)\n"
         "  --engine-threads=N  per-shard engines under the conservative\n"
         "                  engine group with N workers (0 = one shared\n"
@@ -125,6 +136,9 @@ main(int argc, char **argv)
     ExpParams p;
     p.arch = ArchKind::DSSDNoc;
     std::string trace;
+    std::string tenants_spec;
+    std::string arrival_spec;
+    double slo_us = 0.0;
     unsigned seeds = 1;
     unsigned threads = 0;
 
@@ -146,6 +160,22 @@ main(int argc, char **argv)
             p.bufferMode = parseBuffer(v);
         else if (flagValue(argv[i], "--qd", &v))
             p.queueDepth = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (flagValue(argv[i], "--tenants", &v))
+            tenants_spec = v;
+        else if (flagValue(argv[i], "--arbiter", &v)) {
+            auto policy = parseArbiterPolicy(v);
+            if (!policy)
+                fatal("unknown --arbiter policy '%s' (supported: rr "
+                      "wrr prio)",
+                      v);
+            p.arbiter = *policy;
+        } else if (flagValue(argv[i], "--arrival", &v))
+            arrival_spec = v;
+        else if (flagValue(argv[i], "--slo", &v)) {
+            slo_us = std::strtod(v, nullptr);
+            if (slo_us <= 0.0)
+                fatal("--slo needs a positive latency target in us");
+        }
         else if (flagValue(argv[i], "--shards", &v))
             p.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (flagValue(argv[i], "--array-gc", &v)) {
@@ -211,6 +241,32 @@ main(int argc, char **argv)
     if (!trace.empty())
         p.traceName = trace.c_str();
 
+    if (!tenants_spec.empty()) {
+        auto ts = parseTenantSpec(tenants_spec);
+        if (!ts)
+            fatal("bad --tenants spec '%s'", tenants_spec.c_str());
+        ArrivalParams ap;
+        if (!arrival_spec.empty()) {
+            auto parsed = parseArrivalSpec(arrival_spec);
+            if (!parsed)
+                fatal("bad --arrival spec '%s'", arrival_spec.c_str());
+            ap = *parsed;
+        }
+        for (TenantParams &t : *ts) {
+            if (t.sloTargetUs == 0.0)
+                t.sloTargetUs = slo_us;
+            HostTenant ht;
+            ht.tenant = t;
+            ht.readRatio = p.readRatio;
+            ht.sequential = p.sequential;
+            ht.requestBytes = p.requestBytes;
+            ht.arrival = ap;
+            p.hostTenants.push_back(ht);
+        }
+    } else if (!arrival_spec.empty() || slo_us > 0.0) {
+        fatal("--arrival/--slo need --tenants");
+    }
+
     if (seeds > 1) {
         // Seed-replication mode: fan the runs over the worker pool and
         // summarize per seed (results are printed in seed order and
@@ -264,6 +320,12 @@ main(int argc, char **argv)
                     : "",
                 p.queueDepth, ticksToMs(p.window),
                 p.runGc ? "on" : "off", gcPolicyName(p.gcPolicy));
+    if (!p.hostTenants.empty()) {
+        std::printf("host: %zu tenants, arbiter %s, arrival %s\n",
+                    p.hostTenants.size(), arbiterPolicyName(p.arbiter),
+                    arrival_spec.empty() ? "closed"
+                                         : arrival_spec.c_str());
+    }
 
     ExpResult r = runExperiment(p);
 
@@ -272,6 +334,17 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.ioCompleted));
     std::printf("latency avg/p99/p99.9 : %.1f / %.1f / %.1f us\n",
                 r.avgLatencyUs, r.p99LatencyUs, r.p999LatencyUs);
+    for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+        const TenantResult &tr = r.tenants[t];
+        std::printf("tenant %-12zu: %s, avg/p99/p99.9 "
+                    "%.1f/%.1f/%.1f us, SLO %.4f (%llu violations, "
+                    "%llu dropped)\n",
+                    t, formatBandwidth(tr.ioBytesPerSec).c_str(),
+                    tr.avgLatencyUs, tr.p99LatencyUs, tr.p999LatencyUs,
+                    tr.sloCompliance,
+                    static_cast<unsigned long long>(tr.sloViolations),
+                    static_cast<unsigned long long>(tr.dropped));
+    }
     std::printf("GC                 : %llu pages moved, %.0f pages/s\n",
                 static_cast<unsigned long long>(r.gcPagesMoved),
                 r.gcPagesPerSec);

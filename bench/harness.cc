@@ -92,13 +92,28 @@ BenchOpts::parse(int argc, char **argv)
             o.sloUs = std::strtod(v, nullptr);
             if (o.sloUs <= 0.0)
                 fatal("--slo needs a positive latency target in us");
-        } else
+        } else if ((v = value("--gc-policy", i))) {
+            if (!isVictimPolicy(v))
+                fatal("unknown --gc-policy '%s' (supported: greedy "
+                      "costbenefit windowed)",
+                      v);
+            o.gcPolicy = v;
+        } else if ((v = value("--alloc-policy", i))) {
+            if (!isAllocPolicy(v))
+                fatal("unknown --alloc-policy '%s' (supported: rr "
+                      "conflict)",
+                      v);
+            o.allocPolicy = v;
+        } else if (std::strcmp(argv[i], "--gc-preempt") == 0)
+            o.gcPreempt = true;
+        else
             fatal("unknown option '%s' (supported: --full --seed=N "
                   "--threads=N --json=FILE --trace=FILE --stats=FILE "
                   "--faults --fault-seed=N --shards=N "
                   "--engine-threads=N --array-gc=POLICY --parity "
                   "--tenants=SPEC --arbiter=POLICY --arrival=SPEC "
-                  "--slo=US --timing)",
+                  "--slo=US --gc-policy=NAME --alloc-policy=NAME "
+                  "--gc-preempt --timing)",
                   argv[i]);
     }
     return o;
@@ -149,6 +164,10 @@ makeExpConfig(const ExpParams &p)
     c.flushInFlight = 64;
     c.gc.policy = p.gcPolicy;
     c.gc.copiesInFlightPerUnit = p.gcCopiesInFlight;
+    c.gc.victimPolicy = p.victimPolicy;
+    c.gc.allocPolicy = p.allocPolicy;
+    c.gc.victimWindow = p.victimWindow;
+    c.gc.preemptible = p.gcPreempt;
     c.nocTopology = p.nocTopology;
     if (p.nocLinkGb > 0.0) {
         c.nocExplicitBandwidth = true;
@@ -248,8 +267,15 @@ runExperiment(const ExpParams &p)
         sp.readRatio = p.readRatio;
         sp.sequential = p.sequential;
         sp.requestBytes = p.requestBytes;
+        sp.hotFraction = p.hotFraction;
+        sp.hotAccessRatio = p.hotAccessRatio;
+        double frac = p.footprintFraction > 0.0 ? p.footprintFraction
+                                                : 0.5;
         sp.footprintBytes = std::max<std::uint64_t>(
-            lpn_count * cfg.geom.pageBytes / 2, 4 * p.requestBytes);
+            static_cast<std::uint64_t>(
+                static_cast<double>(lpn_count * cfg.geom.pageBytes) *
+                frac),
+            4 * p.requestBytes);
         sp.count = 0; // unbounded; the window bounds the run
         sp.seed = p.seed;
         gen = std::make_unique<SyntheticGenerator>(sp);
@@ -444,6 +470,21 @@ runExperiment(const ExpParams &p)
     }
     r.gcPagesMoved =
         single ? single->gc().pagesMoved() : array->gcPagesMoved();
+    // FTL write accounting: prefill resets the host-write counter, so
+    // this is the measured window's WAF.
+    if (single) {
+        r.hostPageWrites = single->mapping().hostWrites();
+        r.gcRelocated = single->mapping().gcRelocations();
+    } else {
+        for (unsigned s = 0; s < array->shardCount(); ++s) {
+            r.hostPageWrites += array->shard(s).mapping().hostWrites();
+            r.gcRelocated += array->shard(s).mapping().gcRelocations();
+        }
+    }
+    if (r.hostPageWrites > 0) {
+        r.waf = static_cast<double>(r.hostPageWrites + r.gcRelocated) /
+                static_cast<double>(r.hostPageWrites);
+    }
     Tick gc_first =
         single ? single->gc().firstGcStart() : array->gcFirstStart();
     Tick gc_last = single ? single->gc().lastGcEnd() : array->gcLastEnd();

@@ -81,6 +81,13 @@ struct BenchOpts
     /// --slo latency target override in microseconds (0 = bench
     /// default).
     double sloUs = 0.0;
+    /// --gc-policy / --alloc-policy overrides (benches that sweep the
+    /// policy zoo themselves, like fig21, ignore them). Empty = bench
+    /// default ("greedy" / "rr").
+    std::string gcPolicy;
+    std::string allocPolicy;
+    /// --gc-preempt: preemptible/partial GC rounds (see GcParams).
+    bool gcPreempt = false;
 
     static BenchOpts parse(int argc, char **argv);
 
@@ -126,6 +133,13 @@ struct ExpParams
     double readRatio = 0.0;
     bool sequential = true;
     std::uint64_t requestBytes = 4 * kKiB;
+    /// Hot/cold skew for random streams (see SyntheticParams); both 0
+    /// keeps the uniform stream bit-identical to older builds.
+    double hotFraction = 0.0;
+    double hotAccessRatio = 0.0;
+    /// Logical footprint as a fraction of LPN space (utilization).
+    /// 0 keeps the historical default (half the logical space).
+    double footprintFraction = 0.0;
     BufferMode bufferMode = BufferMode::AlwaysMiss;
     unsigned queueDepth = 64;
     /// Shard count (Fig 18). 1 runs a plain Ssd — bit-identical to the
@@ -167,6 +181,12 @@ struct ExpParams
     unsigned gcCopiesInFlight = 2;
     Tick gcDelay = 0;         ///< hold GC off for this long (Fig 2)
     GcPolicy gcPolicy = GcPolicy::Parallel;
+    /// Victim-selection / allocation policies (see ftl/policy.hh).
+    std::string victimPolicy = "greedy";
+    std::string allocPolicy = "rr";
+    std::uint32_t victimWindow = 8;
+    /// Preemptible/partial GC rounds (GcParams::preemptible).
+    bool gcPreempt = false;
 
     // On-chip bandwidth.
     double onChipFactor = 1.25;
@@ -232,6 +252,12 @@ struct ExpResult
     LatencyBreakdown cbBreakdown;
     std::uint64_t gcPagesMoved = 0;
     std::uint64_t ioCompleted = 0;
+    /// FTL-level write accounting over the window (post-prefill);
+    /// summed across shards in array mode.
+    std::uint64_t hostPageWrites = 0;
+    std::uint64_t gcRelocated = 0;
+    /// Write amplification factor (host + GC writes) / host writes.
+    double waf = 1.0;
     /// One entry per ExpParams::hostTenants tenant (empty otherwise).
     std::vector<TenantResult> tenants;
     std::vector<double> ioBwSeries;    ///< GB/s per ms window

@@ -101,6 +101,43 @@ BM_FtlAllocate(benchmark::State &state)
 }
 BENCHMARK(BM_FtlAllocate);
 
+/**
+ * Victim selection cost per pick. Arg selects the policy (0 greedy,
+ * 1 costbenefit, 2 windowed). Greedy reads the bucketed valid-count
+ * index — O(buckets) instead of the old O(blocks) scan — so this is
+ * the regression gate for the index refactor.
+ */
+void
+BM_PickVictim(benchmark::State &state)
+{
+    static const char *const kPolicies[] = {"greedy", "costbenefit",
+                                            "windowed"};
+    MappingParams p;
+    p.geom.channels = 8;
+    p.geom.ways = 4;
+    p.geom.planesPerDie = 2;
+    p.geom.blocksPerPlane = 64;
+    p.geom.pagesPerBlock = 64;
+    p.overProvision = 0.5;
+    p.victimPolicy = kPolicies[state.range(0)];
+    PageMapping m(p);
+    // Half the logical space live, rewritten once with stride 3: every
+    // block ends up partially valid, so every bucket is populated.
+    Lpn range = m.lpnCount() / 2;
+    for (Lpn l = 0; l < range; ++l)
+        m.allocate(l);
+    for (Lpn l = 0; l < range; l += 3)
+        m.allocate(l);
+    std::uint32_t unit = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.pickVictim(unit));
+        unit = (unit + 1) % m.unitCount();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(p.victimPolicy);
+}
+BENCHMARK(BM_PickVictim)->Arg(0)->Arg(1)->Arg(2);
+
 void
 BM_SsdWritePage(benchmark::State &state)
 {

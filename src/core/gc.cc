@@ -16,6 +16,8 @@ GcEngine::GcEngine(Ssd &ssd, const GcParams &params)
       _units(ssd.mapping().unitCount()), _firstStart(maxTick),
       _roundStart(maxTick)
 {
+    if (_params.preemptQuantumPages == 0)
+        _params.preemptQuantumPages = 1;
 }
 
 void
@@ -94,6 +96,9 @@ GcEngine::grantCollection()
     }
     for (std::uint32_t unit = 0; unit < _units.size(); ++unit) {
         UnitState &u = _units[unit];
+        // Rounds preempted while the grant was yielded resume first.
+        if (u.active && u.paused && u.wantsResume)
+            resumeUnit(unit);
         if (!u.wantsGc)
             continue;
         u.wantsGc = false;
@@ -104,6 +109,7 @@ GcEngine::grantCollection()
     }
     --_startingBatch;
     maybeReleaseGrant();
+    maybeYieldGrantPaused();
 }
 
 std::uint32_t
@@ -123,7 +129,7 @@ GcEngine::requestIfNeeded()
         return;
     bool want = _pendingForce;
     for (std::uint32_t unit = 0; !want && unit < _units.size(); ++unit)
-        want = _units[unit].wantsGc;
+        want = _units[unit].wantsGc || _units[unit].wantsResume;
     if (!want)
         return;
     _grant = GrantState::Requested;
@@ -151,6 +157,9 @@ GcEngine::startUnit(std::uint32_t unit)
 {
     UnitState &u = _units[unit];
     u.active = true;
+    // The preemption quantum spans the whole round (victims are often
+    // nearly empty, so a per-victim quantum would never fill).
+    u.quantumCopies = 0;
     ++_activeUnits;
     if (_firstStart == maxTick)
         _firstStart = _ssd.engine().now();
@@ -277,12 +286,27 @@ GcEngine::pumpCopies(std::uint32_t unit)
     PageMapping &map = _ssd.mapping();
 
     // Stale wakeups (policy rechecks, space-wait retries) may land
-    // after the victim drained or the unit finished; ignore them.
-    if (!u.active || u.erasing)
+    // after the victim drained, the unit finished, or the round was
+    // preempted; ignore them.
+    if (!u.active || u.erasing || u.paused)
         return;
 
     while (u.inFlight < _params.copiesInFlightPerUnit &&
            u.nextLpn < u.lpns.size()) {
+        // Preemptible GC: after each copy quantum, yield to pending
+        // host I/O and resume deterministically later. A threshold
+        // round runs while free <= gcFreeBlockThreshold by definition,
+        // so the livelock guard is the critical floor instead: once a
+        // unit is down to its last reserve blocks the round must run
+        // to completion — it is what restores space.
+        if (_params.preemptible &&
+            u.quantumCopies >= _params.preemptQuantumPages &&
+            _ssd.ioOutstanding() > 0 &&
+            map.freeBlockCount(unit) >
+                _params.preemptiveForcedFreeBlocks) {
+            pauseUnit(unit);
+            return;
+        }
         if (!policyAllowsCopy(unit))
             return;
         // Skip pages the host rewrote while this victim was queued.
@@ -313,6 +337,83 @@ GcEngine::pumpCopies(std::uint32_t unit)
 }
 
 void
+GcEngine::pauseUnit(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    u.paused = true;
+    u.quantumCopies = 0;
+    ++_pausedUnits;
+    ++_preemptYields;
+#if DSSD_TRACING
+    Tracer *tr = _ssd.engine().tracer();
+    if (tr) {
+        int pid = tr->process("gc");
+        tr->counter(pid, "gc-paused-units", _ssd.engine().now(),
+                    static_cast<double>(_pausedUnits));
+    }
+#endif
+    _ssd.engine().schedule(_params.preemptResumeNs,
+                           [this, unit] { resumeCheck(unit); });
+    maybeYieldGrantPaused();
+}
+
+void
+GcEngine::resumeCheck(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    if (!u.active || !u.paused)
+        return;
+    // The grant was yielded while this unit slept: re-request it and
+    // resume when the scheduler grants collection again.
+    if (coordinated() && _grant != GrantState::Held) {
+        u.wantsResume = true;
+        requestIfNeeded();
+        return;
+    }
+    resumeUnit(unit);
+}
+
+void
+GcEngine::resumeUnit(std::uint32_t unit)
+{
+    UnitState &u = _units[unit];
+    u.paused = false;
+    u.wantsResume = false;
+    u.quantumCopies = 0;
+    --_pausedUnits;
+    ++_preemptResumes;
+#if DSSD_TRACING
+    Tracer *tr = _ssd.engine().tracer();
+    if (tr) {
+        int pid = tr->process("gc");
+        tr->counter(pid, "gc-paused-units", _ssd.engine().now(),
+                    static_cast<double>(_pausedUnits));
+    }
+#endif
+    pumpCopies(unit);
+}
+
+void
+GcEngine::maybeYieldGrantPaused()
+{
+    if (!_params.preemptible)
+        return;
+    if (_grant != GrantState::Held || _startingBatch != 0)
+        return;
+    if (_activeUnits == 0 || _pausedUnits != _activeUnits)
+        return;
+    // Every active round is paused: yield the grant so other shards
+    // can collect, reporting the partial round's work. Paused rounds
+    // re-request the grant from their resume timers.
+    _grant = GrantState::None;
+    std::uint64_t copies = _pagesMoved - _grantCopies0;
+    std::uint64_t erases = _blocksErased - _grantErases0;
+    if (_hooks.release)
+        _hooks.release(copies, erases);
+    requestIfNeeded();
+}
+
+void
 GcEngine::issueCopy(std::uint32_t unit, std::uint64_t lpn,
                     std::uint32_t dst_unit)
 {
@@ -324,6 +425,7 @@ GcEngine::issueCopy(std::uint32_t unit, std::uint64_t lpn,
 
     ++u.inFlight;
     ++u.sliceCopies;
+    ++u.quantumCopies;
     Tick t0 = _ssd.engine().now();
     _ssd.gcCopyPage(src, dst, [this, unit, lpn, dst, t0] {
         _ssd.mapping().commitRelocation(lpn, dst);
@@ -387,6 +489,8 @@ GcEngine::finishUnit(std::uint32_t unit)
         }
     }
     maybeReleaseGrant();
+    // The last runnable unit may leave only paused rounds behind.
+    maybeYieldGrantPaused();
 }
 
 void
@@ -407,6 +511,16 @@ GcEngine::registerStats(StatRegistry &reg,
     });
     reg.addSample(prefix + ".copy_latency", &_copyLatency);
     reg.addSample(prefix + ".round_duration", &_roundDuration);
+    // Preemption counters only exist when the feature is on, so
+    // default runs keep their historical --stats output.
+    if (_params.preemptible) {
+        reg.addScalar(prefix + ".preempt_yields", [this] {
+            return static_cast<double>(_preemptYields);
+        });
+        reg.addScalar(prefix + ".preempt_resumes", [this] {
+            return static_cast<double>(_preemptResumes);
+        });
+    }
 }
 
 } // namespace dssd

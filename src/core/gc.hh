@@ -106,6 +106,20 @@ class GcEngine
     bool anyActive() const { return _activeUnits > 0; }
     unsigned activeUnits() const { return _activeUnits; }
 
+    /** Whether a GC round is active on @p unit (paused or not); the
+     *  conflict-aware allocation policy probes this through
+     *  PageMapping::setGcBusyProbe. */
+    bool unitActive(std::uint32_t unit) const
+    {
+        return _units[unit].active;
+    }
+
+    /** Units currently paused by preemptible GC. */
+    unsigned pausedUnits() const { return _pausedUnits; }
+
+    std::uint64_t preemptYields() const { return _preemptYields; }
+    std::uint64_t preemptResumes() const { return _preemptResumes; }
+
     std::uint64_t pagesMoved() const { return _pagesMoved; }
     std::uint64_t blocksErased() const { return _blocksErased; }
 
@@ -149,6 +163,14 @@ class GcEngine
         std::size_t nextLpn = 0;
         unsigned inFlight = 0;
         unsigned sliceCopies = 0;
+        /// Preemptible GC: the round is paused mid-victim; no new
+        /// copies issue until the resume timer fires.
+        bool paused = false;
+        /// Paused under coordination after the grant was yielded;
+        /// waiting for the next grant to resume.
+        bool wantsResume = false;
+        /// Copies issued since the last preemption check.
+        unsigned quantumCopies = 0;
     };
 
     enum class GrantState
@@ -164,6 +186,16 @@ class GcEngine
     void maybeReleaseGrant();
     void collectNext(std::uint32_t unit);
     void pumpCopies(std::uint32_t unit);
+    /** Preemptible GC: pause @p unit's round and schedule a resume
+     *  check after preemptResumeNs. */
+    void pauseUnit(std::uint32_t unit);
+    /** Resume-timer body: resume now or, if the grant was yielded,
+     *  re-request it and resume on the next grantCollection(). */
+    void resumeCheck(std::uint32_t unit);
+    void resumeUnit(std::uint32_t unit);
+    /** Yield the grant while every active unit is paused (partial
+     *  round: copies/erases done so far are reported). */
+    void maybeYieldGrantPaused();
     void issueCopy(std::uint32_t unit, std::uint64_t lpn,
                    std::uint32_t dst_unit);
     void victimDrained(std::uint32_t unit);
@@ -185,6 +217,9 @@ class GcEngine
     GcParams _params;
     std::vector<UnitState> _units;
     unsigned _activeUnits = 0;
+    unsigned _pausedUnits = 0;
+    std::uint64_t _preemptYields = 0;
+    std::uint64_t _preemptResumes = 0;
     std::uint32_t _dstCursor = 0;
     std::uint64_t _pagesMoved = 0;
     std::uint64_t _blocksErased = 0;

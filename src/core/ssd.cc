@@ -54,10 +54,17 @@ Ssd::Ssd(Engine &engine, const SsdConfig &config)
     mp.overProvision = _config.overProvision;
     mp.gcFreeBlockThreshold = _config.gcFreeBlockThreshold;
     mp.gcFreeBlockTarget = _config.gcFreeBlockTarget;
+    mp.victimPolicy = _config.gc.victimPolicy;
+    mp.allocPolicy = _config.gc.allocPolicy;
+    mp.victimWindow = _config.gc.victimWindow;
     _mapping = std::make_unique<PageMapping>(mp);
 
     _writeBuffer = std::make_unique<WriteBuffer>(_config.writeBuffer);
     _gc = std::make_unique<GcEngine>(*this, _config.gc);
+    // The conflict-aware allocator asks the mapping whether a unit is
+    // GC-busy; round activity is known only up here, so inject it.
+    _mapping->setGcBusyProbe(
+        [this](std::uint32_t unit) { return _gc->unitActive(unit); });
 
     _flush = std::make_unique<FlushEngine>(
         engine, *_mapping, *_writeBuffer, _config.flushInFlight,
@@ -191,6 +198,14 @@ Ssd::registerStats(StatRegistry &reg, const std::string &prefix) const
 
     _gc->registerStats(reg, prefix + ".gc");
     _datapath->registerStats(reg, prefix);
+
+    // Policy-tagged counters appear only under a non-default policy
+    // configuration, keeping the default --stats output byte-identical
+    // with pre-policy-seam builds.
+    if (_config.gc.victimPolicy != "greedy" ||
+        _config.gc.allocPolicy != "rr" || _config.gc.preemptible) {
+        _mapping->registerPolicyStats(reg, prefix + ".ftl.policy");
+    }
 
     if (_fault) {
         _fault->registerStats(reg, prefix + ".fault");

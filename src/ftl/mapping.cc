@@ -4,6 +4,7 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/registry.hh"
 
 namespace dssd
 {
@@ -29,12 +30,22 @@ PageMapping::PageMapping(const MappingParams &params)
     _units.resize(_unitCount);
     for (auto &u : _units) {
         u.blocks.resize(_geom.blocksPerPlane);
-        for (auto &b : u.blocks)
-            b.valid.assign(_geom.pagesPerBlock, false);
+        u.valid.assign(static_cast<std::size_t>(_geom.blocksPerPlane) *
+                           _geom.pagesPerBlock,
+                       0);
+        u.index.buckets.resize(_geom.pagesPerBlock + 1);
+        u.bucketOf.assign(_geom.blocksPerPlane, -1);
         for (std::uint32_t b = 0; b < _geom.blocksPerPlane; ++b)
             u.freeList.push_back(b);
     }
+
+    PolicyConfig pc;
+    pc.victimWindow = params.victimWindow;
+    _victim = makeVictimPolicy(params.victimPolicy, pc);
+    _alloc = makeAllocPolicy(params.allocPolicy, pc);
 }
+
+PageMapping::~PageMapping() = default;
 
 std::uint32_t
 PageMapping::unitOf(const PhysAddr &a) const
@@ -81,6 +92,45 @@ PageMapping::reverseLookup(Ppn ppn) const
     return l;
 }
 
+bool
+PageMapping::victimEligible(std::uint32_t unit,
+                            std::uint32_t block) const
+{
+    const BlockState &b = _units[unit].blocks[block];
+    return !b.isFree && !b.isBad &&
+           b.writePtr == _geom.pagesPerBlock && b.pending == 0;
+}
+
+void
+PageMapping::indexReconcile(std::uint32_t unit, std::uint32_t block)
+{
+    Unit &u = _units[unit];
+    BlockState &b = u.blocks[block];
+    bool should = victimEligible(unit, block);
+    std::int32_t cur = u.bucketOf[block];
+    if (should) {
+        std::int32_t want = static_cast<std::int32_t>(b.validCount);
+        if (cur == want)
+            return;
+        if (cur >= 0)
+            u.index.buckets[cur].erase(block);
+        u.index.buckets[want].insert(block);
+        u.bucketOf[block] = want;
+    } else if (cur >= 0) {
+        u.index.buckets[cur].erase(block);
+        u.bucketOf[block] = -1;
+    }
+}
+
+void
+PageMapping::fillOrderRemove(Unit &u, std::uint32_t block)
+{
+    auto it = std::find(u.index.fillOrder.begin(),
+                        u.index.fillOrder.end(), block);
+    if (it != u.index.fillOrder.end())
+        u.index.fillOrder.erase(it);
+}
+
 void
 PageMapping::openActiveBlock(Unit &u, std::uint32_t unit)
 {
@@ -114,8 +164,11 @@ PageMapping::allocateRaw(Lpn lpn, std::uint32_t unit)
     BlockState &b = u.blocks[u.activeBlock];
     PhysAddr a = unitBlockAddr(unit, u.activeBlock);
     a.page = b.writePtr++;
-    if (b.writePtr == _geom.pagesPerBlock)
+    b.lastWriteSeq = ++_allocSeq;
+    if (b.writePtr == _geom.pagesPerBlock) {
         u.hasActive = false;
+        u.index.fillOrder.push_back(u.activeBlock);
+    }
     return a;
 }
 
@@ -125,30 +178,28 @@ PageMapping::allocate(Lpn lpn)
     if (lpn >= _lpnCount)
         panic("LPN %llu out of range", (unsigned long long)lpn);
 
-    // Round-robin stripe over units that still have room. Host
-    // allocation never consumes a unit's last free block: that block
-    // is reserved so the unit's own GC can always relocate a full
-    // victim locally (the classic GC forward-progress invariant).
-    for (std::uint32_t tried = 0; tried < _unitCount; ++tried) {
-        std::uint32_t unit = _allocCursor;
-        _allocCursor = (_allocCursor + 1) % _unitCount;
-        Unit &u = _units[unit];
-        if (!u.hasActive && u.freeList.size() <= 1)
-            continue;
-        PhysAddr a = allocateRaw(lpn, unit);
-        // Host write: retire the previous copy, then map the new one.
-        invalidate(lpn);
-        Ppn p = _geom.pageIndex(a);
-        _l2p[lpn] = p;
-        _p2l[p] = lpn;
-        BlockState &b = _units[unit].blocks[a.block];
-        b.valid[a.page] = true;
-        ++b.validCount;
-        ++_validPages;
-        ++_hostWrites;
-        return a;
-    }
-    panic("device full: no unit can allocate a page");
+    // The allocation policy stripes over units that still have room.
+    // Host allocation never consumes a unit's last free block: that
+    // block is reserved so the unit's own GC can always relocate a
+    // full victim locally (the classic GC forward-progress invariant).
+    auto unit_opt = _alloc->chooseUnit(*this);
+    if (!unit_opt)
+        panic("device full: no unit can allocate a page");
+    std::uint32_t unit = *unit_opt;
+    PhysAddr a = allocateRaw(lpn, unit);
+    // Host write: retire the previous copy, then map the new one.
+    invalidate(lpn);
+    Ppn p = _geom.pageIndex(a);
+    _l2p[lpn] = p;
+    _p2l[p] = lpn;
+    Unit &u = _units[unit];
+    BlockState &b = u.blocks[a.block];
+    u.valid[a.block * _geom.pagesPerBlock + a.page] = 1;
+    ++b.validCount;
+    ++_validPages;
+    ++_hostWrites;
+    indexReconcile(unit, a.block);
+    return a;
 }
 
 PhysAddr
@@ -165,6 +216,8 @@ PageMapping::allocateInUnit(Lpn lpn, std::uint32_t unit)
     // commits via commitRelocation() when the data lands. Until then
     // the block is pinned against victim selection and erase.
     ++u.blocks[a.block].pending;
+    ++u.gcPending;
+    indexReconcile(unit, a.block);
     return a;
 }
 
@@ -176,13 +229,17 @@ PageMapping::invalidatePpn(Ppn ppn)
         return;
     PhysAddr a = _geom.pageAddr(ppn);
     std::uint32_t unit = unitOf(a);
-    BlockState &b = _units[unit].blocks[a.block];
-    if (!b.valid[a.page])
+    Unit &u = _units[unit];
+    BlockState &b = u.blocks[a.block];
+    std::uint8_t &bit =
+        u.valid[a.block * _geom.pagesPerBlock + a.page];
+    if (!bit)
         panic("invalidate of already-invalid page");
-    b.valid[a.page] = false;
+    bit = 0;
     --b.validCount;
     --_validPages;
     _p2l[ppn] = invalidLpn;
+    indexReconcile(unit, a.block);
 }
 
 void
@@ -207,23 +264,29 @@ PageMapping::commitRelocation(Lpn lpn, const PhysAddr &dst)
     // destination page is simply left invalid (dead on arrival).
     Ppn dstPpn = _geom.pageIndex(dst);
     std::uint32_t unit = unitOf(dst);
-    BlockState &b = _units[unit].blocks[dst.block];
+    Unit &u = _units[unit];
+    BlockState &b = u.blocks[dst.block];
     if (b.pending == 0)
         panic("relocation commit without a pending reservation");
     --b.pending;
+    if (u.gcPending == 0)
+        panic("unit GC-pending counter underflow");
+    --u.gcPending;
 
     Ppn old = _l2p[lpn];
     if (old == invalidPpn) {
         ++_gcRelocations;
+        indexReconcile(unit, dst.block);
         return;
     }
     invalidatePpn(old);
     _l2p[lpn] = dstPpn;
     _p2l[dstPpn] = lpn;
-    b.valid[dst.page] = true;
+    u.valid[dst.block * _geom.pagesPerBlock + dst.page] = 1;
     ++b.validCount;
     ++_validPages;
     ++_gcRelocations;
+    indexReconcile(unit, dst.block);
 }
 
 std::uint32_t
@@ -250,14 +313,28 @@ PageMapping::canAllocateAny() const
 }
 
 bool
+PageMapping::hostCanAllocateIn(std::uint32_t unit) const
+{
+    const Unit &u = _units[unit];
+    return u.hasActive || u.freeList.size() > 1;
+}
+
+bool
 PageMapping::hostCanAllocate() const
 {
     for (std::uint32_t u = 0; u < _unitCount; ++u) {
-        const Unit &unit = _units[u];
-        if (unit.hasActive || unit.freeList.size() > 1)
+        if (hostCanAllocateIn(u))
             return true;
     }
     return false;
+}
+
+bool
+PageMapping::unitGcBusy(std::uint32_t unit) const
+{
+    if (_units[unit].gcPending > 0)
+        return true;
+    return _gcBusyProbe && _gcBusyProbe(unit);
 }
 
 bool
@@ -282,41 +359,27 @@ PageMapping::freeBlockPressure(std::uint32_t unit) const
 }
 
 std::optional<std::uint32_t>
-PageMapping::pickVictim(std::uint32_t unit) const
+PageMapping::pickVictim(std::uint32_t unit)
 {
-    const Unit &u = _units[unit];
-    std::optional<std::uint32_t> best;
-    std::uint32_t best_valid = _geom.pagesPerBlock;
-    for (std::uint32_t b = 0; b < u.blocks.size(); ++b) {
-        const BlockState &bs = u.blocks[b];
-        if (bs.isFree || bs.isBad)
-            continue;
-        if (u.hasActive && b == u.activeBlock)
-            continue;
-        if (bs.writePtr != _geom.pagesPerBlock)
-            continue; // still filling
-        if (bs.pending != 0)
-            continue; // GC copies in flight into this block
-        if (bs.validCount >= best_valid)
-            continue;
-        best = b;
-        best_valid = bs.validCount;
-    }
-    // A fully-valid victim frees nothing; treat as no victim.
-    if (best && best_valid == _geom.pagesPerBlock)
-        return std::nullopt;
-    return best;
+    auto victim = _victim->pickVictim(*this, unit);
+    if (victim)
+        ++_victimPicks;
+    return victim;
 }
 
 std::vector<Lpn>
 PageMapping::validLpns(std::uint32_t unit, std::uint32_t block) const
 {
-    const BlockState &bs = _units[unit].blocks[block];
+    const Unit &u = _units[unit];
+    const BlockState &bs = u.blocks[block];
     std::vector<Lpn> out;
     out.reserve(bs.validCount);
     PhysAddr a = unitBlockAddr(unit, block);
+    const std::uint8_t *bits =
+        u.valid.data() +
+        static_cast<std::size_t>(block) * _geom.pagesPerBlock;
     for (std::uint32_t p = 0; p < _geom.pagesPerBlock; ++p) {
-        if (!bs.valid[p])
+        if (!bits[p])
             continue;
         a.page = p;
         Lpn l = _p2l[_geom.pageIndex(a)];
@@ -340,7 +403,10 @@ PageMapping::eraseBlock(std::uint32_t unit, std::uint32_t block)
         panic("erase of free block");
     if (u.hasActive && block == u.activeBlock)
         panic("erase of the active block");
-    std::fill(bs.valid.begin(), bs.valid.end(), false);
+    std::uint8_t *bits =
+        u.valid.data() +
+        static_cast<std::size_t>(block) * _geom.pagesPerBlock;
+    std::fill(bits, bits + _geom.pagesPerBlock, 0);
     bs.writePtr = 0;
     ++bs.eraseCount;
     ++_erases;
@@ -348,6 +414,8 @@ PageMapping::eraseBlock(std::uint32_t unit, std::uint32_t block)
         bs.isFree = true;
         u.freeList.push_back(block);
     }
+    fillOrderRemove(u, block);
+    indexReconcile(unit, block);
 }
 
 void
@@ -366,6 +434,8 @@ PageMapping::retireBlock(std::uint32_t unit, std::uint32_t block)
     // (fault escalation) may hit the unit's open block.
     if (u.hasActive && u.activeBlock == block)
         u.hasActive = false;
+    fillOrderRemove(u, block);
+    indexReconcile(unit, block);
 }
 
 const BlockState &
@@ -413,6 +483,19 @@ PageMapping::waf() const
 }
 
 void
+PageMapping::registerPolicyStats(StatRegistry &reg,
+                                 const std::string &prefix) const
+{
+    std::string vp = prefix + ".victim." + _victim->name();
+    reg.addScalar(vp + ".picks", [this] {
+        return static_cast<double>(_victimPicks);
+    });
+    _victim->registerStats(reg, vp);
+    std::string ap = prefix + ".alloc." + _alloc->name();
+    _alloc->registerStats(reg, ap);
+}
+
+void
 PageMapping::audit(AuditReport &r) const
 {
     // L2P -> P2L: every mapped LPN's physical page must point back.
@@ -457,12 +540,13 @@ PageMapping::audit(AuditReport &r) const
     for (std::uint32_t un = 0; un < _unitCount; ++un) {
         const Unit &u = _units[un];
         std::uint32_t free_flags = 0;
+        std::uint32_t pending_total = 0;
         for (std::uint32_t b = 0; b < u.blocks.size(); ++b) {
             const BlockState &bs = u.blocks[b];
             std::uint32_t count = 0;
             PhysAddr a = unitBlockAddr(un, b);
             for (std::uint32_t pg = 0; pg < _geom.pagesPerBlock; ++pg) {
-                if (!bs.valid[pg])
+                if (!pageValid(un, b, pg))
                     continue;
                 ++count;
                 if (pg >= bs.writePtr) {
@@ -483,6 +567,7 @@ PageMapping::audit(AuditReport &r) const
                        un, b, bs.validCount, count);
             }
             valid_total += bs.validCount;
+            pending_total += bs.pending;
             if (bs.writePtr > _geom.pagesPerBlock) {
                 r.fail("unit %u block %u: write pointer %u beyond "
                        "block size %u",
@@ -497,11 +582,69 @@ PageMapping::audit(AuditReport &r) const
             }
             if (bs.isFree)
                 ++free_flags;
+
+            // Victim-index consistency: eligibility <-> bucket
+            // membership, bucket key = validCount.
+            bool eligible = victimEligible(un, b);
+            std::int32_t bucket = u.bucketOf[b];
+            if (eligible != (bucket >= 0)) {
+                r.fail("unit %u block %u: victim-eligible %d but "
+                       "bucketOf %d",
+                       un, b, eligible ? 1 : 0, bucket);
+            } else if (eligible) {
+                if (bucket !=
+                    static_cast<std::int32_t>(bs.validCount)) {
+                    r.fail("unit %u block %u: in bucket %d with "
+                           "validCount %u",
+                           un, b, bucket, bs.validCount);
+                } else if (u.index.buckets[bucket].count(b) == 0) {
+                    r.fail("unit %u block %u: bucketOf %d but absent "
+                           "from the bucket set",
+                           un, b, bucket);
+                }
+            }
         }
         if (free_flags != u.freeList.size()) {
             r.fail("unit %u: %zu free-list entries but %u blocks "
                    "flagged free",
                    un, u.freeList.size(), free_flags);
+        }
+        if (pending_total != u.gcPending) {
+            r.fail("unit %u: gcPending %u != %u summed over blocks",
+                   un, u.gcPending, pending_total);
+        }
+        std::size_t bucket_total = 0;
+        for (const auto &bucket : u.index.buckets)
+            bucket_total += bucket.size();
+        std::size_t eligible_total = 0;
+        for (std::uint32_t b = 0; b < u.blocks.size(); ++b)
+            eligible_total += victimEligible(un, b) ? 1 : 0;
+        if (bucket_total != eligible_total) {
+            r.fail("unit %u: %zu bucketed blocks but %zu eligible",
+                   un, bucket_total, eligible_total);
+        }
+        // fillOrder lists exactly the fully-written, non-free,
+        // non-bad blocks, each once.
+        std::vector<bool> in_fill(u.blocks.size(), false);
+        for (std::uint32_t b : u.index.fillOrder) {
+            if (b >= u.blocks.size()) {
+                r.fail("unit %u: fill-order entry %u out of range",
+                       un, b);
+                continue;
+            }
+            if (in_fill[b])
+                r.fail("unit %u: block %u in fill order twice", un, b);
+            in_fill[b] = true;
+        }
+        for (std::uint32_t b = 0; b < u.blocks.size(); ++b) {
+            const BlockState &bs = u.blocks[b];
+            bool full = !bs.isFree && !bs.isBad &&
+                        bs.writePtr == _geom.pagesPerBlock;
+            if (full != in_fill[b]) {
+                r.fail("unit %u block %u: full %d but fill-order "
+                       "membership %d",
+                       un, b, full ? 1 : 0, in_fill[b] ? 1 : 0);
+            }
         }
         std::vector<bool> seen(u.blocks.size(), false);
         for (std::uint32_t b : u.freeList) {

@@ -16,9 +16,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "ftl/policy.hh"
 #include "nand/geometry.hh"
 #include "sim/rng.hh"
 
@@ -26,6 +30,7 @@ namespace dssd
 {
 
 class AuditReport;
+class StatRegistry;
 
 /** Logical page number. */
 using Lpn = std::uint64_t;
@@ -35,7 +40,12 @@ using Ppn = std::uint64_t;
 constexpr Lpn invalidLpn = ~static_cast<Lpn>(0);
 constexpr Ppn invalidPpn = ~static_cast<Ppn>(0);
 
-/** Per-block state. */
+/**
+ * Per-block state. Page-validity bits live in a flat per-unit bitmap
+ * (structure-of-arrays, see PageMapping::pageValid) rather than a
+ * per-block vector, so the hot invalidate/allocate paths touch one
+ * contiguous allocation per unit.
+ */
 struct BlockState
 {
     std::uint32_t writePtr = 0;        ///< next free page index
@@ -44,7 +54,10 @@ struct BlockState
     std::uint32_t eraseCount = 0;      ///< P/E cycles
     bool isFree = true;                ///< on the free list
     bool isBad = false;                ///< retired
-    std::vector<bool> valid;           ///< per-page validity
+    /// Allocation sequence number of the last write into this block
+    /// (host or GC); cost-benefit victim selection ages blocks by
+    /// allocSeq() - lastWriteSeq.
+    std::uint64_t lastWriteSeq = 0;
 };
 
 /** Parameters of the mapping layer. */
@@ -61,6 +74,12 @@ struct MappingParams
     /// Static wear-leveling: open the least-erased free block instead
     /// of FIFO order.
     bool wearLeveling = false;
+    /// Victim-selection policy (string-keyed; see ftl/policy.hh).
+    std::string victimPolicy = "greedy";
+    /// Host-write allocation policy.
+    std::string allocPolicy = "rr";
+    /// Windowed-greedy victim selection: window size in blocks.
+    std::uint32_t victimWindow = 8;
 };
 
 /**
@@ -73,6 +92,7 @@ class PageMapping
 {
   public:
     explicit PageMapping(const MappingParams &params);
+    ~PageMapping();
 
     const FlashGeometry &geometry() const { return _geom; }
     const MappingParams &params() const { return _params; }
@@ -148,10 +168,62 @@ class PageMapping
     std::uint32_t freeBlockPressure(std::uint32_t unit) const;
 
     /**
-     * Greedy victim selection: the non-free, non-active block in
-     * @p unit with the fewest valid pages (full blocks only).
+     * Pick the next GC victim of @p unit through the configured
+     * VictimPolicy (default "greedy": fewest valid pages among full
+     * blocks, lowest block id on ties).
      */
-    std::optional<std::uint32_t> pickVictim(std::uint32_t unit) const;
+    std::optional<std::uint32_t> pickVictim(std::uint32_t unit);
+
+    /**
+     * Whether @p block of @p unit is currently victim-eligible: fully
+     * written, not free, not bad, and no GC copies pending into it.
+     */
+    bool victimEligible(std::uint32_t unit, std::uint32_t block) const;
+
+    /** Victim-candidate index of @p unit (see ftl/policy.hh). */
+    const VictimIndex &victimIndex(std::uint32_t unit) const
+    {
+        return _units[unit].index;
+    }
+
+    /** Whether a *host* write may allocate in @p unit right now
+     *  (keeps the one-block GC reserve; see hostCanAllocate). */
+    bool hostCanAllocateIn(std::uint32_t unit) const;
+
+    /** Monotonic page-allocation sequence number (host + GC). */
+    std::uint64_t allocSeq() const { return _allocSeq; }
+
+    /** GC copies currently reserved into @p unit. */
+    std::uint32_t gcPendingPages(std::uint32_t unit) const
+    {
+        return _units[unit].gcPending;
+    }
+
+    /**
+     * Whether @p unit is busy with GC/copyback traffic: GC copies
+     * pending into it, or the injected probe (a GC round active on
+     * the unit, known only to core/gc) reports busy. Drives the
+     * conflict-aware allocation policy.
+     */
+    bool unitGcBusy(std::uint32_t unit) const;
+
+    /** Inject the upper-layer GC-activity probe (see unitGcBusy). */
+    void setGcBusyProbe(std::function<bool(std::uint32_t)> probe)
+    {
+        _gcBusyProbe = std::move(probe);
+    }
+
+    const VictimPolicy &victimPolicy() const { return *_victim; }
+    const AllocPolicy &allocPolicy() const { return *_alloc; }
+
+    /**
+     * Register policy-tagged counters (victim picks plus any
+     * policy-specific stats) under "<prefix>.<policy name>". Callers
+     * gate this on a non-default policy configuration so default runs
+     * keep their historical --stats output byte-identical.
+     */
+    void registerPolicyStats(StatRegistry &reg,
+                             const std::string &prefix) const;
 
     /** Valid LPNs inside block @p block of @p unit, in page order. */
     std::vector<Lpn> validLpns(std::uint32_t unit,
@@ -168,6 +240,14 @@ class PageMapping
 
     const BlockState &blockState(std::uint32_t unit,
                                  std::uint32_t block) const;
+
+    /** Validity of page @p page of @p block in @p unit. */
+    bool pageValid(std::uint32_t unit, std::uint32_t block,
+                   std::uint32_t page) const
+    {
+        return _units[unit]
+                   .valid[block * _geom.pagesPerBlock + page] != 0;
+    }
 
     /** Total valid pages across the device. */
     std::uint64_t totalValidPages() const { return _validPages; }
@@ -207,14 +287,30 @@ class PageMapping
     struct Unit
     {
         std::vector<BlockState> blocks;
+        /// Flat per-page validity bitmap, block-major (SoA layout).
+        std::vector<std::uint8_t> valid;
         std::deque<std::uint32_t> freeList;
+        VictimIndex index;
+        /// Bucket each block currently sits in (-1 = not eligible).
+        std::vector<std::int32_t> bucketOf;
         std::uint32_t activeBlock = 0;
         bool hasActive = false;
+        /// GC copies reserved into this unit (pending commits).
+        std::uint32_t gcPending = 0;
     };
 
     PhysAddr allocateRaw(Lpn lpn, std::uint32_t unit);
     void openActiveBlock(Unit &u, std::uint32_t unit);
     void invalidatePpn(Ppn ppn);
+
+    /**
+     * Reconcile @p block's victim-index membership after a mutation:
+     * compares current eligibility/valid count against the recorded
+     * bucket and inserts/moves/removes as needed.
+     */
+    void indexReconcile(std::uint32_t unit, std::uint32_t block);
+    /** Drop @p block from the fill-order list (erase/retire). */
+    void fillOrderRemove(Unit &u, std::uint32_t block);
 
     MappingParams _params;
     FlashGeometry _geom;
@@ -223,7 +319,11 @@ class PageMapping
     std::vector<Ppn> _l2p;
     std::vector<Lpn> _p2l;
     std::vector<Unit> _units;
-    std::uint32_t _allocCursor = 0;
+    std::unique_ptr<VictimPolicy> _victim;
+    std::unique_ptr<AllocPolicy> _alloc;
+    std::function<bool(std::uint32_t)> _gcBusyProbe;
+    std::uint64_t _allocSeq = 0;
+    std::uint64_t _victimPicks = 0;
     std::uint64_t _validPages = 0;
     std::uint64_t _hostWrites = 0;
     std::uint64_t _gcRelocations = 0;

@@ -9,7 +9,9 @@ namespace dssd
 {
 
 SuperblockMapping::SuperblockMapping(const FlashGeometry &geom,
-                                     double over_provision)
+                                     double over_provision,
+                                     const std::string &victim_policy,
+                                     std::uint32_t victim_window)
     : _geom(geom)
 {
     _geom.validate();
@@ -32,7 +34,13 @@ SuperblockMapping::SuperblockMapping(const FlashGeometry &geom,
     _p2l.assign(static_cast<std::size_t>(_geom.blocksPerPlane) *
                     _pagesPerSb,
                 invalidLpn);
+
+    PolicyConfig pc;
+    pc.victimWindow = victim_window;
+    _victim = makeVictimPolicy(victim_policy, pc);
 }
+
+SuperblockMapping::~SuperblockMapping() = default;
 
 std::uint32_t
 SuperblockMapping::stripeSlotOf(const PhysAddr &a) const
@@ -96,9 +104,11 @@ SuperblockMapping::allocate(Lpn lpn)
     SuperblockInfo &sb = _sbs[_active];
     std::uint32_t slot = sb.writePtr++;
     std::uint32_t sbid = _active;
+    sb.lastWriteSeq = ++_allocSeq;
     if (sb.writePtr == _pagesPerSb) {
         sb.state = SuperblockState::Full;
         _hasActive = false;
+        _fullOrder.push_back(sbid);
     }
 
     invalidate(lpn);
@@ -133,22 +143,9 @@ SuperblockMapping::invalidate(Lpn lpn)
 }
 
 std::optional<std::uint32_t>
-SuperblockMapping::pickVictim() const
+SuperblockMapping::pickVictim()
 {
-    std::optional<std::uint32_t> best;
-    std::uint32_t best_valid = _pagesPerSb;
-    for (std::uint32_t s = 0; s < _sbs.size(); ++s) {
-        const SuperblockInfo &sb = _sbs[s];
-        if (sb.state != SuperblockState::Full)
-            continue;
-        if (sb.validCount >= best_valid)
-            continue;
-        best = s;
-        best_valid = sb.validCount;
-    }
-    if (best && best_valid == _pagesPerSb)
-        return std::nullopt;
-    return best;
+    return _victim->pickVictim(*this);
 }
 
 std::vector<Lpn>
@@ -199,7 +196,16 @@ SuperblockMapping::eraseSuperblock(std::uint32_t sb)
     ++info.eraseCount;
     ++_erases;
     info.state = SuperblockState::Free;
+    fullOrderRemove(sb);
     _freeList.push_back(sb);
+}
+
+void
+SuperblockMapping::fullOrderRemove(std::uint32_t sb)
+{
+    auto it = std::find(_fullOrder.begin(), _fullOrder.end(), sb);
+    if (it != _fullOrder.end())
+        _fullOrder.erase(it);
 }
 
 void
@@ -222,6 +228,7 @@ SuperblockMapping::retireSuperblock(std::uint32_t sb)
     if (_hasActive && sb == _active)
         _hasActive = false;
     info.state = SuperblockState::Dead;
+    fullOrderRemove(sb);
     ++_dead;
 }
 
@@ -262,7 +269,10 @@ SuperblockMapping::fillAll(std::uint32_t sb, Lpn base)
     }
     info.validCount = _pagesPerSb;
     info.writePtr = _pagesPerSb;
+    _allocSeq += _pagesPerSb;
+    info.lastWriteSeq = _allocSeq;
     info.state = SuperblockState::Full;
+    _fullOrder.push_back(sb);
     _validPages += _pagesPerSb;
     _hostWrites += _pagesPerSb;
 }
@@ -419,6 +429,24 @@ SuperblockMapping::audit(AuditReport &r) const
         r.fail("valid-page total %llu != %llu summed over superblocks",
                static_cast<unsigned long long>(_validPages),
                static_cast<unsigned long long>(valid_total));
+    }
+
+    // Fill-order list: exactly the Full superblocks, each once.
+    std::vector<std::uint32_t> order_seen(_sbs.size(), 0);
+    for (std::uint32_t s : _fullOrder) {
+        if (s >= _sbs.size()) {
+            r.fail("fill-order entry %u out of range", s);
+            continue;
+        }
+        ++order_seen[s];
+    }
+    for (std::uint32_t s = 0; s < _sbs.size(); ++s) {
+        std::uint32_t expect =
+            _sbs[s].state == SuperblockState::Full ? 1 : 0;
+        if (order_seen[s] != expect) {
+            r.fail("superblock %u: state %d but %u fill-order entries",
+                   s, static_cast<int>(_sbs[s].state), order_seen[s]);
+        }
     }
 }
 

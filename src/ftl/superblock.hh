@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ftl/mapping.hh"
@@ -44,6 +46,9 @@ struct SuperblockInfo
     std::uint32_t validCount = 0;  ///< live pages
     std::uint32_t eraseCount = 0;  ///< P/E cycles
     std::vector<bool> valid;       ///< per stripe slot
+    /// Allocation sequence number of the last write into this
+    /// superblock; cost-benefit ages by allocSeq() - lastWriteSeq.
+    std::uint64_t lastWriteSeq = 0;
 };
 
 /** Superblock-granularity address mapping. */
@@ -54,8 +59,15 @@ class SuperblockMapping
      * @param geom Flash geometry; the superblock count equals
      *        blocksPerPlane.
      * @param over_provision Fraction of capacity hidden from the host.
+     * @param victim_policy Victim-selection policy name (see
+     *        ftl/policy.hh); the default reproduces the historical
+     *        greedy scan bit-identically.
+     * @param victim_window Window size for "windowed" selection.
      */
-    SuperblockMapping(const FlashGeometry &geom, double over_provision);
+    SuperblockMapping(const FlashGeometry &geom, double over_provision,
+                      const std::string &victim_policy = "greedy",
+                      std::uint32_t victim_window = 8);
+    ~SuperblockMapping();
 
     const FlashGeometry &geometry() const { return _geom; }
 
@@ -89,8 +101,26 @@ class SuperblockMapping
     /** Physical address of stripe slot @p slot of superblock @p sb. */
     PhysAddr slotAddr(std::uint32_t sb, std::uint32_t slot) const;
 
-    /** Greedy victim: fewest valid pages among Full superblocks. */
-    std::optional<std::uint32_t> pickVictim() const;
+    /**
+     * Pick the next GC victim through the configured VictimPolicy
+     * (default "greedy": fewest valid pages among Full superblocks).
+     */
+    std::optional<std::uint32_t> pickVictim();
+
+    /** Monotonic slot-allocation sequence number. */
+    std::uint64_t allocSeq() const { return _allocSeq; }
+
+    /**
+     * Full superblocks in the order they filled (oldest first);
+     * drives windowed-greedy selection. May transiently list ids
+     * whose state has since left Full — consumers re-check state.
+     */
+    const std::deque<std::uint32_t> &fullOrder() const
+    {
+        return _fullOrder;
+    }
+
+    const VictimPolicy &victimPolicy() const { return *_victim; }
 
     /** Valid LPNs of superblock @p sb in stripe order. */
     std::vector<Lpn> validLpns(std::uint32_t sb) const;
@@ -156,6 +186,8 @@ class SuperblockMapping
 
   private:
     void openActive();
+    /** Drop @p sb from the fill-order list (erase/retire). */
+    void fullOrderRemove(std::uint32_t sb);
 
     FlashGeometry _geom;
     std::uint32_t _unitCount;
@@ -165,6 +197,10 @@ class SuperblockMapping
     std::vector<Ppn> _l2p;   ///< lpn -> sb * pagesPerSb + slot
     std::vector<Lpn> _p2l;
     std::deque<std::uint32_t> _freeList;
+    /// Full superblocks in fill-chronological order (see fullOrder()).
+    std::deque<std::uint32_t> _fullOrder;
+    std::unique_ptr<VictimPolicy> _victim;
+    std::uint64_t _allocSeq = 0;
     std::uint32_t _active = 0;
     bool _hasActive = false;
     std::uint32_t _dead = 0;

@@ -23,10 +23,16 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticParams &params)
         fatal("synthetic generator needs non-zero sizes");
     if (params.requestBytes > params.footprintBytes)
         fatal("request larger than footprint");
+    if (params.hotFraction < 0.0 || params.hotFraction >= 1.0 ||
+        params.hotAccessRatio < 0.0 || params.hotAccessRatio > 1.0)
+        fatal("hot/cold skew fractions out of range");
     _name = strformat("%s-%s-%lluB",
                       params.readRatio >= 0.5 ? "read" : "write",
                       params.sequential ? "seq" : "rand",
                       static_cast<unsigned long long>(params.requestBytes));
+    if (params.hotFraction > 0.0 && params.hotAccessRatio > 0.0)
+        _name += strformat("-hot%.0f/%.0f", params.hotAccessRatio * 100,
+                           params.hotFraction * 100);
 }
 
 std::optional<IoRequest>
@@ -43,6 +49,24 @@ SyntheticGenerator::next()
     if (_params.sequential) {
         r.offset = (_cursor % slots) * _params.requestBytes;
         ++_cursor;
+    } else if (_params.hotFraction > 0.0 &&
+               _params.hotAccessRatio > 0.0 && slots > 1) {
+        // Hot/cold split: the first hotFraction of the footprint takes
+        // hotAccessRatio of the accesses. The extra draw only happens
+        // when skew is enabled, so the default uniform stream is
+        // bit-identical to builds without this feature.
+        std::uint64_t hot_slots = std::clamp<std::uint64_t>(
+            static_cast<std::uint64_t>(
+                static_cast<double>(slots) * _params.hotFraction),
+            1, slots - 1);
+        if (_rng.chance(_params.hotAccessRatio)) {
+            r.offset =
+                _rng.uniformInt(0, hot_slots - 1) * _params.requestBytes;
+        } else {
+            r.offset = (hot_slots +
+                        _rng.uniformInt(0, slots - hot_slots - 1)) *
+                       _params.requestBytes;
+        }
     } else {
         r.offset = _rng.uniformInt(0, slots - 1) * _params.requestBytes;
     }

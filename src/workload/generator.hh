@@ -52,6 +52,12 @@ struct SyntheticParams
     /// Number of requests to produce; 0 = unbounded.
     std::uint64_t count = 0;
     std::uint64_t seed = 1;
+    /// Hot/cold skew (random streams only): hotFraction of the
+    /// footprint receives hotAccessRatio of the accesses (e.g. 0.2 /
+    /// 0.8 is the classic 80/20 mix). Either at 0 disables skew and
+    /// keeps the uniform RNG stream bit-identical to older builds.
+    double hotFraction = 0.0;
+    double hotAccessRatio = 0.0;
 };
 
 /** Fixed-size sequential/random read/write generator. */

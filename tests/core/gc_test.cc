@@ -4,6 +4,7 @@
 
 #include "core/gc.hh"
 #include "core/ssd.hh"
+#include "sim/registry.hh"
 
 namespace dssd
 {
@@ -248,6 +249,140 @@ TEST(GcEngineDeathTest, DoubleForceIsRejected)
     ssd.prefill(0.8, 0.3);
     ssd.gc().forceAll(1, [] {});
     EXPECT_DEATH(ssd.gc().forceAll(1, [] {}), "forceAll");
+}
+
+//
+// Preemptible GC rounds (GcParams::preemptible): pause at copy-quantum
+// boundaries while host I/O is outstanding, resume deterministically.
+//
+
+SsdConfig
+preemptConfig(ArchKind arch)
+{
+    SsdConfig c = gcConfig(arch);
+    c.gc.preemptible = true;
+    c.gc.preemptQuantumPages = 2;
+    c.gc.preemptResumeNs = 5000;
+    return c;
+}
+
+TEST(PreemptibleGcTest, YieldsToHostIoAndStillCompletes)
+{
+    Engine e;
+    Ssd ssd(e, preemptConfig(ArchKind::Baseline));
+    ssd.prefill(0.85, 0.3);
+    // Paced overwrites keep host I/O outstanding while threshold
+    // rounds run without driving free blocks to the livelock floor
+    // (an unpaced burst would pin free <= 1, where pausing is
+    // correctly forbidden).
+    unsigned done = 0;
+    for (Lpn l = 0; l < 900; ++l) {
+        ssd.writePage(l % ssd.mapping().lpnCount(), [&] { ++done; });
+        if (l % 64 == 63)
+            e.run();
+    }
+    e.run();
+    EXPECT_EQ(done, 900u);
+    EXPECT_GT(ssd.gc().preemptYields(), 0u);
+    EXPECT_EQ(ssd.gc().preemptResumes(), ssd.gc().preemptYields());
+    EXPECT_EQ(ssd.gc().pausedUnits(), 0u);
+    EXPECT_FALSE(ssd.gc().anyActive());
+    for (std::uint32_t u = 0; u < ssd.mapping().unitCount(); ++u)
+        EXPECT_TRUE(ssd.mapping().canAllocate(u)) << u;
+}
+
+TEST(PreemptibleGcTest, SustainedPressureNeverStalls)
+{
+    // The livelock guard: a unit down to its last reserve blocks must
+    // finish its round instead of pausing, so sustained random
+    // overwrites keep completing under preemption.
+    Engine e;
+    Ssd ssd(e, preemptConfig(ArchKind::DSSDNoc));
+    ssd.prefill(0.85, 0.2);
+    unsigned done = 0;
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        Lpn l = rng.uniformInt(0, ssd.mapping().lpnCount() - 1);
+        ssd.writePage(l, [&] { ++done; });
+        if (i % 64 == 63)
+            e.run();
+    }
+    e.run();
+    EXPECT_EQ(done, 2000u);
+    EXPECT_FALSE(ssd.gc().anyActive());
+    for (std::uint32_t u = 0; u < ssd.mapping().unitCount(); ++u)
+        EXPECT_TRUE(ssd.mapping().canAllocate(u)) << u;
+}
+
+TEST(PreemptibleGcTest, ForcedRoundsIgnoreThePauseGate)
+{
+    // forceAll runs with no host I/O outstanding, so a forced round
+    // never pauses and the preempt counters stay at zero.
+    Engine e;
+    Ssd ssd(e, preemptConfig(ArchKind::Baseline));
+    ssd.prefill(0.8, 0.3);
+    bool fdone = false;
+    ssd.gc().forceAll(2, [&] { fdone = true; });
+    e.run();
+    EXPECT_TRUE(fdone);
+    EXPECT_EQ(ssd.gc().preemptYields(), 0u);
+}
+
+TEST(PreemptibleGcTest, CoordinatedRoundYieldsAndReacquiresTheGrant)
+{
+    // Under array coordination a fully-paused engine gives the grant
+    // back (reporting the partial round's work) and re-requests it
+    // when the resume timer fires.
+    Engine e;
+    Ssd ssd(e, preemptConfig(ArchKind::Baseline));
+    ssd.prefill(0.85, 0.3);
+
+    unsigned requests = 0;
+    unsigned releases = 0;
+    std::uint64_t released_copies = 0;
+    GcCoordinationHooks hooks;
+    hooks.request = [&](std::uint32_t) {
+        ++requests;
+        // Grant immediately, off the call stack like the scheduler.
+        e.schedule(0, [&] { ssd.gc().grantCollection(); });
+    };
+    hooks.release = [&](std::uint64_t copies, std::uint64_t) {
+        ++releases;
+        released_copies += copies;
+    };
+    ssd.gc().setCoordination(hooks);
+
+    unsigned done = 0;
+    for (Lpn l = 0; l < 900; ++l) {
+        ssd.writePage(l % ssd.mapping().lpnCount(), [&] { ++done; });
+        if (l % 64 == 63)
+            e.run();
+    }
+    e.run();
+    EXPECT_EQ(done, 900u);
+    EXPECT_FALSE(ssd.gc().anyActive());
+    EXPECT_GT(ssd.gc().preemptYields(), 0u);
+    // Every grant taken was given back, and at least one extra
+    // request/release pair came from a preempted (partial) round.
+    EXPECT_EQ(requests, releases);
+    EXPECT_GT(requests, 1u);
+    EXPECT_EQ(released_copies, ssd.gc().pagesMoved());
+}
+
+TEST(PreemptibleGcTest, PreemptStatsRegisterOnlyWhenEnabled)
+{
+    Engine e1;
+    Ssd plain(e1, gcConfig(ArchKind::Baseline));
+    StatRegistry r1;
+    plain.registerStats(r1, "ssd");
+    EXPECT_FALSE(r1.has("ssd.gc.preempt_yields"));
+
+    Engine e2;
+    Ssd pre(e2, preemptConfig(ArchKind::Baseline));
+    StatRegistry r2;
+    pre.registerStats(r2, "ssd");
+    EXPECT_TRUE(r2.has("ssd.gc.preempt_yields"));
+    EXPECT_TRUE(r2.has("ssd.gc.preempt_resumes"));
 }
 
 } // namespace

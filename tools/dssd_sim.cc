@@ -33,6 +33,11 @@ usage()
         "usage: dssd_sim [options]\n"
         "  --arch=A        baseline|bw|dssd|dssd_b|dssd_f (default dssd_f)\n"
         "  --policy=P      pagc|preemptive|tinytail (default pagc)\n"
+        "  --gc-policy=P   victim selection: greedy|costbenefit|windowed\n"
+        "                  (default greedy)\n"
+        "  --alloc-policy=P  host-write allocation: rr|conflict\n"
+        "                  (default rr)\n"
+        "  --gc-preempt    preemptible/partial GC rounds\n"
         "  --trace=NAME    replay a named trace profile (prn_0, ...)\n"
         "  --req-kb=N      synthetic request size in KB (default 4)\n"
         "  --read-ratio=R  fraction of reads (default 0)\n"
@@ -148,6 +153,20 @@ main(int argc, char **argv)
             p.arch = parseArch(v);
         else if (flagValue(argv[i], "--policy", &v))
             p.gcPolicy = parsePolicy(v);
+        else if (flagValue(argv[i], "--gc-policy", &v)) {
+            if (!isVictimPolicy(v))
+                fatal("unknown --gc-policy '%s' (supported: greedy "
+                      "costbenefit windowed)",
+                      v);
+            p.victimPolicy = v;
+        } else if (flagValue(argv[i], "--alloc-policy", &v)) {
+            if (!isAllocPolicy(v))
+                fatal("unknown --alloc-policy '%s' (supported: rr "
+                      "conflict)",
+                      v);
+            p.allocPolicy = v;
+        } else if (std::strcmp(argv[i], "--gc-preempt") == 0)
+            p.gcPreempt = true;
         else if (flagValue(argv[i], "--trace", &v))
             trace = v;
         else if (flagValue(argv[i], "--req-kb", &v))

@@ -50,6 +50,16 @@ R6  confined threading: all cross-thread machinery lives in
     deterministic (tick, shard, emission-order) merge exists to
     prevent - route new parallelism through it.
 
+R7  policy registry: every concrete GC policy class in
+    src/ftl/policy.cc (a class deriving from VictimPolicy or
+    AllocPolicy) must be constructed by an entry of the factory
+    registry in the same file, and every registered policy name
+    string must appear in tests/ftl/policy_test.cc. A policy that
+    can be named but not built dies at runtime; one that is built
+    but never tested is dead weight. This is a whole-repo check: it
+    runs when the lint root is src/ (or contains ftl/policy.cc) and
+    reads the test fixture next to it.
+
 Suppression: any rule may be waived for one line with a trailing
 comment on the flagged line or the line directly above it, naming
 the rule by id or by slug:
@@ -83,6 +93,7 @@ RULE_NAMES = {
     "R4": "header-hygiene",
     "R5": "layering",
     "R6": "threading",
+    "R7": "policy-registry",
 }
 
 ALLOW_RE = re.compile(r"lint:allow\s+([A-Za-z0-9-]+)")
@@ -328,6 +339,54 @@ def lint_file(path, rel, errors, active):
                f"add it to LAYER_DEPS in dssd_lint.py")
 
 
+POLICY_CLASS_RE = re.compile(
+    r"class\s+(\w+)\s*(?:final\s*)?:\s*public\s+"
+    r"(VictimPolicy|AllocPolicy)\b")
+POLICY_NAME_RE = re.compile(r"\{\s*\"([a-z0-9_+-]+)\"\s*,")
+MAKE_UNIQUE_RE = re.compile(r"std::make_unique<\s*(\w+)\s*>")
+
+
+def lint_policy_registry(src_root, errors, active):
+    """R7: concrete policies registered in the factory and named in
+    the test fixture. Whole-repo check, anchored on ftl/policy.cc."""
+    if "R7" not in active:
+        return
+    policy_cc = src_root / "ftl" / "policy.cc"
+    if not policy_cc.exists():
+        return
+    text = policy_cc.read_text(encoding="utf-8")
+
+    classes = {m.group(1) for m in POLICY_CLASS_RE.finditer(text)}
+    built = set(MAKE_UNIQUE_RE.findall(text))
+    for cls in sorted(classes - built):
+        errors.append(
+            f"{policy_cc}:1: [R7] concrete policy class '{cls}' is "
+            f"never constructed by the factory registry in "
+            f"policy.cc; register it (and name it in "
+            f"tests/ftl/policy_test.cc)")
+
+    # Registered names: the string literals of the registry entries.
+    names = set()
+    for block in re.findall(
+            r"(?:VictimEntry|AllocEntry)\s+\w+Registry\[\]\s*=\s*\{(.*?)\n\};",
+            text, re.S):
+        names.update(POLICY_NAME_RE.findall(block))
+
+    fixture = (src_root.parent / "tests" / "ftl" / "policy_test.cc")
+    if not fixture.exists():
+        errors.append(
+            f"{policy_cc}:1: [R7] tests/ftl/policy_test.cc is "
+            f"missing; the policy registry has no fixture coverage")
+        return
+    fixture_text = fixture.read_text(encoding="utf-8")
+    for name in sorted(names):
+        if f'"{name}"' not in fixture_text:
+            errors.append(
+                f"{policy_cc}:1: [R7] registered policy '{name}' is "
+                f"never named in tests/ftl/policy_test.cc; add a "
+                f"fixture that exercises it")
+
+
 def resolve_rule(name):
     """Canonical rule id for @p name (id like 'R2' or slug like
     'unordered-iteration'), or None."""
@@ -376,6 +435,7 @@ def main(argv):
     errors = []
     for f in files:
         lint_file(f, f.relative_to(root), errors, active)
+    lint_policy_registry(root, errors, active)
     for e in errors:
         print(e)
     print(f"dssd_lint: {len(files)} files, {len(errors)} problem(s)")
